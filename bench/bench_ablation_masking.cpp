@@ -1,0 +1,83 @@
+// E6 -- the two-fault guarantee (Fig. 5(c)/(d), constraint (9)): exhaustive
+// audit of all stuck-fault pairs, with the masking exclusion (chordless
+// cuts + behavioral repair) switched on and off.
+//
+// Expected shape: with the exclusion and repair enabled every pair is
+// detected (the paper's "guarantee the detection of up to two faults");
+// without them a weaker vector set can let pairs escape.
+#include <iostream>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/generator.h"
+#include "core/masking.h"
+#include "grid/builder.h"
+#include "grid/presets.h"
+
+int main() {
+  using namespace fpva;
+
+  struct Case {
+    std::string name;
+    grid::ValveArray array;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"full 5x5", grid::full_array(5, 5)});
+  cases.push_back({"Table-I 5x5", grid::table1_array(5)});
+  cases.push_back({"full 6x6", grid::full_array(6, 6)});
+  // A constricted layout (obstacle wall with a one-valve gap) that creates
+  // the masking geometry of Fig. 5(c)/(d).
+  cases.push_back({"constricted 6x6",
+                   grid::LayoutBuilder(6, 6)
+                       .obstacle_rect(grid::Cell{2, 0}, grid::Cell{2, 3})
+                       .obstacle_rect(grid::Cell{2, 5}, grid::Cell{2, 5})
+                       .default_ports()
+                       .build()});
+
+  std::cout << "Two-fault masking ablation -- exhaustive stuck-fault pair "
+               "audit\n\n";
+  common::Table table({"Array", "pairs", "escapes (excl. off)",
+                       "escapes (excl. on)", "after repair", "extra vecs"});
+
+  for (const Case& test_case : cases) {
+    const grid::ValveArray& array = test_case.array;
+    const sim::Simulator simulator(array);
+
+    // Masking exclusion OFF: no chordless enforcement, no repair loop.
+    core::GeneratorOptions off;
+    off.two_fault_exclusion = false;
+    off.repair = false;
+    off.generate_leak_vectors = false;
+    auto off_set = core::generate_test_set(array, off);
+    const auto off_universe = [&] {
+      std::vector<sim::Fault> u;
+      for (grid::ValveId v = 0; v < array.valve_count(); ++v) {
+        u.push_back(sim::stuck_at_0(v));
+        u.push_back(sim::stuck_at_1(v));
+      }
+      return u;
+    }();
+    const auto off_report = sim::two_fault_coverage(
+        simulator, off_set.vectors, off_universe, 10);
+
+    // Masking exclusion ON, plus the behavioral two-fault repair loop.
+    core::GeneratorOptions on;
+    on.two_fault_exclusion = true;
+    auto on_set = core::generate_test_set(array, on);
+    const auto on_report = sim::two_fault_coverage(
+        simulator, on_set.vectors, off_universe, 10);
+    const auto audit = core::audit_and_repair_two_faults(
+        array, simulator, on_set.vectors);
+
+    table.add_row(
+        {test_case.name, common::cat(off_report.total_pairs),
+         common::cat(off_report.total_pairs - off_report.detected_pairs),
+         common::cat(on_report.total_pairs - on_report.detected_pairs),
+         common::cat(audit.after.total_pairs - audit.after.detected_pairs),
+         common::cat(audit.added_vectors)});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "'after repair' = 0 reproduces the paper's claim that any "
+               "two simultaneous faults are detected.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E8 -- ILP model fidelity and solver micro-benchmarks.
+//
+// Times the in-house simplex/branch-and-bound substrate on (a) generic MIP
+// kernels and (b) the paper's flow-path and cut-set models (constraints
+// (1)-(4),(6),(9)) on small arrays, and verifies the ILP engine's optima
+// against the constructive engine's counts.
+#include <benchmark/benchmark.h>
+
+#include "core/ilp_models.h"
+#include "core/path_planner.h"
+#include "grid/presets.h"
+#include "lp/simplex.h"
+
+namespace {
+
+using namespace fpva;
+
+void BM_SimplexTransportation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    lp::Model model;
+    std::vector<int> vars;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        vars.push_back(model.add_variable(
+            0.0, 100.0, static_cast<double>((i * 7 + j * 3) % 5 + 1)));
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      std::vector<lp::Term> row;
+      for (int j = 0; j < n; ++j) {
+        row.push_back({vars[static_cast<std::size_t>(i * n + j)], 1.0});
+      }
+      model.add_constraint(std::move(row), lp::Sense::kEqual, 10.0);
+    }
+    for (int j = 0; j < n; ++j) {
+      std::vector<lp::Term> col;
+      for (int i = 0; i < n; ++i) {
+        col.push_back({vars[static_cast<std::size_t>(i * n + j)], 1.0});
+      }
+      model.add_constraint(std::move(col), lp::Sense::kEqual, 10.0);
+    }
+    const auto solution = lp::solve(model);
+    benchmark::DoNotOptimize(solution.objective);
+  }
+}
+BENCHMARK(BM_SimplexTransportation)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_BranchAndBoundKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ilp::Model model;
+    std::vector<lp::Term> weight;
+    for (int i = 0; i < n; ++i) {
+      const int x = model.add_binary(-static_cast<double>((i * 13) % 9 + 1));
+      weight.push_back({x, static_cast<double>((i * 5) % 7 + 1)});
+    }
+    model.add_constraint(std::move(weight), lp::Sense::kLessEqual,
+                         static_cast<double>(2 * n));
+    ilp::Options options;
+    options.objective_is_integral = true;
+    const auto result = ilp::solve(model, options);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(10)->Arg(16)->Arg(24);
+
+void BM_FlowPathIlp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const grid::ValveArray array = grid::full_array(n, n);
+  for (auto _ : state) {
+    const auto result = core::find_minimum_flow_paths(array, 1, 6);
+    if (!result.has_value()) state.SkipWithError("path ILP infeasible");
+    benchmark::DoNotOptimize(result->path_budget);
+    // The ILP optimum can never exceed the constructive engine's count.
+    core::PathPlanner planner(array);
+    const auto greedy = planner.cover(std::vector<bool>(
+        static_cast<std::size_t>(array.valve_count()), true));
+    if (result->path_budget > static_cast<int>(greedy.paths.size())) {
+      state.SkipWithError("ILP worse than constructive engine");
+    }
+  }
+}
+BENCHMARK(BM_FlowPathIlp)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_CutSetIlp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const grid::ValveArray array = grid::full_array(n, n);
+  for (auto _ : state) {
+    const auto result = core::find_minimum_cut_sets(array, 1, 6, true);
+    if (!result.has_value()) state.SkipWithError("cut ILP infeasible");
+    benchmark::DoNotOptimize(result->cut_budget);
+  }
+}
+BENCHMARK(BM_CutSetIlp)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_ConstructivePathCover(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const grid::ValveArray array = grid::full_array(n, n);
+  for (auto _ : state) {
+    core::PathPlanner planner(array);
+    const auto result = planner.cover(std::vector<bool>(
+        static_cast<std::size_t>(array.valve_count()), true));
+    benchmark::DoNotOptimize(result.paths.size());
+  }
+}
+BENCHMARK(BM_ConstructivePathCover)->Arg(5)->Arg(10)->Arg(20)->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Fault diagnosis: a failing chip comes back from test -- which defect
+// explains the readings?
+//
+//   ./build/examples/diagnose_chip
+//
+// Injects a hidden fault into a simulated 10x10 chip, applies the
+// generated test program, and matches the observed response signature
+// against the single-fault universe.
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/generator.h"
+#include "grid/presets.h"
+#include "sim/diagnosis.h"
+
+int main() {
+  using namespace fpva;
+  const grid::ValveArray array = grid::table1_array(10);
+  const core::GeneratedTestSet set = core::generate_test_set(array);
+  const sim::Simulator simulator(array);
+
+  // The "defective chip": a hidden fault we pretend not to know.
+  common::Rng rng(20170331);
+  const auto hidden_valve = static_cast<grid::ValveId>(
+      rng.next_below(static_cast<std::uint64_t>(array.valve_count())));
+  const sim::Fault hidden = rng.next_bool() ? sim::stuck_at_1(hidden_valve)
+                                            : sim::stuck_at_0(hidden_valve);
+  std::cout << "hidden defect (oracle only): " << to_string(hidden)
+            << " at site "
+            << grid::to_string(
+                   array.valves()[static_cast<std::size_t>(hidden_valve)])
+            << "\n\n";
+
+  // Apply the test program and record the observed readings.
+  const sim::ResponseSignature observed =
+      sim::response_signature(simulator, set.vectors, hidden);
+
+  // Diagnose against all single stuck faults and control leaks.
+  auto universe = sim::single_stuck_fault_universe(array);
+  const auto leaks = sim::control_leak_universe(array);
+  universe.insert(universe.end(), leaks.begin(), leaks.end());
+  const sim::DiagnosisResult verdict =
+      sim::diagnose(simulator, set.vectors, observed, universe);
+
+  if (verdict.consistent_with_fault_free) {
+    std::cout << "chip looks healthy?!\n";
+    return 1;
+  }
+  std::cout << verdict.candidates.size()
+            << " candidate defect(s) match the observed signature:\n";
+  for (const sim::Fault& candidate : verdict.candidates) {
+    std::cout << "  " << to_string(candidate) << "\n";
+  }
+
+  // How sharp is this test program as a diagnostic instrument?
+  const auto report =
+      sim::diagnosability(simulator, set.vectors, universe);
+  std::cout << "\ndiagnosability of the " << set.total_vectors()
+            << "-vector program: " << report.equivalence_classes
+            << " signature classes over " << report.detected_faults
+            << " detected faults ("
+            << static_cast<int>(100.0 * report.resolution())
+            << "% of fault pairs distinguished)\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace fpva::common {
+
+namespace {
+
+std::string decorate(const std::string& message,
+                     const std::source_location& where) {
+  std::ostringstream out;
+  out << message << " [" << where.file_name() << ':' << where.line() << " in "
+      << where.function_name() << ']';
+  return out.str();
+}
+
+}  // namespace
+
+void check(bool condition, const std::string& message,
+           std::source_location where) {
+  if (!condition) {
+    throw Error(decorate(message, where));
+  }
+}
+
+void fail(const std::string& message, std::source_location where) {
+  throw Error(decorate(message, where));
+}
+
+}  // namespace fpva::common

@@ -1,0 +1,36 @@
+// Runtime invariant checking for the FPVA test-generation library.
+//
+// Following the C++ Core Guidelines (I.6/E.12), we report precondition and
+// invariant violations by throwing; callers that cannot continue simply let
+// the exception propagate to main(). The helpers carry the call site via
+// std::source_location so no macros are needed.
+#ifndef FPVA_COMMON_CHECK_H
+#define FPVA_COMMON_CHECK_H
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace fpva::common {
+
+/// Exception thrown for violated invariants and invalid arguments detected
+/// at runtime inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws Error with a message that includes the call site when `condition`
+/// is false. Use for preconditions on public API entry points and for
+/// internal invariants that must hold regardless of build type.
+void check(bool condition, const std::string& message,
+           std::source_location where = std::source_location::current());
+
+/// Unconditionally raises an Error; convenient for unreachable branches.
+[[noreturn]] void fail(const std::string& message,
+                       std::source_location where =
+                           std::source_location::current());
+
+}  // namespace fpva::common
+
+#endif  // FPVA_COMMON_CHECK_H

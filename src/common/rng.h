@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// The fault-injection campaigns of the paper's Section IV repeat 10,000
+// random trials per configuration; reproducibility of those campaigns
+// requires a fast, well-understood generator whose streams are stable across
+// platforms. We implement xoshiro256** (Blackman & Vigna) seeded through
+// splitmix64, which is the conventional pairing.
+#ifndef FPVA_COMMON_RNG_H
+#define FPVA_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace fpva::common {
+
+/// xoshiro256** generator with convenience sampling helpers.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random>
+/// distributions, but the member helpers below are preferred because their
+/// results are platform-stable (libstdc++ distributions are not).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound); bound must be positive. Uses rejection
+  /// sampling (Lemire-style) so results are unbiased.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Fisher-Yates shuffle of `items` in place.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Draws `k` distinct indices from [0, n) in random order; k must be <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace fpva::common
+
+#endif  // FPVA_COMMON_RNG_H

@@ -1,0 +1,45 @@
+// Small string formatting helpers (GCC 12 lacks std::format).
+#ifndef FPVA_COMMON_STRINGS_H
+#define FPVA_COMMON_STRINGS_H
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpva::common {
+
+/// Stream-concatenates all arguments into one string:
+/// cat("valve ", 3, " of ", 7) == "valve 3 of 7".
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+/// Joins `parts` with `separator` ("a", "b" -> "a,b").
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits `text` at `separator`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Removes ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+/// Fixed-precision decimal rendering, e.g. to_fixed(3.14159, 2) == "3.14".
+std::string to_fixed(double value, int digits);
+
+/// Left-pads (align right) to `width` with spaces; never truncates.
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pads (align left) to `width` with spaces; never truncates.
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace fpva::common
+
+#endif  // FPVA_COMMON_STRINGS_H

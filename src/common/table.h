@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure of the paper; this
+// helper prints aligned columns in the same row layout as the publication
+// (e.g. Table I's Dimension / n_v / n_p / t_p / ... columns).
+#ifndef FPVA_COMMON_TABLE_H
+#define FPVA_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace fpva::common {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with two-space gutters and a dashed rule under the header.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fpva::common
+
+#endif  // FPVA_COMMON_TABLE_H

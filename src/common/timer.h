@@ -1,0 +1,33 @@
+// Wall-clock timing used for the runtime columns of Table I.
+#ifndef FPVA_COMMON_TIMER_H
+#define FPVA_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace fpva::common {
+
+/// Monotonic stopwatch; starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    const auto delta = Clock::now() - start_;
+    return std::chrono::duration<double>(delta).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fpva::common
+
+#endif  // FPVA_COMMON_TIMER_H

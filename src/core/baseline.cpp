@@ -1,0 +1,42 @@
+#include "core/baseline.h"
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/cut_planner.h"
+#include "core/path_planner.h"
+#include "sim/simulator.h"
+
+namespace fpva::core {
+
+BaselineResult generate_baseline(const grid::ValveArray& array) {
+  common::Timer timer;
+  BaselineResult result;
+  const sim::Simulator simulator(array);
+  PathPlanner path_planner(array);
+  CutPlanner cut_planner(array);
+
+  for (grid::ValveId v = 0; v < array.valve_count(); ++v) {
+    // One path per valve: the planner's seeded path finishes as soon as the
+    // target valve is crossed, because only that valve is "wanted".
+    auto path = path_planner.path_through(v);
+    bool ok = false;
+    if (path.has_value()) {
+      result.vectors.push_back(to_test_vector(
+          array, simulator, *path, common::cat("baseline sa0 ", v)));
+      ok = true;
+    }
+    auto cut = find_detecting_cut(cut_planner, simulator, v);
+    if (cut.has_value()) {
+      result.vectors.push_back(to_test_vector(
+          array, simulator, *cut, common::cat("baseline sa1 ", v)));
+      ok = true;
+    }
+    if (!ok) {
+      result.skipped.push_back(v);
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace fpva::core

@@ -1,0 +1,152 @@
+// Cut-set planner: staircase family plus a dual-grid greedy snake.
+//
+// Generating covering cut-sets is the complementary problem of generating
+// covering flow paths (Section III-C): a source/sink-separating cut is
+// exactly a simple path in the planar dual of the cell grid -- the graph of
+// junction posts -- running between two boundary arcs that hold the sources
+// and sinks apart. Two consequences the planner exploits:
+//
+//   * Every internal valve joins two cells on adjacent anti-diagonals
+//     d = row+col, so the "staircase" interfaces between consecutive
+//     anti-diagonals partition all valves, and each is a valid cut when the
+//     source sits in the low-diagonal corner and the sink in the high one.
+//     An n x n array has exactly 2n-2 such staircases, which reproduces the
+//     cut-set counts n_c of the paper's Table I.
+//   * Valves the staircases cannot test (their interface is broken by an
+//     always-open channel) are picked up by a greedy snake on the dual
+//     grid, the exact mirror of the flow-path snake.
+//
+// The paper's masking-exclusion constraint (9) -- if both end posts of a
+// valve lie on the cut curve, the valve must belong to the cut -- is the
+// requirement that the dual path be chordless; make_chordless() enforces it
+// by absorbing chord valves into the cut.
+#ifndef FPVA_CORE_CUT_PLANNER_H
+#define FPVA_CORE_CUT_PLANNER_H
+
+#include <optional>
+#include <vector>
+
+#include "core/cut_set.h"
+#include "grid/array.h"
+
+namespace fpva::core {
+
+/// Number of junction posts of the dual grid ((rows+1)*(cols+1)).
+int dual_post_count(const grid::ValveArray& array);
+
+/// Dense id of the junction post at `post` (a (even,even) site).
+int dual_post_id(const grid::ValveArray& array, grid::Site post);
+
+/// Inverse of dual_post_id().
+grid::Site dual_post_site(const grid::ValveArray& array, int id);
+
+/// Boundary-arc id per post (-1 for interior posts). Arcs are the maximal
+/// runs of boundary posts between port sites; a cut is a dual path whose
+/// endpoints lie on two different arcs.
+std::vector<int> dual_boundary_arcs(const grid::ValveArray& array,
+                                    int* arc_count);
+
+struct CutPlannerOptions {
+  int max_cuts = 4096;
+  int max_detour_attempts = 8;
+  bool enforce_chordless = true;  ///< apply constraint (9) to every cut
+};
+
+class CutPlanner {
+ public:
+  using Options = CutPlannerOptions;
+
+  struct CoverResult {
+    std::vector<CutSet> cuts;
+    /// Valves no valid cut can contain (e.g. bridged by a channel).
+    std::vector<grid::ValveId> uncoverable;
+  };
+
+  explicit CutPlanner(const grid::ValveArray& array, Options options = Options());
+
+  const grid::ValveArray& array() const { return *array_; }
+
+  /// The staircase cut between cell anti-diagonals d-1 and d, for
+  /// d in [1, rows+cols-2]; std::nullopt when a channel breaks the
+  /// interface or the staircase fails validation.
+  std::optional<CutSet> staircase(int diagonal) const;
+
+  /// Generates cuts (staircases first, dual-snake patches second) until all
+  /// valves in `targets` are covered or proven uncoverable.
+  CoverResult cover(const std::vector<bool>& targets);
+
+  /// One cut containing `through`, optionally refusing to include valves
+  /// marked in `avoid`. Used by the masking-repair loop.
+  std::optional<CutSet> cut_through(grid::ValveId through,
+                                    const std::vector<bool>* avoid = nullptr);
+
+  /// All structurally distinct cuts through `through` the planner can
+  /// produce (one per crossing orientation and start arc). A cut whose
+  /// vector masks the target's own leak (Fig. 5(d)) is still returned;
+  /// find_detecting_cut() filters behaviorally. When `wanted` is given the
+  /// dual snake chains through those valves too, so one cut can retest many
+  /// still-uncovered valves.
+  std::vector<CutSet> cut_variants(grid::ValveId through,
+                                   const std::vector<bool>* avoid = nullptr,
+                                   const std::vector<bool>* wanted = nullptr);
+
+  /// Absorbs chord valves (both end posts on the curve, valve not in the
+  /// cut) into `cut` -- the paper's constraint (9).
+  void make_chordless(CutSet& cut) const;
+
+ private:
+  struct Crossing {
+    int to_post = -1;
+    grid::Site site;  ///< the valve-parity site this dual step crosses
+  };
+  struct Walk;
+
+  int post_id(grid::Site post) const;
+  grid::Site post_site(int id) const;
+  bool crossing_allowed(const Crossing& crossing,
+                        const std::vector<bool>* avoid) const;
+  bool is_terminal(int post, int arc) const;
+  std::vector<int> bfs_route(const std::vector<int>& from_set, int goal_arc,
+                             int goal_post, const std::vector<char>& visited,
+                             const std::vector<bool>* avoid) const;
+  bool reachable_arc(int from, int arc, const std::vector<char>& visited,
+                     const std::vector<bool>* avoid) const;
+  std::optional<CutSet> build_cut(grid::ValveId seed_valve,
+                                  const std::vector<bool>& wanted,
+                                  const std::vector<bool>* avoid,
+                                  std::vector<CutSet>* all_variants = nullptr);
+  bool snake(Walk& walk, const std::vector<bool>& wanted,
+             const std::vector<bool>* avoid);
+  bool detour(Walk& walk, const std::vector<bool>& wanted,
+              const std::vector<bool>* avoid);
+  std::optional<CutSet> finalize(Walk& walk,
+                                 const std::vector<bool>* avoid) const;
+
+  const grid::ValveArray* array_;
+  Options options_;
+  int post_rows_ = 0;
+  int post_cols_ = 0;
+  std::vector<int> arc_of_post_;  ///< boundary arc id per post, -1 interior
+  int arc_count_ = 0;
+  mutable std::vector<int> bfs_parent_;
+  mutable std::vector<int> bfs_queue_;
+  mutable std::vector<int> bfs_mark_;
+  mutable int bfs_epoch_ = 0;
+};
+
+/// A cut through `valve` whose test vector behaviorally detects the valve's
+/// stuck-at-1 fault. A first cut may mask the very leak it targets (e.g. it
+/// also closes the only feed into the valve's upstream cell); this helper
+/// retries with growing avoid masks -- excluding cut valves that share a
+/// cell with `valve` -- until a detecting shape is found or `max_attempts`
+/// shapes have been rejected.
+std::optional<CutSet> find_detecting_cut(CutPlanner& planner,
+                                         const sim::Simulator& simulator,
+                                         grid::ValveId valve,
+                                         int max_attempts = 8,
+                                         const std::vector<bool>* wanted =
+                                             nullptr);
+
+}  // namespace fpva::core
+
+#endif  // FPVA_CORE_CUT_PLANNER_H

@@ -1,0 +1,111 @@
+#include "core/cut_set.h"
+
+#include <queue>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace fpva::core {
+
+using common::cat;
+using grid::Cell;
+using grid::Direction;
+using grid::Site;
+
+std::vector<grid::ValveId> cut_valves(const grid::ValveArray& array,
+                                      const CutSet& cut) {
+  std::vector<grid::ValveId> valves;
+  for (const Site site : cut.sites) {
+    const grid::ValveId id = array.valve_id(site);
+    if (id != grid::kInvalidValve) {
+      valves.push_back(id);
+    }
+  }
+  return valves;
+}
+
+std::optional<std::string> validate_cut_set(const grid::ValveArray& array,
+                                            const CutSet& cut) {
+  std::vector<char> closed(static_cast<std::size_t>(array.valve_count()), 0);
+  for (const Site site : cut.sites) {
+    if (!array.is_valve_parity_site(site)) {
+      return cat("cut site ", to_string(site), " is not a valve-parity site");
+    }
+    if (array.site_kind(site) == grid::SiteKind::kChannel) {
+      return cat("cut crosses always-open channel at ", to_string(site));
+    }
+    const grid::ValveId id = array.valve_id(site);
+    if (id != grid::kInvalidValve) {
+      closed[static_cast<std::size_t>(id)] = 1;
+    }
+  }
+
+  // Flood from the sources with every non-cut valve open; any pressurized
+  // sink cell disproves separation.
+  std::vector<char> pressurized(
+      static_cast<std::size_t>(array.rows() * array.cols()), 0);
+  std::queue<Cell> frontier;
+  for (const int port_index : array.ports_of_kind(grid::PortKind::kSource)) {
+    const Cell cell = array.port_cell(
+        array.ports()[static_cast<std::size_t>(port_index)]);
+    if (!pressurized[static_cast<std::size_t>(array.cell_index(cell))]) {
+      pressurized[static_cast<std::size_t>(array.cell_index(cell))] = 1;
+      frontier.push(cell);
+    }
+  }
+  while (!frontier.empty()) {
+    const Cell cell = frontier.front();
+    frontier.pop();
+    for (const Direction direction : grid::kAllDirections) {
+      const auto next = array.neighbor(cell, direction);
+      if (!next || !array.is_fluid(*next)) continue;
+      const Site gate = valve_site_of(cell, direction);
+      if (array.site_kind(gate) == grid::SiteKind::kWall) continue;
+      const grid::ValveId id = array.valve_id(gate);
+      if (id != grid::kInvalidValve && closed[static_cast<std::size_t>(id)]) {
+        continue;
+      }
+      auto& mark =
+          pressurized[static_cast<std::size_t>(array.cell_index(*next))];
+      if (!mark) {
+        mark = 1;
+        frontier.push(*next);
+      }
+    }
+  }
+  // At least one meter must sit on the silent side of the cut, otherwise
+  // the vector observes nothing. Meters left pressurized are fine: the
+  // simulated expectations account for them, and a leak still flips the
+  // silent meters.
+  int silent_sinks = 0;
+  for (const int port_index : array.ports_of_kind(grid::PortKind::kSink)) {
+    const Cell cell = array.port_cell(
+        array.ports()[static_cast<std::size_t>(port_index)]);
+    if (!pressurized[static_cast<std::size_t>(array.cell_index(cell))]) {
+      ++silent_sinks;
+    }
+  }
+  if (silent_sinks == 0) {
+    return "cut leaves every pressure meter pressurized";
+  }
+  return std::nullopt;
+}
+
+sim::TestVector to_test_vector(const grid::ValveArray& array,
+                               const sim::Simulator& simulator,
+                               const CutSet& cut, std::string label) {
+  common::check(!validate_cut_set(array, cut).has_value(),
+                cat("to_test_vector: invalid cut-set: ",
+                    validate_cut_set(array, cut).value_or("")));
+  sim::TestVector vector;
+  vector.kind = sim::VectorKind::kCutSet;
+  vector.label = std::move(label);
+  vector.states.assign(static_cast<std::size_t>(array.valve_count()), true);
+  for (const grid::ValveId valve : cut_valves(array, cut)) {
+    vector.states[static_cast<std::size_t>(valve)] = false;
+  }
+  vector.expected = simulator.expected(vector.states);
+  return vector;
+}
+
+}  // namespace fpva::core

@@ -1,0 +1,47 @@
+// Cut-sets: the stuck-at-1 test primitive of Section III-A/C.
+//
+// A cut-set is a set of valves that, together with the chip's walls,
+// separates every pressure source from every pressure meter. Its test
+// vector closes exactly the cut valves and opens everything else; any
+// pressure reading at a meter then witnesses a leaking (stuck-at-1) valve.
+#ifndef FPVA_CORE_CUT_SET_H
+#define FPVA_CORE_CUT_SET_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/array.h"
+#include "sim/simulator.h"
+#include "sim/test_vector.h"
+
+namespace fpva::core {
+
+/// A source/sink-separating set of valve-parity sites. `sites` lists the
+/// sites the separating curve crosses, in curve order; wall sites may
+/// appear (they cross for free) but channel sites never can.
+struct CutSet {
+  std::vector<grid::Site> sites;
+};
+
+/// ValveIds of the testable valves in the cut (wall sites filtered out).
+std::vector<grid::ValveId> cut_valves(const grid::ValveArray& array,
+                                      const CutSet& cut);
+
+/// Validates the cut: every site has valve parity and is not a channel, and
+/// closing the cut valves (with everything else open) leaves at least one
+/// sink unpressurized (so the vector can observe a leak). Returns
+/// std::nullopt when valid.
+std::optional<std::string> validate_cut_set(const grid::ValveArray& array,
+                                            const CutSet& cut);
+
+/// Builds the test vector: cut valves closed, all other valves open,
+/// expected readings simulated fault-free (silent at every separated
+/// meter).
+sim::TestVector to_test_vector(const grid::ValveArray& array,
+                               const sim::Simulator& simulator,
+                               const CutSet& cut, std::string label);
+
+}  // namespace fpva::core
+
+#endif  // FPVA_CORE_CUT_SET_H

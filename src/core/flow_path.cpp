@@ -1,0 +1,125 @@
+#include "core/flow_path.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace fpva::core {
+
+using common::cat;
+using grid::Cell;
+using grid::Site;
+
+namespace {
+
+/// The valve-parity site between two adjacent cells.
+Site site_between(Cell a, Cell b) {
+  common::check(std::abs(a.row - b.row) + std::abs(a.col - b.col) == 1,
+                "site_between: cells are not adjacent");
+  return Site{a.site().row + (b.row - a.row),
+              a.site().col + (b.col - a.col)};
+}
+
+}  // namespace
+
+std::vector<Site> path_sites(const grid::ValveArray& array,
+                             const FlowPath& path) {
+  std::vector<Site> sites;
+  if (path.cells.empty()) return sites;
+  sites.reserve(path.cells.size() + 1);
+  sites.push_back(
+      array.ports()[static_cast<std::size_t>(path.source_port)].site);
+  for (std::size_t i = 0; i + 1 < path.cells.size(); ++i) {
+    sites.push_back(site_between(path.cells[i], path.cells[i + 1]));
+  }
+  sites.push_back(
+      array.ports()[static_cast<std::size_t>(path.sink_port)].site);
+  return sites;
+}
+
+std::vector<grid::ValveId> path_valves(const grid::ValveArray& array,
+                                       const FlowPath& path) {
+  std::vector<grid::ValveId> valves;
+  for (const Site site : path_sites(array, path)) {
+    const grid::ValveId id = array.valve_id(site);
+    if (id != grid::kInvalidValve) {
+      valves.push_back(id);
+    }
+  }
+  return valves;
+}
+
+std::optional<std::string> validate_flow_path(const grid::ValveArray& array,
+                                              const FlowPath& path) {
+  const int port_count = static_cast<int>(array.ports().size());
+  if (path.source_port < 0 || path.source_port >= port_count) {
+    return "source port index out of range";
+  }
+  if (path.sink_port < 0 || path.sink_port >= port_count) {
+    return "sink port index out of range";
+  }
+  const grid::Port& source =
+      array.ports()[static_cast<std::size_t>(path.source_port)];
+  const grid::Port& sink =
+      array.ports()[static_cast<std::size_t>(path.sink_port)];
+  if (source.kind != grid::PortKind::kSource) {
+    return cat("port ", source.name, " is not a pressure source");
+  }
+  if (sink.kind != grid::PortKind::kSink) {
+    return cat("port ", sink.name, " is not a pressure meter");
+  }
+  if (path.cells.empty()) {
+    return "path has no cells";
+  }
+  if (path.cells.front() != array.port_cell(source)) {
+    return cat("path does not start at the source cell ",
+               to_string(array.port_cell(source)));
+  }
+  if (path.cells.back() != array.port_cell(sink)) {
+    return cat("path does not end at the sink cell ",
+               to_string(array.port_cell(sink)));
+  }
+  std::unordered_set<Cell> seen;
+  for (const Cell cell : path.cells) {
+    if (!array.is_fluid(cell)) {
+      return cat("cell ", to_string(cell), " is not a fluid cell");
+    }
+    if (!seen.insert(cell).second) {
+      return cat("cell ", to_string(cell),
+                 " repeats; flow paths must be simple");
+    }
+  }
+  for (std::size_t i = 0; i + 1 < path.cells.size(); ++i) {
+    const Cell a = path.cells[i];
+    const Cell b = path.cells[i + 1];
+    if (std::abs(a.row - b.row) + std::abs(a.col - b.col) != 1) {
+      return cat("cells ", to_string(a), " and ", to_string(b),
+                 " are not adjacent");
+    }
+    if (array.site_kind(site_between(a, b)) == grid::SiteKind::kWall) {
+      return cat("path crosses wall between ", to_string(a), " and ",
+                 to_string(b));
+    }
+  }
+  return std::nullopt;
+}
+
+sim::TestVector to_test_vector(const grid::ValveArray& array,
+                               const sim::Simulator& simulator,
+                               const FlowPath& path, std::string label) {
+  common::check(!validate_flow_path(array, path).has_value(),
+                cat("to_test_vector: invalid flow path: ",
+                    validate_flow_path(array, path).value_or("")));
+  sim::TestVector vector;
+  vector.kind = sim::VectorKind::kFlowPath;
+  vector.label = std::move(label);
+  vector.states.assign(static_cast<std::size_t>(array.valve_count()), false);
+  for (const grid::ValveId valve : path_valves(array, path)) {
+    vector.states[static_cast<std::size_t>(valve)] = true;
+  }
+  vector.expected = simulator.expected(vector.states);
+  return vector;
+}
+
+}  // namespace fpva::core

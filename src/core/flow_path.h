@@ -1,0 +1,55 @@
+// Flow paths: the stuck-at-0 test primitive of Section III-A/B.
+//
+// A flow path is a simple (loop- and branch-free) walk from a source port
+// through fluid cells to a sink port. The test vector derived from it opens
+// exactly the valves the path crosses; a pressure reading at the sink then
+// witnesses that every valve on the path opened.
+#ifndef FPVA_CORE_FLOW_PATH_H
+#define FPVA_CORE_FLOW_PATH_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/array.h"
+#include "sim/simulator.h"
+#include "sim/test_vector.h"
+
+namespace fpva::core {
+
+/// A simple source->sink path through the cell grid.
+struct FlowPath {
+  int source_port = -1;           ///< index into ValveArray::ports()
+  int sink_port = -1;             ///< index into ValveArray::ports()
+  std::vector<grid::Cell> cells;  ///< consecutive, pairwise-distinct cells
+
+  /// Number of cells visited.
+  int length() const { return static_cast<int>(cells.size()); }
+};
+
+/// All valve-parity sites the path crosses, in travel order: the source
+/// port site, the site between each consecutive cell pair, and the sink
+/// port site. Includes channel sites (which carry no valve).
+std::vector<grid::Site> path_sites(const grid::ValveArray& array,
+                                   const FlowPath& path);
+
+/// ValveIds of the testable valves the path covers (subset of path_sites()).
+std::vector<grid::ValveId> path_valves(const grid::ValveArray& array,
+                                       const FlowPath& path);
+
+/// Validates the paper's flow-path requirements: ports exist with the right
+/// kinds, endpoints attach to the ports, consecutive cells are adjacent
+/// through non-wall sites, every cell is fluid, and no cell repeats.
+/// Returns std::nullopt when valid, otherwise a description of the defect.
+std::optional<std::string> validate_flow_path(const grid::ValveArray& array,
+                                              const FlowPath& path);
+
+/// Builds the test vector: path valves open, every other valve closed, and
+/// the expected sink readings simulated on a fault-free chip.
+sim::TestVector to_test_vector(const grid::ValveArray& array,
+                               const sim::Simulator& simulator,
+                               const FlowPath& path, std::string label);
+
+}  // namespace fpva::core
+
+#endif  // FPVA_CORE_FLOW_PATH_H

@@ -1,0 +1,410 @@
+#include "core/ilp_models.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/cut_planner.h"
+#include "lp/model.h"
+
+namespace fpva::core {
+
+using common::check;
+using grid::Site;
+
+namespace {
+
+/// Which external hookup a site provides to a chain endpoint.
+enum class PortSide : std::uint8_t { kNone, kSource, kSink };
+
+/// One crossable site of the abstract chain model. Both the primal model
+/// (cells/valves) and the dual model (posts/crossings) reduce to this.
+struct SiteSpec {
+  int node_a = -1;  ///< incident node, -1 = exterior
+  int node_b = -1;
+  bool needs_cover = false;  ///< participates in constraint (2)
+  PortSide port = PortSide::kNone;
+};
+
+struct ChainSpec {
+  int node_count = 0;
+  std::vector<SiteSpec> sites;
+  bool masking_exclusion = false;  ///< add constraint (9)
+};
+
+/// One extracted chain: ordered site indices and interior node sequence.
+struct Chain {
+  std::vector<int> sites;
+  std::vector<int> nodes;
+};
+
+/// Builds the budgeted model, solves it, and walks the solution into
+/// chains. Returns nullopt when infeasible or the solver gave up.
+std::optional<std::vector<Chain>> solve_chain_model(
+    const ChainSpec& spec, int budget, const ilp::Options& ilp_options,
+    ilp::Result* diagnostics) {
+  check(budget >= 1, "solve_chain_model: budget must be positive");
+  const int site_count = static_cast<int>(spec.sites.size());
+  const double flow_cap = spec.node_count + 1;
+  const double indicator_cap = site_count + 1;
+
+  ilp::Model model;
+  // Variable layout per chain m: c (nodes), v (sites), f (sites); then p.
+  const auto c_var = [&](int m, int node) {
+    return m * (spec.node_count + 2 * site_count) + node;
+  };
+  const auto v_var = [&](int m, int site) {
+    return m * (spec.node_count + 2 * site_count) + spec.node_count + site;
+  };
+  const auto f_var = [&](int m, int site) {
+    return m * (spec.node_count + 2 * site_count) + spec.node_count +
+           site_count + site;
+  };
+  const int p_base = budget * (spec.node_count + 2 * site_count);
+
+  for (int m = 0; m < budget; ++m) {
+    for (int node = 0; node < spec.node_count; ++node) {
+      model.add_binary(0.0, common::cat("c", m, "_", node));
+    }
+    for (int s = 0; s < site_count; ++s) {
+      model.add_binary(0.0, common::cat("v", m, "_", s));
+    }
+    for (int s = 0; s < site_count; ++s) {
+      const SiteSpec& site = spec.sites[static_cast<std::size_t>(s)];
+      double lo = -flow_cap;
+      double hi = flow_cap;
+      // Pressure can only enter through sources and leave through sinks
+      // (orientation: exterior -> node is positive).
+      if (site.port == PortSide::kSource) lo = 0.0;
+      if (site.port == PortSide::kSink) hi = 0.0;
+      model.add_integer(lo, hi, 0.0, common::cat("f", m, "_", s));
+    }
+  }
+  for (int m = 0; m < budget; ++m) {
+    model.add_binary(1.0, common::cat("p", m));  // objective (7)
+  }
+
+  // Incidence, with orientation sign for constraint (4): for interior
+  // sites flow into node_b counts positive; for port sites the positive
+  // direction is always exterior -> interior, so the source bounds [0, M]
+  // mean "inject only" and the sink bounds [-M, 0] mean "withdraw only"
+  // regardless of which slot holds the interior node.
+  std::vector<std::vector<std::pair<int, double>>> incident(
+      static_cast<std::size_t>(spec.node_count));
+  for (int s = 0; s < site_count; ++s) {
+    const SiteSpec& site = spec.sites[static_cast<std::size_t>(s)];
+    if (site.node_a >= 0 && site.node_b >= 0) {
+      incident[static_cast<std::size_t>(site.node_a)].push_back({s, -1.0});
+      incident[static_cast<std::size_t>(site.node_b)].push_back({s, +1.0});
+    } else if (site.node_a >= 0) {
+      incident[static_cast<std::size_t>(site.node_a)].push_back({s, +1.0});
+    } else if (site.node_b >= 0) {
+      incident[static_cast<std::size_t>(site.node_b)].push_back({s, +1.0});
+    }
+  }
+
+  for (int m = 0; m < budget; ++m) {
+    for (int node = 0; node < spec.node_count; ++node) {
+      std::vector<lp::Term> chain_terms;   // constraint (1)
+      std::vector<lp::Term> flow_terms;    // constraint (4)
+      for (const auto& [s, sign] : incident[static_cast<std::size_t>(node)]) {
+        chain_terms.push_back({v_var(m, s), 1.0});
+        flow_terms.push_back({f_var(m, s), sign});
+      }
+      chain_terms.push_back({c_var(m, node), -2.0});
+      model.add_constraint(std::move(chain_terms), lp::Sense::kEqual, 0.0);
+      flow_terms.push_back({c_var(m, node), -1.0});
+      model.add_constraint(std::move(flow_terms), lp::Sense::kEqual, 0.0);
+    }
+    std::vector<lp::Term> used_terms;      // constraint (6)
+    std::vector<lp::Term> source_terms;    // single-chain hygiene
+    std::vector<lp::Term> sink_terms;
+    for (int s = 0; s < site_count; ++s) {
+      const SiteSpec& site = spec.sites[static_cast<std::size_t>(s)];
+      // Constraint (3): |f| <= M * v.
+      model.add_constraint(
+          {{f_var(m, s), 1.0}, {v_var(m, s), -flow_cap}},
+          lp::Sense::kLessEqual, 0.0);
+      model.add_constraint(
+          {{f_var(m, s), 1.0}, {v_var(m, s), flow_cap}},
+          lp::Sense::kGreaterEqual, 0.0);
+      used_terms.push_back({v_var(m, s), 1.0});
+      if (site.port == PortSide::kSource) {
+        source_terms.push_back({v_var(m, s), 1.0});
+      } else if (site.port == PortSide::kSink) {
+        sink_terms.push_back({v_var(m, s), 1.0});
+      }
+      if (spec.masking_exclusion && site.needs_cover && site.node_a >= 0 &&
+          site.node_b >= 0) {
+        // Constraint (9): c_a + c_b - 1 <= v.
+        model.add_constraint({{c_var(m, site.node_a), 1.0},
+                              {c_var(m, site.node_b), 1.0},
+                              {v_var(m, s), -1.0}},
+                             lp::Sense::kLessEqual, 1.0);
+      }
+    }
+    used_terms.push_back({p_base + m, -indicator_cap});
+    model.add_constraint(std::move(used_terms), lp::Sense::kLessEqual, 0.0);
+    model.add_constraint(std::move(source_terms), lp::Sense::kLessEqual,
+                         1.0);
+    sink_terms.push_back({p_base + m, -1.0});
+    model.add_constraint(std::move(sink_terms), lp::Sense::kGreaterEqual,
+                         0.0);
+    if (m > 0) {
+      // Symmetry breaking: used chains take the lowest indices.
+      model.add_constraint({{p_base + m, 1.0}, {p_base + m - 1, -1.0}},
+                           lp::Sense::kLessEqual, 0.0);
+    }
+  }
+  // Constraint (2): every cover site is crossed by some chain.
+  for (int s = 0; s < site_count; ++s) {
+    if (!spec.sites[static_cast<std::size_t>(s)].needs_cover) continue;
+    std::vector<lp::Term> cover_terms;
+    for (int m = 0; m < budget; ++m) {
+      cover_terms.push_back({v_var(m, s), 1.0});
+    }
+    model.add_constraint(std::move(cover_terms), lp::Sense::kGreaterEqual,
+                         1.0);
+  }
+
+  ilp::Options options = ilp_options;
+  options.objective_is_integral = true;
+  const ilp::Result result = ilp::solve(model, options);
+  if (diagnostics != nullptr) *diagnostics = result;
+  if (result.status != ilp::ResultStatus::kOptimal &&
+      result.status != ilp::ResultStatus::kFeasible) {
+    return std::nullopt;
+  }
+
+  // Walk each used chain from its source port site.
+  std::vector<Chain> chains;
+  for (int m = 0; m < budget; ++m) {
+    std::vector<char> used(static_cast<std::size_t>(site_count), 0);
+    int start_site = -1;
+    int open_count = 0;
+    for (int s = 0; s < site_count; ++s) {
+      if (result.values[static_cast<std::size_t>(v_var(m, s))] > 0.5) {
+        used[static_cast<std::size_t>(s)] = 1;
+        ++open_count;
+        if (spec.sites[static_cast<std::size_t>(s)].port ==
+            PortSide::kSource) {
+          check(start_site < 0,
+                "solve_chain_model: chain uses two sources");
+          start_site = s;
+        }
+      }
+    }
+    if (open_count == 0) continue;
+    check(start_site >= 0, "solve_chain_model: used chain has no source");
+
+    Chain chain;
+    chain.sites.push_back(start_site);
+    used[static_cast<std::size_t>(start_site)] = 0;
+    int node = spec.sites[static_cast<std::size_t>(start_site)].node_a >= 0
+                   ? spec.sites[static_cast<std::size_t>(start_site)].node_a
+                   : spec.sites[static_cast<std::size_t>(start_site)].node_b;
+    for (;;) {
+      chain.nodes.push_back(node);
+      int next_site = -1;
+      for (const auto& [s, sign] : incident[static_cast<std::size_t>(node)]) {
+        if (used[static_cast<std::size_t>(s)]) {
+          next_site = s;
+          break;
+        }
+      }
+      check(next_site >= 0, "solve_chain_model: chain walk dead-ends");
+      used[static_cast<std::size_t>(next_site)] = 0;
+      chain.sites.push_back(next_site);
+      const SiteSpec& site = spec.sites[static_cast<std::size_t>(next_site)];
+      if (site.node_a < 0 || site.node_b < 0) {
+        break;  // reached the exterior again: chain complete
+      }
+      node = site.node_a == node ? site.node_b : site.node_a;
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace
+
+std::optional<IlpPathResult> solve_flow_path_model(
+    const grid::ValveArray& array, int max_paths,
+    const ilp::Options& options) {
+  // Nodes = fluid cells; sites = internal non-wall sites + port sites.
+  ChainSpec spec;
+  spec.node_count = array.rows() * array.cols();
+
+  std::vector<Site> site_of;  // model site index -> grid site
+  const auto add_site = [&](Site site, bool cover, PortSide port) {
+    const auto [a, b] = array.sides(site);
+    SiteSpec entry;
+    entry.node_a = a && array.is_fluid(*a) ? array.cell_index(*a) : -1;
+    entry.node_b = b && array.is_fluid(*b) ? array.cell_index(*b) : -1;
+    entry.needs_cover = cover;
+    entry.port = port;
+    spec.sites.push_back(entry);
+    site_of.push_back(site);
+  };
+  for (int r = 0; r < array.site_rows(); ++r) {
+    for (int c = 0; c < array.site_cols(); ++c) {
+      const Site site{r, c};
+      if (!has_valve_parity(site) || array.is_boundary_site(site)) continue;
+      const grid::SiteKind kind = array.site_kind(site);
+      if (kind == grid::SiteKind::kWall) continue;
+      const auto [a, b] = array.sides(site);
+      if (!a || !b || !array.is_fluid(*a) || !array.is_fluid(*b)) continue;
+      add_site(site, kind == grid::SiteKind::kValve, PortSide::kNone);
+    }
+  }
+  std::map<Site, int> port_site_index;
+  for (const grid::Port& port : array.ports()) {
+    port_site_index[port.site] = static_cast<int>(spec.sites.size());
+    add_site(port.site, false,
+             port.kind == grid::PortKind::kSource ? PortSide::kSource
+                                                  : PortSide::kSink);
+  }
+
+  IlpPathResult result;
+  auto chains = solve_chain_model(spec, max_paths, options, &result.ilp);
+  if (!chains.has_value()) return std::nullopt;
+
+  for (const Chain& chain : *chains) {
+    FlowPath path;
+    const Site source_site = site_of[static_cast<std::size_t>(
+        chain.sites.front())];
+    const Site sink_site =
+        site_of[static_cast<std::size_t>(chain.sites.back())];
+    for (std::size_t p = 0; p < array.ports().size(); ++p) {
+      if (array.ports()[p].site == source_site) {
+        path.source_port = static_cast<int>(p);
+      }
+      if (array.ports()[p].site == sink_site) {
+        path.sink_port = static_cast<int>(p);
+      }
+    }
+    for (const int node : chain.nodes) {
+      path.cells.push_back(array.cell_at_index(node));
+    }
+    const auto problem = validate_flow_path(array, path);
+    check(!problem.has_value(),
+          common::cat("ILP path extraction produced an invalid path: ",
+                      problem.value_or("")));
+    result.paths.push_back(std::move(path));
+  }
+  result.path_budget = max_paths;
+  return result;
+}
+
+std::optional<IlpPathResult> find_minimum_flow_paths(
+    const grid::ValveArray& array, int first_budget, int last_budget,
+    const ilp::Options& options) {
+  for (int budget = first_budget; budget <= last_budget; ++budget) {
+    auto result = solve_flow_path_model(array, budget, options);
+    if (result.has_value()) return result;
+    common::log_debug(common::cat("flow-path ILP infeasible with budget ",
+                                  budget, "; enlarging"));
+  }
+  return std::nullopt;
+}
+
+std::optional<IlpCutResult> solve_cut_set_model(const grid::ValveArray& array,
+                                                int max_cuts,
+                                                bool masking_exclusion,
+                                                const ilp::Options& options) {
+  // Nodes = junction posts; sites = crossable sites (valves cover, walls
+  // free); terminals = boundary posts of the two arcs.
+  int arc_count = 0;
+  const std::vector<int> arcs = dual_boundary_arcs(array, &arc_count);
+  if (arc_count != 2) {
+    common::log_warning(
+        "cut-set ILP supports exactly two boundary arcs (one source group, "
+        "one sink group)");
+    return std::nullopt;
+  }
+
+  ChainSpec spec;
+  spec.masking_exclusion = masking_exclusion;
+  spec.node_count = (array.rows() + 1) * (array.cols() + 1);
+
+  std::vector<Site> site_of;
+  std::vector<Site> port_sites;
+  for (const grid::Port& port : array.ports()) {
+    port_sites.push_back(port.site);
+  }
+  for (int r = 0; r < array.site_rows(); ++r) {
+    for (int c = 0; c < array.site_cols(); ++c) {
+      const Site site{r, c};
+      if (!has_valve_parity(site)) continue;
+      const grid::SiteKind kind = array.site_kind(site);
+      if (kind == grid::SiteKind::kChannel) continue;  // uncuttable
+      if (std::find(port_sites.begin(), port_sites.end(), site) !=
+          port_sites.end()) {
+        continue;  // a port gateway cannot be closed
+      }
+      SiteSpec entry;
+      // End posts of the crossing.
+      Site post_a, post_b;
+      if (site.row % 2 != 0) {
+        post_a = Site{site.row - 1, site.col};
+        post_b = Site{site.row + 1, site.col};
+      } else {
+        post_a = Site{site.row, site.col - 1};
+        post_b = Site{site.row, site.col + 1};
+      }
+      entry.node_a = dual_post_id(array, post_a);
+      entry.node_b = dual_post_id(array, post_b);
+      entry.needs_cover = kind == grid::SiteKind::kValve;
+      spec.sites.push_back(entry);
+      site_of.push_back(site);
+    }
+  }
+  // Terminal attachments: arc 0 injects, every other arc absorbs.
+  const int post_count = spec.node_count;
+  for (int post = 0; post < post_count; ++post) {
+    const int arc = arcs[static_cast<std::size_t>(post)];
+    if (arc < 0) continue;
+    SiteSpec entry;
+    entry.node_a = post;
+    entry.node_b = -1;
+    entry.port = arc == 0 ? PortSide::kSource : PortSide::kSink;
+    spec.sites.push_back(entry);
+    site_of.push_back(Site{-1, -1});  // virtual
+  }
+
+  IlpCutResult result;
+  auto chains = solve_chain_model(spec, max_cuts, options, &result.ilp);
+  if (!chains.has_value()) return std::nullopt;
+
+  for (const Chain& chain : *chains) {
+    CutSet cut;
+    for (const int s : chain.sites) {
+      const Site site = site_of[static_cast<std::size_t>(s)];
+      if (site.row >= 0) cut.sites.push_back(site);
+    }
+    const auto problem = validate_cut_set(array, cut);
+    check(!problem.has_value(),
+          common::cat("ILP cut extraction produced an invalid cut: ",
+                      problem.value_or("")));
+    result.cuts.push_back(std::move(cut));
+  }
+  result.cut_budget = max_cuts;
+  return result;
+}
+
+std::optional<IlpCutResult> find_minimum_cut_sets(
+    const grid::ValveArray& array, int first_budget, int last_budget,
+    bool masking_exclusion, const ilp::Options& options) {
+  for (int budget = first_budget; budget <= last_budget; ++budget) {
+    auto result =
+        solve_cut_set_model(array, budget, masking_exclusion, options);
+    if (result.has_value()) return result;
+    common::log_debug(common::cat("cut-set ILP infeasible with budget ",
+                                  budget, "; enlarging"));
+  }
+  return std::nullopt;
+}
+
+}  // namespace fpva::core

@@ -1,0 +1,70 @@
+// The paper's ILP formulations (Section III-B/III-C), built on ilp::Model.
+//
+// Flow-path model -- for a fixed path budget n_p:
+//   (1)  sum of v around a cell = 2*c          (path chaining)
+//   (2)  sum over paths of v >= 1 per valve    (coverage)
+//   (3)  |f| <= M*v                            (flow only on the path)
+//   (4)  net f into a cell = c                 (disjoint-loop exclusion)
+//   (6)  M*p_m >= sum of v on path m           (path-used indicator)
+//   (7)  minimize sum of p_m
+// plus two hygiene constraints the paper leaves implicit: each path attaches
+// to at most one source and, when used, at least one sink; and symmetry
+// breaking p_m <= p_{m-1}.
+//
+// Cut-set model: the same structure on the planar dual (junction posts as
+// cells, crossable sites as valves, boundary arcs as ports) plus the
+// masking-exclusion constraint (9): c_p1 + c_p2 - 1 <= v_s.
+//
+// Following III-B-3, find_minimum_* starts from a small n_p and enlarges it
+// until the model is feasible.
+#ifndef FPVA_CORE_ILP_MODELS_H
+#define FPVA_CORE_ILP_MODELS_H
+
+#include <optional>
+#include <vector>
+
+#include "core/cut_set.h"
+#include "core/flow_path.h"
+#include "grid/array.h"
+#include "ilp/branch_and_bound.h"
+
+namespace fpva::core {
+
+struct IlpPathResult {
+  std::vector<FlowPath> paths;
+  ilp::Result ilp;       ///< solver diagnostics of the final (feasible) run
+  int path_budget = 0;   ///< the n_p that yielded feasibility
+};
+
+struct IlpCutResult {
+  std::vector<CutSet> cuts;
+  ilp::Result ilp;
+  int cut_budget = 0;
+};
+
+/// Solves the flow-path model with path budget `max_paths`; std::nullopt
+/// when infeasible (not all valves coverable with that many paths) or the
+/// solver hits its limits without an incumbent.
+std::optional<IlpPathResult> solve_flow_path_model(
+    const grid::ValveArray& array, int max_paths,
+    const ilp::Options& options = {});
+
+/// III-B-3: tries budgets first..last until feasible.
+std::optional<IlpPathResult> find_minimum_flow_paths(
+    const grid::ValveArray& array, int first_budget, int last_budget,
+    const ilp::Options& options = {});
+
+/// Solves the dual cut-set model with cut budget `max_cuts`; constraint (9)
+/// is included when `masking_exclusion` is true.
+std::optional<IlpCutResult> solve_cut_set_model(
+    const grid::ValveArray& array, int max_cuts, bool masking_exclusion,
+    const ilp::Options& options = {});
+
+/// Tries cut budgets first..last until feasible.
+std::optional<IlpCutResult> find_minimum_cut_sets(
+    const grid::ValveArray& array, int first_budget, int last_budget,
+    bool masking_exclusion, const ilp::Options& options = {});
+
+}  // namespace fpva::core
+
+#endif  // FPVA_CORE_ILP_MODELS_H

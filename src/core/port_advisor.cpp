@@ -1,0 +1,130 @@
+#include "core/port_advisor.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/generator.h"
+#include "core/path_planner.h"
+#include "grid/serialize.h"
+
+namespace fpva::core {
+
+using grid::Cell;
+using grid::Direction;
+using grid::Site;
+
+namespace {
+
+/// The untestable leak pairs of `array` (both members' separation paths
+/// missing), computed directly with a path planner -- cheaper than a full
+/// generate_test_set() run.
+std::vector<sim::Fault> untestable_pairs(const grid::ValveArray& array) {
+  PathPlanner planner(array);
+  std::vector<sim::Fault> untestable;
+  std::vector<bool> avoid(static_cast<std::size_t>(array.valve_count()),
+                          false);
+  for (const sim::Fault& fault : sim::control_leak_universe(array)) {
+    bool separable = false;
+    for (int attempt = 0; attempt < 2 && !separable; ++attempt) {
+      const grid::ValveId on_path =
+          attempt == 0 ? fault.valve : fault.partner;
+      const grid::ValveId off_path =
+          attempt == 0 ? fault.partner : fault.valve;
+      std::fill(avoid.begin(), avoid.end(), false);
+      avoid[static_cast<std::size_t>(off_path)] = true;
+      separable = planner.path_through(on_path, &avoid).has_value();
+    }
+    if (!separable) {
+      untestable.push_back(fault);
+    }
+  }
+  return untestable;
+}
+
+/// Free boundary sites (walls, no port yet) adjacent to the side cells of
+/// the pair's valves -- candidate meter locations.
+std::vector<Site> candidate_meter_sites(const grid::ValveArray& array,
+                                        const sim::Fault& pair) {
+  std::set<Site> port_sites;
+  for (const grid::Port& port : array.ports()) {
+    port_sites.insert(port.site);
+  }
+  std::vector<Site> candidates;
+  for (const grid::ValveId valve : {pair.valve, pair.partner}) {
+    const Site site = array.valves()[static_cast<std::size_t>(valve)];
+    const auto [a, b] = array.sides(site);
+    for (const auto& cell : {a, b}) {
+      if (!cell.has_value() || !array.is_fluid(*cell)) continue;
+      for (const Direction direction : grid::kAllDirections) {
+        if (array.neighbor(*cell, direction).has_value()) continue;
+        const Site boundary = valve_site_of(*cell, direction);
+        if (port_sites.count(boundary)) continue;
+        candidates.push_back(boundary);
+      }
+    }
+  }
+  return candidates;
+}
+
+/// Rebuilds `array` with extra meters attached at `meters` (the array type
+/// is immutable, so the layout round-trips through its ASCII form).
+grid::ValveArray with_meters(const grid::ValveArray& array,
+                             const std::vector<Site>& meters) {
+  std::vector<std::string> lines =
+      common::split(grid::to_ascii(array), '\n');
+  for (const Site site : meters) {
+    lines[static_cast<std::size_t>(site.row)]
+         [static_cast<std::size_t>(site.col)] = 'M';
+  }
+  return grid::parse_ascii(common::join(lines, "\n"));
+}
+
+}  // namespace
+
+PortAdvice advise_meters(const grid::ValveArray& array,
+                         int max_extra_meters) {
+  std::vector<Site> added;
+  grid::ValveArray current = array;
+  std::vector<sim::Fault> remaining = untestable_pairs(current);
+
+  while (!remaining.empty() &&
+         static_cast<int>(added.size()) < max_extra_meters) {
+    const sim::Fault pair = remaining.front();
+    bool placed = false;
+    for (const Site candidate : candidate_meter_sites(current, pair)) {
+      std::vector<Site> trial = added;
+      trial.push_back(candidate);
+      const grid::ValveArray amended = with_meters(array, trial);
+      // Accept the meter if it makes this pair separable.
+      bool still_blocked = false;
+      for (const sim::Fault& fault : untestable_pairs(amended)) {
+        still_blocked |= fault == pair;
+      }
+      if (!still_blocked) {
+        added = std::move(trial);
+        current = amended;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // No boundary site helps this pair (it sits in the chip interior);
+      // drop it from the work list and report it below.
+      remaining.erase(remaining.begin());
+      continue;
+    }
+    remaining = untestable_pairs(current);
+  }
+
+  PortAdvice advice{std::move(added), untestable_pairs(current),
+                    std::move(current)};
+  if (!advice.still_untestable.empty()) {
+    common::log_info(common::cat("advise_meters: ",
+                                 advice.still_untestable.size(),
+                                 " leak pairs remain untestable"));
+  }
+  return advice;
+}
+
+}  // namespace fpva::core

@@ -1,0 +1,40 @@
+// Port-placement advisor: where to add pressure meters so that every
+// control-leak pair becomes testable.
+//
+// With a single source and a single meter, a leak pair on a degree-2 cell
+// without an adjacent port (e.g. the two valves of a port-less corner) is
+// provably untestable: every route through the cell uses both valves, so
+// the pair can never be separated (see GeneratedTestSet::untestable_leaks).
+// A meter attached next to such a cell breaks the symmetry -- a path can
+// then terminate at the new meter through one pair member while the other
+// stays closed. This module proposes a small set of such meters and
+// verifies, behaviorally, that the amended hookup leaves no untestable
+// pair.
+#ifndef FPVA_CORE_PORT_ADVISOR_H
+#define FPVA_CORE_PORT_ADVISOR_H
+
+#include <vector>
+
+#include "grid/array.h"
+#include "sim/fault.h"
+
+namespace fpva::core {
+
+struct PortAdvice {
+  /// Boundary sites where a meter should be attached, in proposal order.
+  std::vector<grid::Site> added_meters;
+  /// Leak pairs that stay untestable even with the added meters (empty for
+  /// all layouts whose problem pairs touch the chip boundary).
+  std::vector<sim::Fault> still_untestable;
+  /// The amended array (original ports plus the added meters).
+  grid::ValveArray amended;
+};
+
+/// Analyzes `array`, proposes at most `max_extra_meters` additional meters
+/// and returns the amended layout. Added meters are named "adv0", "adv1"...
+PortAdvice advise_meters(const grid::ValveArray& array,
+                         int max_extra_meters = 8);
+
+}  // namespace fpva::core
+
+#endif  // FPVA_CORE_PORT_ADVISOR_H

@@ -1,0 +1,101 @@
+#include "core/report.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace fpva::core {
+
+using grid::Site;
+
+namespace {
+
+constexpr char kPathAlphabet[] =
+    "123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+char base_glyph(const grid::ValveArray& array, Site site) {
+  if (has_cell_parity(site)) {
+    const grid::Cell cell{(site.row - 1) / 2, (site.col - 1) / 2};
+    return array.cell_kind(cell) == grid::CellKind::kFluid ? '.' : '#';
+  }
+  if (has_valve_parity(site)) {
+    for (const grid::Port& port : array.ports()) {
+      if (port.site == site) {
+        return port.kind == grid::PortKind::kSource ? 'S' : 'M';
+      }
+    }
+    switch (array.site_kind(site)) {
+      case grid::SiteKind::kValve: return ' ';
+      case grid::SiteKind::kChannel: return 'o';
+      case grid::SiteKind::kWall: return '#';
+    }
+  }
+  return '+';
+}
+
+std::string render_overlay(const grid::ValveArray& array,
+                           const std::map<Site, char>& overlay) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(
+      (array.site_cols() + 1) * array.site_rows()));
+  for (int r = 0; r < array.site_rows(); ++r) {
+    for (int c = 0; c < array.site_cols(); ++c) {
+      const Site site{r, c};
+      const auto found = overlay.find(site);
+      out += found != overlay.end() ? found->second
+                                    : base_glyph(array, site);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_paths(const grid::ValveArray& array,
+                         std::span<const FlowPath> paths) {
+  std::map<Site, char> overlay;
+  const auto mark = [&](Site site, char glyph) {
+    auto [it, inserted] = overlay.emplace(site, glyph);
+    if (!inserted && it->second != glyph) {
+      it->second = '*';  // shared by several paths
+    }
+  };
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const char glyph =
+        kPathAlphabet[i % (sizeof kPathAlphabet - 1)];
+    for (const grid::Cell cell : paths[i].cells) {
+      mark(cell.site(), glyph);
+    }
+    for (const Site site : path_sites(array, paths[i])) {
+      mark(site, glyph);
+    }
+  }
+  return render_overlay(array, overlay);
+}
+
+std::string render_cut(const grid::ValveArray& array, const CutSet& cut) {
+  std::map<Site, char> overlay;
+  for (const Site site : cut.sites) {
+    overlay[site] =
+        array.valve_id(site) != grid::kInvalidValve ? 'X' : '=';
+  }
+  return render_overlay(array, overlay);
+}
+
+std::string summarize(const grid::ValveArray& array,
+                      const GeneratedTestSet& set) {
+  return common::cat(
+      array.rows(), "x", array.cols(), " array, ", array.valve_count(),
+      " valves: ", set.path_stage.vectors, " flow-path vectors (",
+      common::to_fixed(set.path_stage.seconds, 2), " s), ",
+      set.cut_stage.vectors, " cut-set vectors (",
+      common::to_fixed(set.cut_stage.seconds, 2), " s), ",
+      set.leak_stage.vectors, " control-leak vectors (",
+      common::to_fixed(set.leak_stage.seconds, 2), " s); ",
+      set.untestable.size(), " untestable valves, ",
+      set.untestable_leaks.size(), " untestable leak pairs, ",
+      set.undetected.size(), " undetected faults");
+}
+
+}  // namespace fpva::core

@@ -1,0 +1,30 @@
+// Rendering of generated artifacts (the plots of Figs. 8 and 9).
+#ifndef FPVA_CORE_REPORT_H
+#define FPVA_CORE_REPORT_H
+
+#include <span>
+#include <string>
+
+#include "core/cut_set.h"
+#include "core/flow_path.h"
+#include "core/generator.h"
+
+namespace fpva::core {
+
+/// Site map with every path overlaid; path i marks its cells and crossed
+/// sites with the digit/letter alphabet "123...abc...", '*' where paths
+/// overlap. Walls '#', channels 'o', unused cells/sites stay dim ('.'/' ').
+std::string render_paths(const grid::ValveArray& array,
+                         std::span<const FlowPath> paths);
+
+/// Site map with one cut-set overlaid ('X' on the cut valves, '=' on wall
+/// sites its curve crosses for free).
+std::string render_cut(const grid::ValveArray& array, const CutSet& cut);
+
+/// One-paragraph human-readable summary of a generated test set.
+std::string summarize(const grid::ValveArray& array,
+                      const GeneratedTestSet& set);
+
+}  // namespace fpva::core
+
+#endif  // FPVA_CORE_REPORT_H

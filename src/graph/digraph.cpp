@@ -1,0 +1,76 @@
+#include "graph/digraph.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace fpva::graph {
+
+using common::check;
+
+Digraph::Digraph(int node_count) {
+  check(node_count >= 0, "Digraph: negative node count");
+  adjacency_.resize(static_cast<std::size_t>(node_count));
+}
+
+int Digraph::add_nodes(int count) {
+  check(count >= 0, "add_nodes: negative count");
+  const int first = node_count();
+  adjacency_.resize(adjacency_.size() + static_cast<std::size_t>(count));
+  return first;
+}
+
+void Digraph::add_edge(int from, int to) {
+  check(from >= 0 && from < node_count() && to >= 0 && to < node_count(),
+        "add_edge: node out of range");
+  adjacency_[static_cast<std::size_t>(from)].push_back(to);
+}
+
+void Digraph::add_undirected_edge(int a, int b) {
+  add_edge(a, b);
+  add_edge(b, a);
+}
+
+std::span<const int> Digraph::neighbors(int node) const {
+  check(node >= 0 && node < node_count(), "neighbors: node out of range");
+  return adjacency_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int> Digraph::reachable_from(int start) const {
+  check(start >= 0 && start < node_count(),
+        "reachable_from: node out of range");
+  std::vector<char> seen(adjacency_.size(), 0);
+  std::vector<int> order;
+  std::queue<int> frontier;
+  seen[static_cast<std::size_t>(start)] = 1;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    order.push_back(node);
+    for (const int next : neighbors(node)) {
+      if (!seen[static_cast<std::size_t>(next)]) {
+        seen[static_cast<std::size_t>(next)] = 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return order;
+}
+
+bool Digraph::is_connected_undirected() const {
+  if (node_count() == 0) {
+    return false;
+  }
+  // Build a symmetric view once, then BFS.
+  Digraph mirror(node_count());
+  for (int node = 0; node < node_count(); ++node) {
+    for (const int next : neighbors(node)) {
+      mirror.add_edge(node, next);
+      mirror.add_edge(next, node);
+    }
+  }
+  return static_cast<int>(mirror.reachable_from(0).size()) == node_count();
+}
+
+}  // namespace fpva::graph

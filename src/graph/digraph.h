@@ -1,0 +1,43 @@
+// Lightweight adjacency-list digraph used by validators and tests.
+#ifndef FPVA_GRAPH_DIGRAPH_H
+#define FPVA_GRAPH_DIGRAPH_H
+
+#include <span>
+#include <vector>
+
+namespace fpva::graph {
+
+/// Directed graph over dense integer node ids [0, node_count()).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int node_count);
+
+  /// Appends `count` fresh nodes; returns the id of the first one.
+  int add_nodes(int count);
+
+  /// Adds the arc from -> to; both must exist.
+  void add_edge(int from, int to);
+
+  /// Adds both from -> to and to -> from.
+  void add_undirected_edge(int a, int b);
+
+  int node_count() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Out-neighbors of `node`.
+  std::span<const int> neighbors(int node) const;
+
+  /// Nodes reachable from `start` (including `start`), BFS order.
+  std::vector<int> reachable_from(int start) const;
+
+  /// True when every node is reachable from node 0 treating edges as
+  /// undirected; false for the empty graph.
+  bool is_connected_undirected() const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace fpva::graph
+
+#endif  // FPVA_GRAPH_DIGRAPH_H

@@ -1,0 +1,150 @@
+#include "graph/dinic.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace fpva::graph {
+
+using common::check;
+
+MaxFlow::MaxFlow(int node_count) : node_count_(node_count) {
+  check(node_count >= 0, "MaxFlow: negative node count");
+  incident_.resize(static_cast<std::size_t>(node_count));
+}
+
+int MaxFlow::add_edge(int from, int to, std::int64_t capacity) {
+  check(!solved_, "MaxFlow: add_edge after solve");
+  check(from >= 0 && from < node_count_ && to >= 0 && to < node_count_,
+        "MaxFlow::add_edge: node out of range");
+  check(capacity >= 0, "MaxFlow::add_edge: negative capacity");
+  const int forward = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{to, capacity, forward + 1});
+  edges_.push_back(Edge{from, 0, forward});
+  incident_[static_cast<std::size_t>(from)].push_back(forward);
+  incident_[static_cast<std::size_t>(to)].push_back(forward + 1);
+  original_capacity_.push_back(capacity);
+  original_capacity_.push_back(0);
+  return forward;
+}
+
+int MaxFlow::add_undirected_edge(int a, int b, std::int64_t capacity) {
+  const int first = add_edge(a, b, capacity);
+  add_edge(b, a, capacity);
+  return first;
+}
+
+bool MaxFlow::build_levels(int source, int sink) {
+  level_.assign(static_cast<std::size_t>(node_count_), -1);
+  std::queue<int> frontier;
+  level_[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    for (const int edge_id : incident_[static_cast<std::size_t>(node)]) {
+      const Edge& edge = edges_[static_cast<std::size_t>(edge_id)];
+      if (edge.capacity > 0 &&
+          level_[static_cast<std::size_t>(edge.to)] < 0) {
+        level_[static_cast<std::size_t>(edge.to)] =
+            level_[static_cast<std::size_t>(node)] + 1;
+        frontier.push(edge.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+std::int64_t MaxFlow::push(int node, int sink, std::int64_t limit) {
+  if (node == sink || limit == 0) {
+    return limit;
+  }
+  auto& cursor = next_arc_[static_cast<std::size_t>(node)];
+  const auto& incident = incident_[static_cast<std::size_t>(node)];
+  for (; cursor < incident.size(); ++cursor) {
+    const int edge_id = incident[cursor];
+    Edge& edge = edges_[static_cast<std::size_t>(edge_id)];
+    if (edge.capacity <= 0 ||
+        level_[static_cast<std::size_t>(edge.to)] !=
+            level_[static_cast<std::size_t>(node)] + 1) {
+      continue;
+    }
+    const std::int64_t pushed =
+        push(edge.to, sink, std::min(limit, edge.capacity));
+    if (pushed > 0) {
+      edge.capacity -= pushed;
+      edges_[static_cast<std::size_t>(edge.reverse)].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(int source, int sink) {
+  check(!solved_, "MaxFlow: solve called twice");
+  check(source >= 0 && source < node_count_ && sink >= 0 &&
+            sink < node_count_ && source != sink,
+        "MaxFlow::solve: bad terminals");
+  std::int64_t total = 0;
+  while (build_levels(source, sink)) {
+    next_arc_.assign(static_cast<std::size_t>(node_count_), 0);
+    for (;;) {
+      const std::int64_t pushed = push(source, sink, kInfiniteCapacity);
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  // Final level pass marks the residual-reachable (source) side.
+  source_side_.assign(static_cast<std::size_t>(node_count_), 0);
+  std::queue<int> frontier;
+  source_side_[static_cast<std::size_t>(source)] = 1;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    for (const int edge_id : incident_[static_cast<std::size_t>(node)]) {
+      const Edge& edge = edges_[static_cast<std::size_t>(edge_id)];
+      if (edge.capacity > 0 &&
+          !source_side_[static_cast<std::size_t>(edge.to)]) {
+        source_side_[static_cast<std::size_t>(edge.to)] = 1;
+        frontier.push(edge.to);
+      }
+    }
+  }
+  solved_ = true;
+  return total;
+}
+
+std::int64_t MaxFlow::flow(int edge_id) const {
+  check(solved_, "MaxFlow::flow before solve");
+  check(edge_id >= 0 && edge_id < static_cast<int>(edges_.size()),
+        "MaxFlow::flow: edge out of range");
+  return original_capacity_[static_cast<std::size_t>(edge_id)] -
+         edges_[static_cast<std::size_t>(edge_id)].capacity;
+}
+
+bool MaxFlow::on_source_side(int node) const {
+  check(solved_, "MaxFlow::on_source_side before solve");
+  check(node >= 0 && node < node_count_,
+        "MaxFlow::on_source_side: node out of range");
+  return source_side_[static_cast<std::size_t>(node)] != 0;
+}
+
+std::vector<int> MaxFlow::min_cut_edges() const {
+  check(solved_, "MaxFlow::min_cut_edges before solve");
+  std::vector<int> cut;
+  for (int edge_id = 0; edge_id < static_cast<int>(edges_.size());
+       edge_id += 2) {
+    const Edge& forward = edges_[static_cast<std::size_t>(edge_id)];
+    const Edge& backward = edges_[static_cast<std::size_t>(edge_id + 1)];
+    const int from = backward.to;
+    if (source_side_[static_cast<std::size_t>(from)] &&
+        !source_side_[static_cast<std::size_t>(forward.to)]) {
+      cut.push_back(edge_id);
+    }
+  }
+  return cut;
+}
+
+}  // namespace fpva::graph

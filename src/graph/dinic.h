@@ -1,0 +1,69 @@
+// Dinic's maximum-flow algorithm with minimum-cut extraction.
+//
+// Used by the test generator to (a) verify that a candidate cut-set really
+// separates sources from sinks, (b) find minimal cuts through a designated
+// valve when the staircase family leaves valves uncovered, and (c) count
+// disjoint paths for two-fault robustness analysis.
+#ifndef FPVA_GRAPH_DINIC_H
+#define FPVA_GRAPH_DINIC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fpva::graph {
+
+/// Max-flow network over dense integer node ids. Capacities are 64-bit; use
+/// kInfiniteCapacity for uncuttable arcs (e.g. always-open channels).
+class MaxFlow {
+ public:
+  static constexpr std::int64_t kInfiniteCapacity =
+      std::int64_t{1} << 60;
+
+  explicit MaxFlow(int node_count);
+
+  /// Adds a directed arc and returns its edge id (usable after solving to
+  /// query flow and cut membership).
+  int add_edge(int from, int to, std::int64_t capacity);
+
+  /// Adds a symmetric pair of arcs with the same capacity; returns the id of
+  /// the first. Models an undirected pipe.
+  int add_undirected_edge(int a, int b, std::int64_t capacity);
+
+  /// Computes the maximum flow from `source` to `sink`. May be called once
+  /// per instance.
+  std::int64_t solve(int source, int sink);
+
+  /// Flow currently assigned to edge `edge_id` (after solve()).
+  std::int64_t flow(int edge_id) const;
+
+  /// After solve(): true when `node` is on the source side of the minimum
+  /// cut (reachable in the residual network).
+  bool on_source_side(int node) const;
+
+  /// After solve(): edge ids of saturated arcs crossing the minimum cut
+  /// from the source side to the sink side.
+  std::vector<int> min_cut_edges() const;
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t capacity;  // residual capacity
+    int reverse;            // index of the paired reverse edge in edges_
+  };
+
+  bool build_levels(int source, int sink);
+  std::int64_t push(int node, int sink, std::int64_t limit);
+
+  int node_count_;
+  std::vector<std::vector<int>> incident_;  // node -> edge indices
+  std::vector<Edge> edges_;                 // forward/backward interleaved
+  std::vector<std::int64_t> original_capacity_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_arc_;
+  std::vector<char> source_side_;
+  bool solved_ = false;
+};
+
+}  // namespace fpva::graph
+
+#endif  // FPVA_GRAPH_DINIC_H

@@ -1,0 +1,51 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fpva::graph {
+
+using common::check;
+
+UnionFind::UnionFind(int count)
+    : parent_(static_cast<std::size_t>(count)),
+      size_(static_cast<std::size_t>(count), 1),
+      set_count_(count) {
+  check(count >= 0, "UnionFind: negative element count");
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::find(int item) {
+  check(item >= 0 && item < static_cast<int>(parent_.size()),
+        "UnionFind::find: out of range");
+  while (parent_[static_cast<std::size_t>(item)] != item) {
+    auto& parent = parent_[static_cast<std::size_t>(item)];
+    parent = parent_[static_cast<std::size_t>(parent)];  // path halving
+    item = parent;
+  }
+  return item;
+}
+
+bool UnionFind::unite(int a, int b) {
+  int root_a = find(a);
+  int root_b = find(b);
+  if (root_a == root_b) {
+    return false;
+  }
+  if (size_[static_cast<std::size_t>(root_a)] <
+      size_[static_cast<std::size_t>(root_b)]) {
+    std::swap(root_a, root_b);
+  }
+  parent_[static_cast<std::size_t>(root_b)] = root_a;
+  size_[static_cast<std::size_t>(root_a)] +=
+      size_[static_cast<std::size_t>(root_b)];
+  --set_count_;
+  return true;
+}
+
+int UnionFind::set_size(int item) {
+  return size_[static_cast<std::size_t>(find(item))];
+}
+
+}  // namespace fpva::graph

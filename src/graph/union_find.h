@@ -1,0 +1,37 @@
+// Disjoint-set forest with union by size and path halving.
+#ifndef FPVA_GRAPH_UNION_FIND_H
+#define FPVA_GRAPH_UNION_FIND_H
+
+#include <vector>
+
+namespace fpva::graph {
+
+/// Classic union-find over dense integer ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int count);
+
+  /// Representative of `item`'s set.
+  int find(int item);
+
+  /// Merges the sets of `a` and `b`; returns true when they were distinct.
+  bool unite(int a, int b);
+
+  /// True when `a` and `b` share a set.
+  bool connected(int a, int b) { return find(a) == find(b); }
+
+  /// Number of disjoint sets remaining.
+  int set_count() const { return set_count_; }
+
+  /// Size of the set containing `item`.
+  int set_size(int item);
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int set_count_;
+};
+
+}  // namespace fpva::graph
+
+#endif  // FPVA_GRAPH_UNION_FIND_H

@@ -1,0 +1,87 @@
+#include "grid/array.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace fpva::grid {
+
+using common::check;
+
+std::string to_string(Site site) {
+  return common::cat('(', site.row, ',', site.col, ')');
+}
+
+std::string to_string(Cell cell) {
+  return common::cat('[', cell.row, ',', cell.col, ']');
+}
+
+SiteKind ValveArray::site_kind(Site site) const {
+  check(is_valve_parity_site(site),
+        common::cat("site_kind: not a valve-parity site ", to_string(site)));
+  return site_kinds_[static_cast<std::size_t>(site_index(site))];
+}
+
+CellKind ValveArray::cell_kind(Cell cell) const {
+  check(cell_in_bounds(cell),
+        common::cat("cell_kind: out of bounds ", to_string(cell)));
+  return cell_kinds_[static_cast<std::size_t>(cell_index(cell))];
+}
+
+std::optional<Cell> ValveArray::neighbor(Cell cell, Direction direction) const {
+  const Cell next{cell.row + row_delta(direction),
+                  cell.col + col_delta(direction)};
+  if (!cell_in_bounds(next)) {
+    return std::nullopt;
+  }
+  return next;
+}
+
+std::pair<std::optional<Cell>, std::optional<Cell>> ValveArray::sides(
+    Site site) const {
+  check(is_valve_parity_site(site),
+        common::cat("sides: not a valve-parity site ", to_string(site)));
+  std::optional<Cell> first;
+  std::optional<Cell> second;
+  if (site.row % 2 != 0) {
+    // Odd row, even col: separates horizontal neighbors (left, right).
+    const int cell_row = (site.row - 1) / 2;
+    const Cell left{cell_row, site.col / 2 - 1};
+    const Cell right{cell_row, site.col / 2};
+    if (cell_in_bounds(left)) first = left;
+    if (cell_in_bounds(right)) second = right;
+  } else {
+    // Even row, odd col: separates vertical neighbors (above, below).
+    const int cell_col = (site.col - 1) / 2;
+    const Cell above{site.row / 2 - 1, cell_col};
+    const Cell below{site.row / 2, cell_col};
+    if (cell_in_bounds(above)) first = above;
+    if (cell_in_bounds(below)) second = below;
+  }
+  return {first, second};
+}
+
+ValveId ValveArray::valve_id(Site site) const {
+  if (!is_valve_parity_site(site)) {
+    return kInvalidValve;
+  }
+  return valve_ids_[static_cast<std::size_t>(site_index(site))];
+}
+
+std::vector<int> ValveArray::ports_of_kind(PortKind kind) const {
+  std::vector<int> result;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i].kind == kind) {
+      result.push_back(static_cast<int>(i));
+    }
+  }
+  return result;
+}
+
+Cell ValveArray::port_cell(const Port& port) const {
+  const auto [first, second] = sides(port.site);
+  check(first.has_value() != second.has_value(),
+        "port_cell: port site must have exactly one interior side");
+  return first.has_value() ? *first : *second;
+}
+
+}  // namespace fpva::grid

@@ -1,0 +1,164 @@
+// Immutable FPVA array model: valve sites, fluid cells, obstacles, channels
+// and ports. Instances are produced by grid::LayoutBuilder.
+#ifndef FPVA_GRID_ARRAY_H
+#define FPVA_GRID_ARRAY_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "grid/site.h"
+
+namespace fpva::grid {
+
+/// What occupies a valve-parity site.
+enum class SiteKind : std::uint8_t {
+  kValve,    ///< a real, testable valve (counts toward n_v)
+  kChannel,  ///< plain flow channel, no valve built -- conceptually always open
+  kWall,     ///< no channel at all (chip boundary or obstacle frontier)
+};
+
+/// What occupies a cell-parity site.
+enum class CellKind : std::uint8_t {
+  kFluid,     ///< a normal fluid chamber
+  kObstacle,  ///< solid area without channels
+};
+
+/// Role of an attached external port.
+enum class PortKind : std::uint8_t {
+  kSource,  ///< air-pressure source (test stimulus)
+  kSink,    ///< pressure meter (test observation)
+};
+
+/// An external pressure connection at a boundary valve-parity site. The port
+/// site itself carries no valve; it is a permanently open gateway between
+/// the adjacent boundary cell and the external source/meter.
+struct Port {
+  Site site;
+  PortKind kind = PortKind::kSource;
+  std::string name;
+};
+
+/// Compact identifier of a testable valve (index into ValveArray::valves()).
+using ValveId = int;
+inline constexpr ValveId kInvalidValve = -1;
+
+class LayoutBuilder;
+
+/// The device under test: an n_r x n_c fully programmable valve array,
+/// possibly with always-open transport channels ("fluidic seas") and
+/// obstacle areas, plus source/sink ports on the boundary.
+///
+/// The class is immutable; all mutation happens in LayoutBuilder. Geometry
+/// queries are O(1); listing queries return prebuilt vectors.
+class ValveArray {
+ public:
+  /// Cell-array dimensions.
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Site-grid dimensions (2*rows()+1 by 2*cols()+1).
+  int site_rows() const { return 2 * rows_ + 1; }
+  int site_cols() const { return 2 * cols_ + 1; }
+
+  /// True when `site` lies on the site grid.
+  bool in_bounds(Site site) const {
+    return site.row >= 0 && site.row < site_rows() && site.col >= 0 &&
+           site.col < site_cols();
+  }
+
+  /// True for in-bounds sites with valve parity (includes boundary walls).
+  bool is_valve_parity_site(Site site) const {
+    return in_bounds(site) && has_valve_parity(site);
+  }
+
+  /// True when `site` is on the outermost ring of the site grid.
+  bool is_boundary_site(Site site) const {
+    return in_bounds(site) && (site.row == 0 || site.row == site_rows() - 1 ||
+                               site.col == 0 || site.col == site_cols() - 1);
+  }
+
+  /// Kind of the valve-parity `site`; precondition: is_valve_parity_site().
+  SiteKind site_kind(Site site) const;
+
+  /// Kind of `cell`; precondition: cell within the array.
+  CellKind cell_kind(Cell cell) const;
+
+  /// True when `cell` is within bounds.
+  bool cell_in_bounds(Cell cell) const {
+    return cell.row >= 0 && cell.row < rows_ && cell.col >= 0 &&
+           cell.col < cols_;
+  }
+
+  /// True when `cell` is in bounds and holds fluid (not an obstacle).
+  bool is_fluid(Cell cell) const {
+    return cell_in_bounds(cell) && cell_kind(cell) == CellKind::kFluid;
+  }
+
+  /// Row-major index of `cell` in [0, rows()*cols()).
+  int cell_index(Cell cell) const { return cell.row * cols_ + cell.col; }
+
+  /// Inverse of cell_index().
+  Cell cell_at_index(int index) const {
+    return Cell{index / cols_, index % cols_};
+  }
+
+  /// The neighbor of `cell` one step in `direction`, or nullopt when that
+  /// step leaves the array.
+  std::optional<Cell> neighbor(Cell cell, Direction direction) const;
+
+  /// The two cells a valve-parity site separates; each entry is nullopt for
+  /// the chip exterior (boundary sites have exactly one interior side).
+  std::pair<std::optional<Cell>, std::optional<Cell>> sides(Site site) const;
+
+  /// All testable valves, in row-major site order. valves()[id] is the site
+  /// of valve `id`.
+  const std::vector<Site>& valves() const { return valves_; }
+
+  /// Number of testable valves (the paper's n_v).
+  int valve_count() const { return static_cast<int>(valves_.size()); }
+
+  /// ValveId of the valve at `site`, or kInvalidValve when the site holds no
+  /// testable valve (channel, wall, out of bounds, wrong parity).
+  ValveId valve_id(Site site) const;
+
+  /// All attached ports.
+  const std::vector<Port>& ports() const { return ports_; }
+
+  /// Indices into ports() filtered by kind.
+  std::vector<int> ports_of_kind(PortKind kind) const;
+
+  /// The unique fluid cell adjacent to the port's boundary site.
+  Cell port_cell(const Port& port) const;
+
+  /// Number of fluid (non-obstacle) cells.
+  int fluid_cell_count() const { return fluid_cell_count_; }
+
+  /// Number of always-open channel sites.
+  int channel_count() const { return channel_count_; }
+
+ private:
+  friend class LayoutBuilder;
+
+  ValveArray() = default;
+
+  int site_index(Site site) const {
+    return site.row * site_cols() + site.col;
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<SiteKind> site_kinds_;   // indexed by site_index(); valve-parity
+                                       // entries meaningful, others kWall
+  std::vector<CellKind> cell_kinds_;   // indexed by cell_index()
+  std::vector<Site> valves_;           // sites of kValve, row-major order
+  std::vector<ValveId> valve_ids_;     // site_index() -> ValveId / invalid
+  std::vector<Port> ports_;
+  int fluid_cell_count_ = 0;
+  int channel_count_ = 0;
+};
+
+}  // namespace fpva::grid
+
+#endif  // FPVA_GRID_ARRAY_H

@@ -1,0 +1,209 @@
+#include "grid/builder.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace fpva::grid {
+
+using common::cat;
+using common::check;
+
+LayoutBuilder::LayoutBuilder(int rows, int cols) : rows_(rows), cols_(cols) {
+  check(rows >= 1 && cols >= 1, "LayoutBuilder requires rows, cols >= 1");
+  const int site_rows = 2 * rows + 1;
+  const int site_cols = 2 * cols + 1;
+  site_kinds_.assign(static_cast<std::size_t>(site_rows * site_cols),
+                     SiteKind::kWall);
+  cell_kinds_.assign(static_cast<std::size_t>(rows * cols), CellKind::kFluid);
+  // Internal valve-parity sites start as testable valves.
+  for (int r = 0; r < site_rows; ++r) {
+    for (int c = 0; c < site_cols; ++c) {
+      const Site site{r, c};
+      if (!has_valve_parity(site)) continue;
+      const bool boundary = r == 0 || r == site_rows - 1 || c == 0 ||
+                            c == site_cols - 1;
+      if (!boundary) {
+        site_kinds_[static_cast<std::size_t>(site_index(site))] =
+            SiteKind::kValve;
+      }
+    }
+  }
+}
+
+bool LayoutBuilder::internal_valve_parity(Site site) const {
+  if (!has_valve_parity(site)) return false;
+  return site.row > 0 && site.row < 2 * rows_ && site.col > 0 &&
+         site.col < 2 * cols_;
+}
+
+int LayoutBuilder::site_index(Site site) const {
+  return site.row * (2 * cols_ + 1) + site.col;
+}
+
+LayoutBuilder& LayoutBuilder::channel(Site site) {
+  check(internal_valve_parity(site),
+        cat("channel: not an internal valve-parity site ", to_string(site)));
+  auto& kind = site_kinds_[static_cast<std::size_t>(site_index(site))];
+  check(kind == SiteKind::kValve,
+        cat("channel: site ", to_string(site), " holds no valve to replace"));
+  kind = SiteKind::kChannel;
+  return *this;
+}
+
+LayoutBuilder& LayoutBuilder::channel_run(Site from, Site to) {
+  check(has_valve_parity(from) && has_valve_parity(to),
+        "channel_run: endpoints must be valve-parity sites");
+  check(from.row == to.row || from.col == to.col,
+        "channel_run: endpoints must share a row or a column");
+  const int steps = std::max(std::abs(to.row - from.row),
+                             std::abs(to.col - from.col));
+  check(steps % 2 == 0, "channel_run: endpoints must be an even span apart");
+  const int dr = (to.row > from.row) - (to.row < from.row);
+  const int dc = (to.col > from.col) - (to.col < from.col);
+  for (int k = 0; k <= steps; k += 2) {
+    channel(Site{from.row + dr * k, from.col + dc * k});
+  }
+  return *this;
+}
+
+LayoutBuilder& LayoutBuilder::obstacle_rect(Cell top_left, Cell bottom_right) {
+  check(top_left.row <= bottom_right.row && top_left.col <= bottom_right.col,
+        "obstacle_rect: corners out of order");
+  check(top_left.row >= 0 && top_left.col >= 0 &&
+            bottom_right.row < rows_ && bottom_right.col < cols_,
+        "obstacle_rect: rectangle leaves the array");
+  for (int i = top_left.row; i <= bottom_right.row; ++i) {
+    for (int j = top_left.col; j <= bottom_right.col; ++j) {
+      const Cell cell{i, j};
+      cell_kinds_[static_cast<std::size_t>(cell.row * cols_ + cell.col)] =
+          CellKind::kObstacle;
+      // Every site on the cell's perimeter loses its channel; interior
+      // sites between two obstacle cells are covered twice, harmlessly.
+      for (const Direction direction : kAllDirections) {
+        const Site site = valve_site_of(cell, direction);
+        if (internal_valve_parity(site)) {
+          site_kinds_[static_cast<std::size_t>(site_index(site))] =
+              SiteKind::kWall;
+        }
+      }
+    }
+  }
+  return *this;
+}
+
+LayoutBuilder& LayoutBuilder::port(Site site, PortKind kind,
+                                   std::string name) {
+  check(has_valve_parity(site), "port: site must have valve parity");
+  const bool boundary = site.row == 0 || site.row == 2 * rows_ ||
+                        site.col == 0 || site.col == 2 * cols_;
+  check(boundary && site.row >= 0 && site.col >= 0 && site.row <= 2 * rows_ &&
+            site.col <= 2 * cols_,
+        cat("port: site ", to_string(site), " is not on the chip boundary"));
+  ports_.push_back(Port{site, kind, std::move(name)});
+  return *this;
+}
+
+LayoutBuilder& LayoutBuilder::default_ports() {
+  port(Site{1, 0}, PortKind::kSource, "src");
+  port(Site{2 * rows_ - 1, 2 * cols_}, PortKind::kSink, "meter");
+  return *this;
+}
+
+ValveArray LayoutBuilder::build() const {
+  ValveArray array;
+  array.rows_ = rows_;
+  array.cols_ = cols_;
+  array.site_kinds_ = site_kinds_;
+  array.cell_kinds_ = cell_kinds_;
+  array.ports_ = ports_;
+
+  // Index the testable valves in row-major site order.
+  array.valve_ids_.assign(site_kinds_.size(), kInvalidValve);
+  for (int r = 0; r < array.site_rows(); ++r) {
+    for (int c = 0; c < array.site_cols(); ++c) {
+      const Site site{r, c};
+      if (!has_valve_parity(site)) continue;
+      const auto index = static_cast<std::size_t>(site_index(site));
+      if (site_kinds_[index] == SiteKind::kValve) {
+        array.valve_ids_[index] = static_cast<ValveId>(array.valves_.size());
+        array.valves_.push_back(site);
+      } else if (site_kinds_[index] == SiteKind::kChannel) {
+        ++array.channel_count_;
+      }
+    }
+  }
+  array.fluid_cell_count_ = static_cast<int>(
+      std::count(cell_kinds_.begin(), cell_kinds_.end(), CellKind::kFluid));
+
+  // --- Validation ------------------------------------------------------
+  check(!array.ports_of_kind(PortKind::kSource).empty(),
+        "build: layout needs at least one pressure source");
+  check(!array.ports_of_kind(PortKind::kSink).empty(),
+        "build: layout needs at least one pressure meter");
+
+  std::set<std::string> names;
+  std::set<Site> port_sites;
+  for (const Port& port : ports_) {
+    check(names.insert(port.name).second,
+          cat("build: duplicate port name '", port.name, '\''));
+    check(port_sites.insert(port.site).second,
+          cat("build: two ports share site ", to_string(port.site)));
+    const auto [first, second] = array.sides(port.site);
+    check(first.has_value() != second.has_value(),
+          cat("build: port ", port.name, " is not on the boundary"));
+    const Cell inner = first.has_value() ? *first : *second;
+    check(array.is_fluid(inner),
+          cat("build: port ", port.name, " attaches to obstacle cell ",
+              to_string(inner)));
+  }
+
+  // Reachability sanity pass: with every valve open, all fluid cells should
+  // be reachable from some source. Unreachable pockets make their valves
+  // untestable; we warn rather than reject because the paper's formulation
+  // admits such layouts (their faults simply stay uncovered).
+  std::vector<char> reached(cell_kinds_.size(), 0);
+  std::queue<Cell> frontier;
+  for (const int port_index : array.ports_of_kind(PortKind::kSource)) {
+    const Cell cell =
+        array.port_cell(array.ports()[static_cast<std::size_t>(port_index)]);
+    if (!reached[static_cast<std::size_t>(array.cell_index(cell))]) {
+      reached[static_cast<std::size_t>(array.cell_index(cell))] = 1;
+      frontier.push(cell);
+    }
+  }
+  while (!frontier.empty()) {
+    const Cell cell = frontier.front();
+    frontier.pop();
+    for (const Direction direction : kAllDirections) {
+      const auto next = array.neighbor(cell, direction);
+      if (!next || !array.is_fluid(*next)) continue;
+      const Site gate = valve_site_of(cell, direction);
+      if (array.site_kind(gate) == SiteKind::kWall) continue;
+      auto& mark = reached[static_cast<std::size_t>(array.cell_index(*next))];
+      if (!mark) {
+        mark = 1;
+        frontier.push(*next);
+      }
+    }
+  }
+  int unreachable = 0;
+  for (int i = 0; i < rows_ * cols_; ++i) {
+    const Cell cell = array.cell_at_index(i);
+    if (array.is_fluid(cell) && !reached[static_cast<std::size_t>(i)]) {
+      ++unreachable;
+    }
+  }
+  if (unreachable > 0) {
+    common::log_warning(cat("layout has ", unreachable,
+                            " fluid cells unreachable from any source; "
+                            "their valves cannot be tested"));
+  }
+  return array;
+}
+
+}  // namespace fpva::grid

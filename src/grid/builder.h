@@ -1,0 +1,71 @@
+// Mutable construction and validation of ValveArray layouts.
+#ifndef FPVA_GRID_BUILDER_H
+#define FPVA_GRID_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "grid/array.h"
+
+namespace fpva::grid {
+
+/// Builds a ValveArray step by step and validates it on build().
+///
+/// Typical use:
+///   auto array = LayoutBuilder(10, 10)
+///                    .channel_run(Site{9, 4}, Site{9, 12})
+///                    .obstacle_rect(Cell{4, 4}, Cell{5, 5})
+///                    .default_ports()
+///                    .build();
+///
+/// The builder starts from a full array: every internal valve-parity site is
+/// a testable valve, every cell is fluid, the boundary ring is wall.
+class LayoutBuilder {
+ public:
+  /// An array with `rows` x `cols` fluid cells; both must be >= 1.
+  LayoutBuilder(int rows, int cols);
+
+  /// Replaces the valve at the internal site with a plain always-open
+  /// channel segment (a "fluidic sea" element). The site must currently
+  /// hold a valve.
+  LayoutBuilder& channel(Site site);
+
+  /// Marks a straight run of channel sites from `from` to `to` inclusive.
+  /// Both must be valve-parity sites of the same orientation on one line;
+  /// the run steps by 2 in site coordinates.
+  LayoutBuilder& channel_run(Site from, Site to);
+
+  /// Marks the inclusive cell rectangle as an obstacle (solid area). All
+  /// valve sites touching an obstacle cell become walls.
+  LayoutBuilder& obstacle_rect(Cell top_left, Cell bottom_right);
+
+  /// Attaches a port at a boundary valve-parity site whose interior cell is
+  /// fluid. Port names must be unique.
+  LayoutBuilder& port(Site site, PortKind kind, std::string name);
+
+  /// Adds the conventional test hookup used throughout the benches: one
+  /// pressure source at the top-left boundary (site (1,0)) and one pressure
+  /// meter at the bottom-right boundary (site (2*rows-1, 2*cols)). This
+  /// placement keeps the source and sink on opposite sides of every
+  /// anti-diagonal staircase cut.
+  LayoutBuilder& default_ports();
+
+  /// Validates and produces the immutable array. Throws common::Error on an
+  /// inconsistent layout (bad ports, channel on the boundary, no source or
+  /// no sink, duplicate port names, fluid region not connected to a source).
+  ValveArray build() const;
+
+ private:
+  bool internal_valve_parity(Site site) const;
+  int site_index(Site site) const;
+
+  int rows_;
+  int cols_;
+  std::vector<SiteKind> site_kinds_;
+  std::vector<CellKind> cell_kinds_;
+  std::vector<Port> ports_;
+};
+
+}  // namespace fpva::grid
+
+#endif  // FPVA_GRID_BUILDER_H

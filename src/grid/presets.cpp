@@ -1,0 +1,74 @@
+#include "grid/presets.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "grid/builder.h"
+
+namespace fpva::grid {
+
+std::vector<int> table1_sizes() { return {5, 10, 15, 20, 30}; }
+
+int table1_valve_count(int n) {
+  switch (n) {
+    case 5: return 39;
+    case 10: return 176;
+    case 15: return 411;
+    case 20: return 744;
+    case 30: return 1704;
+    default:
+      common::fail(common::cat("table1_valve_count: no Table-I entry for n=",
+                               n));
+  }
+}
+
+ValveArray table1_array(int n) {
+  LayoutBuilder builder(n, n);
+  switch (n) {
+    case 5:
+      // One channel segment between cells [2,1] and [2,2].
+      builder.channel(Site{5, 4});
+      break;
+    case 10:
+      // A 4-segment horizontal transport channel in row 4, columns 2..6.
+      builder.channel_run(Site{9, 6}, Site{9, 12});
+      break;
+    case 15:
+      // One obstacle plus a 5-segment vertical channel in column 3.
+      builder.obstacle_rect(Cell{7, 7}, Cell{7, 7});
+      builder.channel_run(Site{6, 7}, Site{14, 7});
+      break;
+    case 20:
+      // Fig. 9: three channels and two obstacles.
+      builder.obstacle_rect(Cell{5, 14}, Cell{5, 14});
+      builder.obstacle_rect(Cell{14, 5}, Cell{14, 5});
+      builder.channel_run(Site{7, 14}, Site{7, 18});    // row 3, 3 segments
+      builder.channel_run(Site{22, 33}, Site{26, 33});  // col 16, 3 segments
+      builder.channel_run(Site{33, 6}, Site{33, 8});    // row 16, 2 segments
+      break;
+    case 30:
+      // Two 2x2 obstacles and three 4-segment channels.
+      builder.obstacle_rect(Cell{7, 20}, Cell{8, 21});
+      builder.obstacle_rect(Cell{20, 7}, Cell{21, 8});
+      builder.channel_run(Site{9, 22}, Site{9, 28});    // row 4
+      builder.channel_run(Site{30, 51}, Site{36, 51});  // col 25
+      builder.channel_run(Site{51, 32}, Site{51, 38});  // row 25
+      break;
+    default:
+      common::fail(common::cat("table1_array: no Table-I layout for n=", n));
+  }
+  builder.default_ports();
+  ValveArray array = builder.build();
+  common::check(array.valve_count() == table1_valve_count(n),
+                common::cat("table1_array(", n, "): expected ",
+                            table1_valve_count(n), " valves, built ",
+                            array.valve_count()));
+  return array;
+}
+
+ValveArray full_array(int rows, int cols) {
+  return LayoutBuilder(rows, cols).default_ports().build();
+}
+
+ValveArray fig9_array() { return table1_array(20); }
+
+}  // namespace fpva::grid

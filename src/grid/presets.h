@@ -1,0 +1,44 @@
+// Benchmark layouts.
+//
+// The paper's Table I evaluates five arrays "with long channels for
+// transportation and obstacle areas without valves" but does not publish
+// the exact placements; only the valve counts n_v are given. These presets
+// place channels and obstacles so that n_v matches Table I exactly:
+//
+//   5x5   -> 39   (one channel segment)
+//   10x10 -> 176  (one 4-segment transport channel)
+//   15x15 -> 411  (one 1x1 obstacle + one 5-segment channel)
+//   20x20 -> 744  (two 1x1 obstacles + three channels; Fig. 9's "three
+//                  channels and two obstacles")
+//   30x30 -> 1704 (two 2x2 obstacles + three 4-segment channels)
+#ifndef FPVA_GRID_PRESETS_H
+#define FPVA_GRID_PRESETS_H
+
+#include <vector>
+
+#include "grid/array.h"
+
+namespace fpva::grid {
+
+/// Sizes evaluated in Table I, in publication order.
+std::vector<int> table1_sizes();
+
+/// Valve count the paper reports for the n x n Table-I array.
+int table1_valve_count(int n);
+
+/// The n x n Table-I array (n in {5, 10, 15, 20, 30}) with channels,
+/// obstacles and the default source/sink hookup.
+ValveArray table1_array(int n);
+
+/// A full rows x cols array: no channels, no obstacles, default ports.
+/// This is the configuration of the paper's Fig. 8 (10x10, "without
+/// channels or obstacles").
+ValveArray full_array(int rows, int cols);
+
+/// The irregular 20x20 array rendered in the paper's Fig. 9 (identical to
+/// table1_array(20)).
+ValveArray fig9_array();
+
+}  // namespace fpva::grid
+
+#endif  // FPVA_GRID_PRESETS_H

@@ -1,0 +1,125 @@
+// Doubled-coordinate geometry of an FPVA.
+//
+// An n_r x n_c array of fluid cells is embedded in a (2*n_r+1) x (2*n_c+1)
+// "site grid" (the paper's Fig. 6 indexing, extended to the chip boundary):
+//
+//   * cells           at (odd row, odd col),
+//   * valve sites     at (odd row, even col)  -- between horizontal
+//                                                neighbors -- and
+//                     at (even row, odd col)  -- between vertical neighbors,
+//   * junction posts  at (even row, even col) -- solid corners, never fluid.
+//
+// Sites on the outermost ring (row 0, row 2*n_r, col 0, col 2*n_c) are the
+// chip boundary: always-closed walls except where a port (pressure source or
+// pressure meter) is attached.
+#ifndef FPVA_GRID_SITE_H
+#define FPVA_GRID_SITE_H
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fpva::grid {
+
+/// A position on the doubled site grid.
+struct Site {
+  int row = 0;
+  int col = 0;
+
+  friend auto operator<=>(const Site&, const Site&) = default;
+};
+
+/// A fluid-cell position in cell coordinates (0-based row/col of the array).
+struct Cell {
+  int row = 0;
+  int col = 0;
+
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+
+  /// Site-grid position of this cell: (2*row+1, 2*col+1).
+  Site site() const { return Site{2 * row + 1, 2 * col + 1}; }
+
+  /// Anti-diagonal index row+col; all valves join cells of adjacent
+  /// anti-diagonals, which is what makes the staircase cut family exhaustive.
+  int diagonal() const { return row + col; }
+};
+
+/// The four cardinal directions on the cell grid (row 0 is the top row).
+enum class Direction : std::uint8_t { kUp = 0, kDown = 1, kLeft = 2, kRight = 3 };
+
+inline constexpr Direction kAllDirections[] = {
+    Direction::kUp, Direction::kDown, Direction::kLeft, Direction::kRight};
+
+/// Row/col delta of one cell step in `direction`.
+constexpr int row_delta(Direction direction) {
+  switch (direction) {
+    case Direction::kUp: return -1;
+    case Direction::kDown: return 1;
+    default: return 0;
+  }
+}
+constexpr int col_delta(Direction direction) {
+  switch (direction) {
+    case Direction::kLeft: return -1;
+    case Direction::kRight: return 1;
+    default: return 0;
+  }
+}
+
+/// The direction opposite to `direction`.
+constexpr Direction opposite(Direction direction) {
+  switch (direction) {
+    case Direction::kUp: return Direction::kDown;
+    case Direction::kDown: return Direction::kUp;
+    case Direction::kLeft: return Direction::kRight;
+    default: return Direction::kLeft;
+  }
+}
+
+/// True when `site` has valve parity (exactly one odd coordinate).
+constexpr bool has_valve_parity(Site site) {
+  const bool row_odd = (site.row % 2) != 0;
+  const bool col_odd = (site.col % 2) != 0;
+  return row_odd != col_odd;
+}
+
+/// True when `site` has cell parity (both coordinates odd).
+constexpr bool has_cell_parity(Site site) {
+  return (site.row % 2) != 0 && (site.col % 2) != 0;
+}
+
+/// True when `site` has junction-post parity (both coordinates even).
+constexpr bool has_post_parity(Site site) {
+  return (site.row % 2) == 0 && (site.col % 2) == 0;
+}
+
+/// Site of the valve between `cell` and its neighbor in `direction`.
+constexpr Site valve_site_of(Cell cell, Direction direction) {
+  return Site{2 * cell.row + 1 + row_delta(direction),
+              2 * cell.col + 1 + col_delta(direction)};
+}
+
+/// "(r,c)" rendering for diagnostics.
+std::string to_string(Site site);
+std::string to_string(Cell cell);
+
+}  // namespace fpva::grid
+
+template <>
+struct std::hash<fpva::grid::Site> {
+  std::size_t operator()(const fpva::grid::Site& site) const noexcept {
+    return std::hash<long long>()(
+        (static_cast<long long>(site.row) << 32) ^ site.col);
+  }
+};
+
+template <>
+struct std::hash<fpva::grid::Cell> {
+  std::size_t operator()(const fpva::grid::Cell& cell) const noexcept {
+    return std::hash<long long>()(
+        (static_cast<long long>(cell.row) << 32) ^ cell.col);
+  }
+};
+
+#endif  // FPVA_GRID_SITE_H

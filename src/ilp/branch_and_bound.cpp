@@ -1,0 +1,204 @@
+#include "ilp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "lp/simplex.h"
+
+namespace fpva::ilp {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double parent_bound = -kInfinity;  // LP bound inherited from the parent
+  int depth = 0;
+};
+
+class Searcher {
+ public:
+  Searcher(const Model& model, const Options& options)
+      : model_(model), options_(options), lp_copy_(model.lp()) {}
+
+  Result run() {
+    common::Timer timer;
+    Result result;
+    const int n = model_.variable_count();
+
+    Node root;
+    root.lower.resize(static_cast<std::size_t>(n));
+    root.upper.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      root.lower[static_cast<std::size_t>(j)] = model_.lp().variable(j).lower;
+      root.upper[static_cast<std::size_t>(j)] = model_.lp().variable(j).upper;
+    }
+
+    std::vector<Node> stack;
+    stack.push_back(std::move(root));
+    double incumbent_objective = kInfinity;
+    std::vector<double> incumbent;
+    double exhausted_bound = kInfinity;  // min bound over pruned frontier
+    bool limits_hit = false;
+
+    while (!stack.empty()) {
+      if (timer.seconds() > options_.time_limit_seconds ||
+          result.nodes >= options_.max_nodes) {
+        limits_hit = true;
+        break;
+      }
+      Node node = std::move(stack.back());
+      stack.pop_back();
+      ++result.nodes;
+
+      // Bound-based pruning using the parent's LP bound before paying for
+      // this node's LP.
+      if (node.parent_bound >= prune_threshold(incumbent_objective)) {
+        exhausted_bound = std::min(exhausted_bound, node.parent_bound);
+        continue;
+      }
+
+      for (int j = 0; j < n; ++j) {
+        lp_copy_.set_bounds(j, node.lower[static_cast<std::size_t>(j)],
+                            node.upper[static_cast<std::size_t>(j)]);
+      }
+      lp::SolveOptions lp_options;
+      lp_options.max_iterations = options_.lp_iteration_limit;
+      const lp::Solution relaxation = lp::solve(lp_copy_, lp_options);
+      if (relaxation.status == lp::SolveStatus::kInfeasible) {
+        continue;
+      }
+      if (relaxation.status == lp::SolveStatus::kIterationLimit) {
+        common::log_warning("branch-and-bound: node LP hit iteration limit; "
+                            "treating subtree bound as unknown");
+        exhausted_bound = -kInfinity;  // cannot certify optimality any more
+        continue;
+      }
+      const double bound = relaxation.objective;
+      if (bound >= prune_threshold(incumbent_objective)) {
+        exhausted_bound = std::min(exhausted_bound, bound);
+        continue;
+      }
+
+      // Rounding heuristic: snap integers to nearest and test feasibility.
+      std::vector<double> rounded = relaxation.values;
+      for (int j = 0; j < n; ++j) {
+        if (model_.is_integer(j)) {
+          rounded[static_cast<std::size_t>(j)] =
+              std::round(rounded[static_cast<std::size_t>(j)]);
+        }
+      }
+      if (model_.is_feasible(rounded, options_.integrality_tolerance * 10)) {
+        const double rounded_objective = model_.lp().objective_value(rounded);
+        if (rounded_objective < incumbent_objective - 1e-12) {
+          incumbent_objective = rounded_objective;
+          incumbent = rounded;
+        }
+      }
+
+      // Pick the most fractional integer variable to branch on.
+      int branch_var = -1;
+      double branch_value = 0.0;
+      double worst_distance = options_.integrality_tolerance;
+      for (int j = 0; j < n; ++j) {
+        if (!model_.is_integer(j)) continue;
+        const double v = relaxation.values[static_cast<std::size_t>(j)];
+        const double distance = std::abs(v - std::round(v));
+        if (distance > worst_distance) {
+          worst_distance = distance;
+          branch_var = j;
+          branch_value = v;
+        }
+      }
+
+      if (branch_var < 0) {
+        // Integer feasible (possibly after snapping within tolerance).
+        std::vector<double> snapped = relaxation.values;
+        for (int j = 0; j < n; ++j) {
+          if (model_.is_integer(j)) {
+            snapped[static_cast<std::size_t>(j)] =
+                std::round(snapped[static_cast<std::size_t>(j)]);
+          }
+        }
+        if (model_.is_feasible(snapped,
+                               options_.integrality_tolerance * 100) &&
+            model_.lp().objective_value(snapped) <
+                incumbent_objective - 1e-12) {
+          incumbent_objective = model_.lp().objective_value(snapped);
+          incumbent = snapped;
+        }
+        continue;
+      }
+
+      // Two children; dive first into the side nearest the LP value.
+      const double floor_value = std::floor(branch_value);
+      Node down = node;
+      down.upper[static_cast<std::size_t>(branch_var)] = floor_value;
+      down.parent_bound = bound;
+      ++down.depth;
+      Node up = std::move(node);
+      up.lower[static_cast<std::size_t>(branch_var)] = floor_value + 1.0;
+      up.parent_bound = bound;
+      ++up.depth;
+      const bool prefer_down = branch_value - floor_value < 0.5;
+      // Depth-first: the preferred child goes on top of the stack.
+      if (prefer_down) {
+        stack.push_back(std::move(up));
+        stack.push_back(std::move(down));
+      } else {
+        stack.push_back(std::move(down));
+        stack.push_back(std::move(up));
+      }
+    }
+
+    result.seconds = timer.seconds();
+    if (!incumbent.empty()) {
+      result.objective = incumbent_objective;
+      result.values = std::move(incumbent);
+      result.best_bound =
+          limits_hit ? -kInfinity
+                     : std::min(exhausted_bound, incumbent_objective);
+      result.status = limits_hit ? ResultStatus::kFeasible
+                                 : ResultStatus::kOptimal;
+    } else if (!limits_hit) {
+      result.status = ResultStatus::kInfeasible;
+      result.best_bound = kInfinity;
+    } else {
+      result.status = ResultStatus::kUnknown;
+      result.best_bound = -kInfinity;
+    }
+    return result;
+  }
+
+ private:
+  double prune_threshold(double incumbent_objective) const {
+    if (incumbent_objective == kInfinity) {
+      return kInfinity;
+    }
+    if (options_.objective_is_integral) {
+      // Any strictly better integer point improves by at least 1.
+      return incumbent_objective - 1.0 + 1e-6;
+    }
+    return incumbent_objective - 1e-9;
+  }
+
+  const Model& model_;
+  const Options& options_;
+  lp::Model lp_copy_;
+};
+
+}  // namespace
+
+Result solve(const Model& model, const Options& options) {
+  Searcher searcher(model, options);
+  return searcher.run();
+}
+
+}  // namespace fpva::ilp

@@ -1,0 +1,55 @@
+#include "ilp/model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fpva::ilp {
+
+int Model::add_continuous(double lower, double upper, double objective,
+                          std::string name) {
+  const int index = lp_.add_variable(lower, upper, objective, std::move(name));
+  integer_.push_back(false);
+  return index;
+}
+
+int Model::add_integer(double lower, double upper, double objective,
+                       std::string name) {
+  common::check(std::floor(lower) == lower && std::floor(upper) == upper,
+                "ilp::Model::add_integer: bounds must be integral");
+  const int index = lp_.add_variable(lower, upper, objective, std::move(name));
+  integer_.push_back(true);
+  return index;
+}
+
+int Model::add_binary(double objective, std::string name) {
+  return add_integer(0.0, 1.0, objective, std::move(name));
+}
+
+int Model::add_constraint(std::vector<lp::Term> terms, lp::Sense sense,
+                          double rhs) {
+  return lp_.add_constraint(std::move(terms), sense, rhs);
+}
+
+bool Model::is_integer(int variable) const {
+  common::check(variable >= 0 && variable < variable_count(),
+                "ilp::Model::is_integer: out of range");
+  return integer_[static_cast<std::size_t>(variable)];
+}
+
+bool Model::is_feasible(const std::vector<double>& values,
+                        double tolerance) const {
+  if (lp_.max_violation(values) > tolerance) {
+    return false;
+  }
+  for (int j = 0; j < variable_count(); ++j) {
+    if (!integer_[static_cast<std::size_t>(j)]) continue;
+    const double v = values[static_cast<std::size_t>(j)];
+    if (std::abs(v - std::round(v)) > tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fpva::ilp

@@ -1,0 +1,56 @@
+// Mixed-integer linear program model.
+//
+// Thin wrapper over lp::Model that records which variables are integral.
+// The paper's flow-path and cut-set formulations use binaries (c, v, p) and
+// bounded integers (the flow variables f of constraint (3)/(4)).
+#ifndef FPVA_ILP_MODEL_H
+#define FPVA_ILP_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace fpva::ilp {
+
+/// MILP model; solve with ilp::solve() (branch_and_bound.h).
+class Model {
+ public:
+  /// Adds a continuous variable; returns its index.
+  int add_continuous(double lower, double upper, double objective,
+                     std::string name = {});
+
+  /// Adds an integer variable with inclusive integer bounds.
+  int add_integer(double lower, double upper, double objective,
+                  std::string name = {});
+
+  /// Adds a {0,1} variable.
+  int add_binary(double objective, std::string name = {});
+
+  /// Adds a linear constraint (see lp::Model::add_constraint).
+  int add_constraint(std::vector<lp::Term> terms, lp::Sense sense,
+                     double rhs);
+
+  int variable_count() const { return lp_.variable_count(); }
+  int constraint_count() const { return lp_.constraint_count(); }
+  bool is_integer(int variable) const;
+
+  /// Read-only LP relaxation view.
+  const lp::Model& lp() const { return lp_; }
+
+  /// Mutable LP view (branch-and-bound tightens bounds through this).
+  lp::Model& mutable_lp() { return lp_; }
+
+  /// True when `values` satisfies all constraints, bounds and integrality
+  /// within `tolerance`.
+  bool is_feasible(const std::vector<double>& values,
+                   double tolerance = 1e-6) const;
+
+ private:
+  lp::Model lp_;
+  std::vector<bool> integer_;
+};
+
+}  // namespace fpva::ilp
+
+#endif  // FPVA_ILP_MODEL_H

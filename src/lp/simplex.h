@@ -1,0 +1,40 @@
+// Two-phase bounded-variable primal simplex.
+//
+// Dense tableau implementation suitable for the subblock-sized models the
+// hierarchical test generator produces (hundreds of variables). Phase 1
+// minimizes artificial-variable infeasibility, phase 2 the real objective.
+// Because lp::Model requires finite bounds on every variable (and slack caps
+// are derived from those bounds), the LP can never be unbounded.
+#ifndef FPVA_LP_SIMPLEX_H
+#define FPVA_LP_SIMPLEX_H
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace fpva::lp {
+
+enum class SolveStatus {
+  kOptimal,         ///< optimal basic solution found
+  kInfeasible,      ///< phase 1 could not reach zero infeasibility
+  kIterationLimit,  ///< pivot budget exhausted
+};
+
+struct SolveOptions {
+  long max_iterations = 200000;  ///< total pivot budget over both phases
+  double tolerance = 1e-7;       ///< feasibility/optimality tolerance
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< structural variable values (on success)
+  long iterations = 0;         ///< pivots performed
+};
+
+/// Solves `model` to optimality (minimization).
+Solution solve(const Model& model, const SolveOptions& options = {});
+
+}  // namespace fpva::lp
+
+#endif  // FPVA_LP_SIMPLEX_H

@@ -1,0 +1,91 @@
+#include "sim/campaign.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/control_topology.h"
+
+namespace fpva::sim {
+
+long CampaignResult::total_trials() const {
+  long total = 0;
+  for (const CampaignRow& row : rows) total += row.trials;
+  return total;
+}
+
+long CampaignResult::total_detected() const {
+  long total = 0;
+  for (const CampaignRow& row : rows) total += row.detected;
+  return total;
+}
+
+CampaignResult run_campaign(const Simulator& simulator,
+                            std::span<const TestVector> vectors,
+                            const CampaignOptions& options) {
+  const grid::ValveArray& array = simulator.array();
+  common::check(options.min_faults >= 1 &&
+                    options.min_faults <= options.max_faults,
+                "run_campaign: bad fault-count range");
+  common::check(array.valve_count() >= options.max_faults,
+                "run_campaign: more faults requested than valves exist");
+
+  std::vector<LeakPair> leak_pairs;
+  if (options.include_control_leaks) {
+    leak_pairs = options.leak_pairs.empty() ? control_leak_pairs(array)
+                                            : options.leak_pairs;
+  }
+  common::Rng rng(options.seed);
+
+  CampaignResult result;
+  for (int k = options.min_faults; k <= options.max_faults; ++k) {
+    CampaignRow row;
+    row.fault_count = k;
+    row.trials = options.trials_per_count;
+    for (int trial = 0; trial < options.trials_per_count; ++trial) {
+      // Draw k faults on distinct valves. A leak fault occupies both of its
+      // valves so that combinations stay physically consistent.
+      std::vector<Fault> faults;
+      std::vector<char> used(static_cast<std::size_t>(array.valve_count()),
+                             0);
+      int guard = 0;
+      while (static_cast<int>(faults.size()) < k) {
+        common::check(++guard < 10000,
+                      "run_campaign: cannot place requested faults");
+        const bool draw_leak =
+            !leak_pairs.empty() && rng.next_bool(1.0 / 3.0);
+        if (draw_leak) {
+          const LeakPair& pair = leak_pairs[static_cast<std::size_t>(
+              rng.next_below(leak_pairs.size()))];
+          if (used[static_cast<std::size_t>(pair.first)] ||
+              used[static_cast<std::size_t>(pair.second)]) {
+            continue;
+          }
+          used[static_cast<std::size_t>(pair.first)] = 1;
+          used[static_cast<std::size_t>(pair.second)] = 1;
+          faults.push_back(control_leak(pair.first, pair.second));
+        } else {
+          const auto valve = static_cast<grid::ValveId>(
+              rng.next_below(static_cast<std::uint64_t>(
+                  array.valve_count())));
+          if (used[static_cast<std::size_t>(valve)]) continue;
+          used[static_cast<std::size_t>(valve)] = 1;
+          faults.push_back(
+              rng.next_bool(options.stuck_at_1_probability)
+                  ? stuck_at_1(valve)
+                  : stuck_at_0(valve));
+        }
+      }
+      if (simulator.any_detects(vectors, faults)) {
+        ++row.detected;
+      } else if (row.undetected_samples.size() <
+                 options.max_undetected_kept) {
+        row.undetected_samples.push_back(std::move(faults));
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace fpva::sim

@@ -1,0 +1,62 @@
+// Monte-Carlo fault-injection campaigns (the paper's Section IV study).
+//
+// "For each valve array in Table I we randomly introduced one, two, three,
+// four and five faults, respectively, and applied the generated test
+// vectors. We repeated this process 10,000 times."
+#ifndef FPVA_SIM_CAMPAIGN_H
+#define FPVA_SIM_CAMPAIGN_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/control_topology.h"
+#include "sim/simulator.h"
+
+namespace fpva::sim {
+
+struct CampaignOptions {
+  int trials_per_count = 10000;   ///< trials for each fault count
+  int min_faults = 1;
+  int max_faults = 5;
+  std::uint64_t seed = 20170327;  ///< DATE'17 conference date
+  bool include_control_leaks = false;  ///< mix leak faults into the draw
+  /// Leak pairs to draw from when include_control_leaks is set; empty means
+  /// "all pairs of the nearest-neighbor routing model". Callers typically
+  /// pass the testable subset (all pairs minus
+  /// GeneratedTestSet::untestable_leaks).
+  std::vector<LeakPair> leak_pairs;
+  double stuck_at_1_probability = 0.5;  ///< sa1 vs sa0 for stuck faults
+  std::size_t max_undetected_kept = 20;
+};
+
+/// Outcome for one fault count k.
+struct CampaignRow {
+  int fault_count = 0;
+  int trials = 0;
+  int detected = 0;
+  std::vector<std::vector<Fault>> undetected_samples;
+
+  double detection_rate() const {
+    return trials == 0 ? 1.0 : static_cast<double>(detected) / trials;
+  }
+};
+
+struct CampaignResult {
+  std::vector<CampaignRow> rows;  ///< one per fault count
+
+  long total_trials() const;
+  long total_detected() const;
+  bool all_detected() const { return total_detected() == total_trials(); }
+};
+
+/// Draws `fault_count` random faults (distinct valves; optionally leak
+/// pairs) and checks whether any vector detects the combination; repeats
+/// trials_per_count times per fault count.
+CampaignResult run_campaign(const Simulator& simulator,
+                            std::span<const TestVector> vectors,
+                            const CampaignOptions& options = {});
+
+}  // namespace fpva::sim
+
+#endif  // FPVA_SIM_CAMPAIGN_H

@@ -1,0 +1,28 @@
+#include "sim/control_topology.h"
+
+#include <algorithm>
+
+namespace fpva::sim {
+
+std::vector<LeakPair> control_leak_pairs(const grid::ValveArray& array) {
+  // Site offsets at Manhattan distance 2 that can hold another valve. Only
+  // "forward" offsets are enumerated so each pair appears once.
+  static constexpr int kOffsets[][2] = {
+      {0, 2}, {2, 0}, {1, 1}, {1, -1},
+  };
+  std::vector<LeakPair> pairs;
+  for (const grid::Site site : array.valves()) {
+    const grid::ValveId id = array.valve_id(site);
+    for (const auto& offset : kOffsets) {
+      const grid::Site other{site.row + offset[0], site.col + offset[1]};
+      const grid::ValveId other_id = array.valve_id(other);
+      if (other_id == grid::kInvalidValve) continue;
+      pairs.emplace_back(std::min(id, other_id), std::max(id, other_id));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace fpva::sim

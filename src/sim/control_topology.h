@@ -1,0 +1,30 @@
+// Control-layer topology: which valve pairs can suffer a control leak.
+//
+// The paper's Fig. 3(d) shows a leaking control channel bridging two
+// adjacent control lines, and Section II defines the resulting fault as two
+// valves closing simultaneously. The paper does not publish the control
+// routing of its arrays, so we adopt the natural geometric model: control
+// lines of nearby valves run side by side, hence a leak can couple any two
+// valves whose sites are nearest neighbors on the site grid (Manhattan site
+// distance exactly 2 -- collinear neighbors at (0,±2)/(±2,0) and diagonal
+// neighbors at (±1,±1)).
+#ifndef FPVA_SIM_CONTROL_TOPOLOGY_H
+#define FPVA_SIM_CONTROL_TOPOLOGY_H
+
+#include <utility>
+#include <vector>
+
+#include "grid/array.h"
+
+namespace fpva::sim {
+
+/// An unordered candidate leak pair (first < second).
+using LeakPair = std::pair<grid::ValveId, grid::ValveId>;
+
+/// All candidate control-leak pairs of `array` under the nearest-neighbor
+/// routing model, each listed once with first < second, sorted.
+std::vector<LeakPair> control_leak_pairs(const grid::ValveArray& array);
+
+}  // namespace fpva::sim
+
+#endif  // FPVA_SIM_CONTROL_TOPOLOGY_H

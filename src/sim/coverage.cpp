@@ -1,0 +1,64 @@
+#include "sim/coverage.h"
+
+#include "sim/control_topology.h"
+
+namespace fpva::sim {
+
+std::vector<Fault> single_stuck_fault_universe(
+    const grid::ValveArray& array) {
+  std::vector<Fault> universe;
+  universe.reserve(static_cast<std::size_t>(array.valve_count()) * 2);
+  for (grid::ValveId v = 0; v < array.valve_count(); ++v) {
+    universe.push_back(stuck_at_0(v));
+    universe.push_back(stuck_at_1(v));
+  }
+  return universe;
+}
+
+std::vector<Fault> control_leak_universe(const grid::ValveArray& array) {
+  std::vector<Fault> universe;
+  for (const LeakPair& pair : control_leak_pairs(array)) {
+    universe.push_back(control_leak(pair.first, pair.second));
+  }
+  return universe;
+}
+
+CoverageReport single_fault_coverage(const Simulator& simulator,
+                                     std::span<const TestVector> vectors,
+                                     std::span<const Fault> universe) {
+  CoverageReport report;
+  report.total_faults = static_cast<int>(universe.size());
+  for (const Fault& fault : universe) {
+    const Fault injected[] = {fault};
+    if (simulator.any_detects(vectors, injected)) {
+      ++report.detected_faults;
+    } else {
+      report.undetected.push_back(fault);
+    }
+  }
+  return report;
+}
+
+PairCoverageReport two_fault_coverage(const Simulator& simulator,
+                                      std::span<const TestVector> vectors,
+                                      std::span<const Fault> universe,
+                                      std::size_t max_undetected_kept) {
+  PairCoverageReport report;
+  for (std::size_t a = 0; a < universe.size(); ++a) {
+    for (std::size_t b = a + 1; b < universe.size(); ++b) {
+      // Two faults on the same valve are contradictory (a valve cannot be
+      // both stuck open and stuck closed); skip same-valve combinations.
+      if (universe[a].valve == universe[b].valve) continue;
+      ++report.total_pairs;
+      const Fault injected[] = {universe[a], universe[b]};
+      if (simulator.any_detects(vectors, injected)) {
+        ++report.detected_pairs;
+      } else if (report.undetected.size() < max_undetected_kept) {
+        report.undetected.emplace_back(universe[a], universe[b]);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fpva::sim

@@ -1,0 +1,68 @@
+// Fault-coverage analysis of a test set.
+//
+// The generator's repair loop and the property tests both need the same
+// question answered: which faults from a given universe does a vector set
+// detect? Detection is behavioral (simulated), not structural, so coverage
+// here accounts for path interference, fluidic seas and masking exactly as
+// a real chip would exhibit them.
+#ifndef FPVA_SIM_COVERAGE_H
+#define FPVA_SIM_COVERAGE_H
+
+#include <span>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace fpva::sim {
+
+/// All single stuck-at faults of the array (sa0 and sa1 per valve).
+std::vector<Fault> single_stuck_fault_universe(const grid::ValveArray& array);
+
+/// All control-leak faults under the nearest-neighbor routing model.
+std::vector<Fault> control_leak_universe(const grid::ValveArray& array);
+
+/// Result of a coverage run.
+struct CoverageReport {
+  int total_faults = 0;
+  int detected_faults = 0;
+  std::vector<Fault> undetected;  ///< faults no vector catches
+
+  double coverage() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(detected_faults) / total_faults;
+  }
+  bool complete() const { return detected_faults == total_faults; }
+};
+
+/// Single-fault coverage of `vectors` over `universe`.
+CoverageReport single_fault_coverage(const Simulator& simulator,
+                                     std::span<const TestVector> vectors,
+                                     std::span<const Fault> universe);
+
+/// Exhaustive two-fault coverage: every unordered pair of distinct faults
+/// from `universe` is injected together. Quadratic in |universe|; intended
+/// for arrays up to roughly 10x10. Undetected entries list both pair
+/// members consecutively.
+struct PairCoverageReport {
+  long total_pairs = 0;
+  long detected_pairs = 0;
+  std::vector<std::pair<Fault, Fault>> undetected;
+
+  double coverage() const {
+    return total_pairs == 0
+               ? 1.0
+               : static_cast<double>(detected_pairs) /
+                     static_cast<double>(total_pairs);
+  }
+  bool complete() const { return detected_pairs == total_pairs; }
+};
+
+PairCoverageReport two_fault_coverage(const Simulator& simulator,
+                                      std::span<const TestVector> vectors,
+                                      std::span<const Fault> universe,
+                                      std::size_t max_undetected_kept = 100);
+
+}  // namespace fpva::sim
+
+#endif  // FPVA_SIM_COVERAGE_H

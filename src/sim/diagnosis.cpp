@@ -1,0 +1,75 @@
+#include "sim/diagnosis.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace fpva::sim {
+
+ResponseSignature response_signature(const Simulator& simulator,
+                                     std::span<const TestVector> vectors,
+                                     const Fault& fault) {
+  ResponseSignature signature;
+  signature.reserve(vectors.size() *
+                    static_cast<std::size_t>(simulator.sink_count()));
+  const Fault injected[] = {fault};
+  for (const TestVector& vector : vectors) {
+    const auto readings = simulator.readings(vector.states, injected);
+    signature.insert(signature.end(), readings.begin(), readings.end());
+  }
+  return signature;
+}
+
+ResponseSignature fault_free_signature(std::span<const TestVector> vectors) {
+  ResponseSignature signature;
+  for (const TestVector& vector : vectors) {
+    signature.insert(signature.end(), vector.expected.begin(),
+                     vector.expected.end());
+  }
+  return signature;
+}
+
+DiagnosisResult diagnose(const Simulator& simulator,
+                         std::span<const TestVector> vectors,
+                         const ResponseSignature& observed,
+                         std::span<const Fault> universe) {
+  common::check(observed.size() == fault_free_signature(vectors).size(),
+                "diagnose: observation arity != vectors x sinks");
+  DiagnosisResult result;
+  result.consistent_with_fault_free =
+      observed == fault_free_signature(vectors);
+  for (const Fault& fault : universe) {
+    if (response_signature(simulator, vectors, fault) == observed) {
+      result.candidates.push_back(fault);
+    }
+  }
+  return result;
+}
+
+DiagnosabilityReport diagnosability(const Simulator& simulator,
+                                    std::span<const TestVector> vectors,
+                                    std::span<const Fault> universe) {
+  DiagnosabilityReport report;
+  report.total_faults = static_cast<int>(universe.size());
+  const ResponseSignature healthy = fault_free_signature(vectors);
+
+  std::map<ResponseSignature, long> classes;
+  for (const Fault& fault : universe) {
+    ResponseSignature signature =
+        response_signature(simulator, vectors, fault);
+    if (signature == healthy) continue;  // undetected: not localizable
+    ++report.detected_faults;
+    ++classes[std::move(signature)];
+  }
+  report.equivalence_classes = static_cast<int>(classes.size());
+  const long n = report.detected_faults;
+  report.total_pairs = n * (n - 1) / 2;
+  long confused = 0;
+  for (const auto& [signature, count] : classes) {
+    confused += count * (count - 1) / 2;
+  }
+  report.distinguished_pairs = report.total_pairs - confused;
+  return report;
+}
+
+}  // namespace fpva::sim

@@ -1,0 +1,72 @@
+// Fault diagnosis and diagnosability analysis.
+//
+// The paper stops at detection (pass/fail); a production flow also wants to
+// know *which* defect explains a failing chip, e.g. to steer yield
+// learning. Under the single-fault assumption every fault induces a
+// deterministic response signature -- the readings it produces across the
+// applied vector set -- so diagnosis is signature matching, and the
+// resolution limit of a vector set is the partition of faults into
+// signature-equivalence classes.
+#ifndef FPVA_SIM_DIAGNOSIS_H
+#define FPVA_SIM_DIAGNOSIS_H
+
+#include <span>
+#include <vector>
+
+#include "sim/coverage.h"
+#include "sim/simulator.h"
+
+namespace fpva::sim {
+
+/// Concatenated readings of all vectors, in vector order (arity =
+/// #vectors x #sinks).
+using ResponseSignature = std::vector<bool>;
+
+/// The signature `fault` produces under `vectors`.
+ResponseSignature response_signature(const Simulator& simulator,
+                                     std::span<const TestVector> vectors,
+                                     const Fault& fault);
+
+/// The fault-free signature (the expected responses).
+ResponseSignature fault_free_signature(std::span<const TestVector> vectors);
+
+struct DiagnosisResult {
+  /// True when the observation matches a healthy chip.
+  bool consistent_with_fault_free = false;
+  /// Faults from the universe whose signature matches the observation
+  /// exactly (empty together with !consistent_with_fault_free means the
+  /// observation needs a multi-fault explanation).
+  std::vector<Fault> candidates;
+};
+
+/// Matches `observed` (readings of each vector, concatenated) against the
+/// single-fault universe.
+DiagnosisResult diagnose(const Simulator& simulator,
+                         std::span<const TestVector> vectors,
+                         const ResponseSignature& observed,
+                         std::span<const Fault> universe);
+
+struct DiagnosabilityReport {
+  int total_faults = 0;
+  int detected_faults = 0;     ///< signature differs from fault-free
+  int equivalence_classes = 0; ///< distinct signatures among detected
+  long total_pairs = 0;        ///< pairs of detected faults
+  long distinguished_pairs = 0;
+
+  /// Fraction of detected-fault pairs told apart by the vector set.
+  double resolution() const {
+    return total_pairs == 0
+               ? 1.0
+               : static_cast<double>(distinguished_pairs) /
+                     static_cast<double>(total_pairs);
+  }
+};
+
+/// How sharply `vectors` can localize faults from `universe`.
+DiagnosabilityReport diagnosability(const Simulator& simulator,
+                                    std::span<const TestVector> vectors,
+                                    std::span<const Fault> universe);
+
+}  // namespace fpva::sim
+
+#endif  // FPVA_SIM_DIAGNOSIS_H

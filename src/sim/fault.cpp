@@ -1,0 +1,40 @@
+#include "sim/fault.h"
+
+#include "common/strings.h"
+
+namespace fpva::sim {
+
+Fault stuck_at_0(grid::ValveId valve) {
+  return Fault{FaultType::kStuckAt0, valve, grid::kInvalidValve};
+}
+
+Fault stuck_at_1(grid::ValveId valve) {
+  return Fault{FaultType::kStuckAt1, valve, grid::kInvalidValve};
+}
+
+Fault control_leak(grid::ValveId valve, grid::ValveId partner) {
+  return Fault{FaultType::kControlLeak, valve, partner};
+}
+
+std::string to_string(const Fault& fault) {
+  switch (fault.type) {
+    case FaultType::kStuckAt0:
+      return common::cat("sa0@", fault.valve);
+    case FaultType::kStuckAt1:
+      return common::cat("sa1@", fault.valve);
+    case FaultType::kControlLeak:
+      return common::cat("leak@", fault.valve, '~', fault.partner);
+  }
+  return "?";
+}
+
+std::string to_string(const std::vector<Fault>& faults) {
+  std::vector<std::string> parts;
+  parts.reserve(faults.size());
+  for (const Fault& fault : faults) {
+    parts.push_back(to_string(fault));
+  }
+  return common::cat('{', common::join(parts, ", "), '}');
+}
+
+}  // namespace fpva::sim

@@ -1,0 +1,44 @@
+// Component-level fault model of Section II of the paper.
+//
+// A broken flow channel or broken control channel manifests as a valve that
+// can never open (stuck-at-0); a leaking flow channel as a valve that can
+// never close (stuck-at-1); a leaking control channel couples two valves so
+// that actuating either closes both.
+#ifndef FPVA_SIM_FAULT_H
+#define FPVA_SIM_FAULT_H
+
+#include <string>
+#include <vector>
+
+#include "grid/array.h"
+
+namespace fpva::sim {
+
+enum class FaultType : std::uint8_t {
+  kStuckAt0,     ///< valve cannot open (broken flow/control channel)
+  kStuckAt1,     ///< valve cannot close (leaking flow channel)
+  kControlLeak,  ///< actuating either of two valves closes both
+};
+
+/// One injected fault. `valve` identifies the faulty valve; `partner` is the
+/// coupled valve for control leaks and unused otherwise.
+struct Fault {
+  FaultType type = FaultType::kStuckAt0;
+  grid::ValveId valve = grid::kInvalidValve;
+  grid::ValveId partner = grid::kInvalidValve;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Convenience constructors.
+Fault stuck_at_0(grid::ValveId valve);
+Fault stuck_at_1(grid::ValveId valve);
+Fault control_leak(grid::ValveId valve, grid::ValveId partner);
+
+/// "sa0@12", "sa1@3", "leak@4~9" rendering for diagnostics.
+std::string to_string(const Fault& fault);
+std::string to_string(const std::vector<Fault>& faults);
+
+}  // namespace fpva::sim
+
+#endif  // FPVA_SIM_FAULT_H

@@ -1,0 +1,176 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace fpva::sim {
+
+using grid::Cell;
+using grid::Direction;
+using grid::Site;
+using grid::SiteKind;
+
+const char* to_cstring(VectorKind kind) {
+  switch (kind) {
+    case VectorKind::kFlowPath: return "path";
+    case VectorKind::kCutSet: return "cut";
+    case VectorKind::kControlLeak: return "leak";
+    case VectorKind::kOther: return "other";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const grid::ValveArray& array) : array_(&array) {
+  const int cell_count = array.rows() * array.cols();
+  link_begin_.assign(static_cast<std::size_t>(cell_count) + 1, 0);
+
+  // Two passes: count links per cell, then fill the packed adjacency.
+  const auto for_each_link = [&](auto&& visit) {
+    for (int index = 0; index < cell_count; ++index) {
+      const Cell cell = array.cell_at_index(index);
+      if (!array.is_fluid(cell)) continue;
+      for (const Direction direction : grid::kAllDirections) {
+        const auto next = array.neighbor(cell, direction);
+        if (!next || !array.is_fluid(*next)) continue;
+        const Site gate = valve_site_of(cell, direction);
+        const SiteKind kind = array.site_kind(gate);
+        if (kind == SiteKind::kWall) continue;
+        visit(index, array.cell_index(*next), array.valve_id(gate));
+      }
+    }
+  };
+  for_each_link([&](int from, int, grid::ValveId) {
+    ++link_begin_[static_cast<std::size_t>(from) + 1];
+  });
+  for (std::size_t i = 1; i < link_begin_.size(); ++i) {
+    link_begin_[i] += link_begin_[i - 1];
+  }
+  links_.resize(static_cast<std::size_t>(link_begin_.back()));
+  std::vector<int> cursor(link_begin_.begin(), link_begin_.end() - 1);
+  for_each_link([&](int from, int to, grid::ValveId valve) {
+    links_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(from)]++)] = Link{to, valve};
+  });
+
+  for (const grid::Port& port : array.ports()) {
+    const int cell = array.cell_index(array.port_cell(port));
+    if (port.kind == grid::PortKind::kSource) {
+      source_cells_.push_back(cell);
+    } else {
+      sink_cells_.push_back(cell);
+    }
+  }
+  pressurized_.assign(static_cast<std::size_t>(cell_count), 0);
+  frontier_.reserve(static_cast<std::size_t>(cell_count));
+  open_scratch_.assign(static_cast<std::size_t>(array.valve_count()), 0);
+}
+
+ValveStates Simulator::effective_states(const ValveStates& states,
+                                        std::span<const Fault> faults) const {
+  common::check(static_cast<int>(states.size()) == array_->valve_count(),
+                "Simulator: vector arity != valve count");
+  ValveStates effective = states;
+  const auto valid = [&](grid::ValveId id) {
+    return id >= 0 && id < array_->valve_count();
+  };
+  // Control leaks: shared control pressure closes both partners whenever
+  // either is actuated (commanded closed).
+  for (const Fault& fault : faults) {
+    if (fault.type != FaultType::kControlLeak) continue;
+    common::check(valid(fault.valve) && valid(fault.partner),
+                  "Simulator: control-leak fault on invalid valves");
+    const bool either_actuated =
+        !states[static_cast<std::size_t>(fault.valve)] ||
+        !states[static_cast<std::size_t>(fault.partner)];
+    if (either_actuated) {
+      effective[static_cast<std::size_t>(fault.valve)] = false;
+      effective[static_cast<std::size_t>(fault.partner)] = false;
+    }
+  }
+  // Stuck-at-0 (cannot open) overrides commands and leaks.
+  for (const Fault& fault : faults) {
+    if (fault.type != FaultType::kStuckAt0) continue;
+    common::check(valid(fault.valve), "Simulator: sa0 on invalid valve");
+    effective[static_cast<std::size_t>(fault.valve)] = false;
+  }
+  // Stuck-at-1 (cannot close): a flow-layer defect keeps the channel open
+  // regardless of control pressure, so it wins last.
+  for (const Fault& fault : faults) {
+    if (fault.type != FaultType::kStuckAt1) continue;
+    common::check(valid(fault.valve), "Simulator: sa1 on invalid valve");
+    effective[static_cast<std::size_t>(fault.valve)] = true;
+  }
+  return effective;
+}
+
+std::vector<bool> Simulator::readings(const ValveStates& states,
+                                      std::span<const Fault> faults) const {
+  common::check(static_cast<int>(states.size()) == array_->valve_count(),
+                "Simulator: vector arity != valve count");
+  // Resolve effective openness into the flat scratch buffer.
+  if (faults.empty()) {
+    for (int v = 0; v < array_->valve_count(); ++v) {
+      open_scratch_[static_cast<std::size_t>(v)] =
+          states[static_cast<std::size_t>(v)] ? 1 : 0;
+    }
+  } else {
+    const ValveStates effective = effective_states(states, faults);
+    for (int v = 0; v < array_->valve_count(); ++v) {
+      open_scratch_[static_cast<std::size_t>(v)] =
+          effective[static_cast<std::size_t>(v)] ? 1 : 0;
+    }
+  }
+
+  // BFS flood from all source cells.
+  std::fill(pressurized_.begin(), pressurized_.end(), 0);
+  frontier_.clear();
+  for (const int cell : source_cells_) {
+    if (!pressurized_[static_cast<std::size_t>(cell)]) {
+      pressurized_[static_cast<std::size_t>(cell)] = 1;
+      frontier_.push_back(cell);
+    }
+  }
+  for (std::size_t head = 0; head < frontier_.size(); ++head) {
+    const int cell = frontier_[head];
+    const int begin = link_begin_[static_cast<std::size_t>(cell)];
+    const int end = link_begin_[static_cast<std::size_t>(cell) + 1];
+    for (int k = begin; k < end; ++k) {
+      const Link& link = links_[static_cast<std::size_t>(k)];
+      if (link.valve != grid::kInvalidValve &&
+          !open_scratch_[static_cast<std::size_t>(link.valve)]) {
+        continue;
+      }
+      if (!pressurized_[static_cast<std::size_t>(link.to)]) {
+        pressurized_[static_cast<std::size_t>(link.to)] = 1;
+        frontier_.push_back(link.to);
+      }
+    }
+  }
+
+  std::vector<bool> result(sink_cells_.size());
+  for (std::size_t s = 0; s < sink_cells_.size(); ++s) {
+    result[s] = pressurized_[static_cast<std::size_t>(sink_cells_[s])] != 0;
+  }
+  return result;
+}
+
+bool Simulator::detects(const TestVector& vector,
+                        std::span<const Fault> faults) const {
+  common::check(vector.expected.size() == sink_cells_.size(),
+                "Simulator: vector expected-arity != sink count");
+  return readings(vector.states, faults) != vector.expected;
+}
+
+bool Simulator::any_detects(std::span<const TestVector> vectors,
+                            std::span<const Fault> faults) const {
+  for (const TestVector& vector : vectors) {
+    if (detects(vector, faults)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fpva::sim

@@ -1,0 +1,76 @@
+// Behavioral pressure simulator for FPVAs.
+//
+// Pressure propagation in the flow layer is reachability: a fluid cell is
+// pressurized exactly when it is connected to a source port through open
+// sites. This reproduces the observation model of the paper (and of Hu et
+// al., TCAD'14, its fault-model source): pressure meters at sink ports read
+// a binary pressure/no-pressure value.
+#ifndef FPVA_SIM_SIMULATOR_H
+#define FPVA_SIM_SIMULATOR_H
+
+#include <span>
+#include <vector>
+
+#include "grid/array.h"
+#include "sim/fault.h"
+#include "sim/test_vector.h"
+
+namespace fpva::sim {
+
+/// Simulates one ValveArray. Construction precomputes the cell adjacency;
+/// readings() then runs an allocation-free BFS per call.
+///
+/// Not thread-safe: scratch buffers are reused across calls. Create one
+/// Simulator per thread.
+class Simulator {
+ public:
+  explicit Simulator(const grid::ValveArray& array);
+
+  const grid::ValveArray& array() const { return *array_; }
+
+  /// Effective open/closed state of every valve under `faults`, starting
+  /// from commanded `states`. Resolution order: control leaks first (either
+  /// partner commanded closed closes both), then stuck-at-0 forces closed,
+  /// then stuck-at-1 forces open (a flow-layer leak defeats any control
+  /// pressure).
+  ValveStates effective_states(const ValveStates& states,
+                               std::span<const Fault> faults) const;
+
+  /// Pressure reading at each sink port (order of ports_of_kind(kSink)).
+  std::vector<bool> readings(const ValveStates& states,
+                             std::span<const Fault> faults = {}) const;
+
+  /// Fault-free readings, i.e. the expected response of a good chip.
+  std::vector<bool> expected(const ValveStates& states) const {
+    return readings(states, {});
+  }
+
+  /// True when the faulty readings differ from `vector.expected`.
+  bool detects(const TestVector& vector, std::span<const Fault> faults) const;
+
+  /// True when at least one vector in `vectors` detects `faults`.
+  bool any_detects(std::span<const TestVector> vectors,
+                   std::span<const Fault> faults) const;
+
+  /// Number of sink ports (arity of readings()).
+  int sink_count() const { return static_cast<int>(sink_cells_.size()); }
+
+ private:
+  struct Link {
+    int to;                      ///< destination cell index
+    grid::ValveId valve;         ///< kInvalidValve for channel links
+  };
+
+  const grid::ValveArray* array_;
+  std::vector<int> link_begin_;        ///< cell index -> first link
+  std::vector<Link> links_;            ///< packed adjacency (fluid cells)
+  std::vector<int> source_cells_;      ///< cell indices fed by sources
+  std::vector<int> sink_cells_;        ///< cell indices read by sinks
+  mutable std::vector<char> pressurized_;  // scratch
+  mutable std::vector<int> frontier_;      // scratch
+  mutable std::vector<char> open_scratch_; // scratch
+};
+
+}  // namespace fpva::sim
+
+#endif  // FPVA_SIM_SIMULATOR_H

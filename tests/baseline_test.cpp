@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "grid/presets.h"
+#include "sim/coverage.h"
+#include "sim/simulator.h"
+
+namespace fpva::core {
+namespace {
+
+TEST(BaselineTest, EmitsTwoVectorsPerValve) {
+  const auto array = grid::full_array(4, 4);
+  const auto baseline = generate_baseline(array);
+  EXPECT_TRUE(baseline.skipped.empty());
+  EXPECT_EQ(static_cast<int>(baseline.vectors.size()),
+            2 * array.valve_count());
+}
+
+TEST(BaselineTest, AchievesFullStuckCoverage) {
+  const auto array = grid::table1_array(5);
+  const auto baseline = generate_baseline(array);
+  const sim::Simulator simulator(array);
+  const auto universe = sim::single_stuck_fault_universe(array);
+  const auto report =
+      sim::single_fault_coverage(simulator, baseline.vectors, universe);
+  EXPECT_TRUE(report.complete())
+      << report.undetected.size() << " faults undetected";
+}
+
+TEST(BaselineTest, QuadraticallyWorseThanProposed) {
+  // The Section IV comparison: baseline ~ 2*n_v vs proposed ~ 2*sqrt(n_v).
+  const auto array = grid::table1_array(10);
+  const auto baseline = generate_baseline(array);
+  EXPECT_EQ(static_cast<int>(baseline.vectors.size()),
+            2 * array.valve_count());
+}
+
+}  // namespace
+}  // namespace fpva::core

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace fpva::common {
+namespace {
+
+TEST(CheckTest, PassesAndThrows) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  EXPECT_THROW(check(false, "boom"), Error);
+  EXPECT_THROW(fail("always"), Error);
+  try {
+    check(false, "context-message");
+    FAIL() << "expected throw";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("context-message"),
+              std::string::npos);
+  }
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  Rng a2(42);
+  EXPECT_NE(a2(), c());  // different seeds diverge immediately (w.h.p.)
+}
+
+TEST(RngTest, NextBelowIsInRangeAndCoversAll) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t value = rng.next_below(5);
+    EXPECT_LT(value, 5u);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRespectsInclusiveBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const auto value = rng.next_in(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+  }
+  EXPECT_EQ(rng.next_in(5, 5), 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.next_bool(0.5);
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(19);
+  const auto sample = rng.sample_indices(50, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const std::size_t index : sample) EXPECT_LT(index, 50u);
+  EXPECT_THROW(rng.sample_indices(3, 4), Error);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(items.begin(), items.end(),
+                                  shuffled.begin()));
+}
+
+TEST(StringsTest, CatJoinsArbitraryTypes) {
+  EXPECT_EQ(cat("valve ", 3, '/', 7.5), "valve 3/7.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  const auto fields = split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(StringsTest, TrimAndPads) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("7", 3), "7  ");
+  EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(StringsTest, ToFixed) {
+  EXPECT_EQ(to_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(to_fixed(2.0, 0), "2");
+  EXPECT_THROW(to_fixed(1.0, -1), Error);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"Dim", "n_v"});
+  table.add_row({"5 x 5", "39"});
+  table.add_row({"30 x 30", "1704"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("Dim"), std::string::npos);
+  EXPECT_NE(text.find("1704"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TimerTest, MeasuresForwardTime) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(timer.seconds(), 0.0);
+  EXPECT_GE(timer.millis(), timer.seconds() * 1000.0 * 0.99);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace fpva::common

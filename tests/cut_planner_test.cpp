@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cut_planner.h"
+#include "grid/builder.h"
+#include "grid/presets.h"
+
+namespace fpva::core {
+namespace {
+
+using grid::Cell;
+using grid::Site;
+
+std::vector<bool> all_targets(const grid::ValveArray& array) {
+  return std::vector<bool>(static_cast<std::size_t>(array.valve_count()),
+                           true);
+}
+
+TEST(DualGridTest, PostIdsRoundTrip) {
+  const auto array = grid::full_array(3, 5);
+  EXPECT_EQ(dual_post_count(array), 4 * 6);
+  for (int id = 0; id < dual_post_count(array); ++id) {
+    const Site post = dual_post_site(array, id);
+    EXPECT_TRUE(has_post_parity(post));
+    EXPECT_EQ(dual_post_id(array, post), id);
+  }
+}
+
+TEST(DualGridTest, DefaultPortsMakeTwoArcs) {
+  const auto array = grid::full_array(4, 4);
+  int arc_count = 0;
+  const auto arcs = dual_boundary_arcs(array, &arc_count);
+  EXPECT_EQ(arc_count, 2);
+  // Interior posts carry no arc.
+  EXPECT_EQ(arcs[static_cast<std::size_t>(
+                dual_post_id(array, Site{2, 2}))],
+            -1);
+  // Post above the source (0,0) and post below it land in different arcs.
+  const int above = arcs[static_cast<std::size_t>(
+      dual_post_id(array, Site{0, 0}))];
+  const int below = arcs[static_cast<std::size_t>(
+      dual_post_id(array, Site{2, 0}))];
+  EXPECT_NE(above, below);
+}
+
+TEST(CutPlannerTest, StaircasePartitionsFullArrayValves) {
+  const auto array = grid::full_array(5, 5);
+  CutPlanner planner(array);
+  std::set<Site> seen;
+  int total = 0;
+  for (int d = 1; d <= 8; ++d) {
+    const auto cut = planner.staircase(d);
+    ASSERT_TRUE(cut.has_value()) << "d=" << d;
+    EXPECT_EQ(validate_cut_set(array, *cut), std::nullopt);
+    for (const Site site : cut->sites) {
+      EXPECT_TRUE(seen.insert(site).second)
+          << "site " << grid::to_string(site) << " in two staircases";
+      ++total;
+    }
+  }
+  // The 2n-2 staircases cover every internal valve exactly once.
+  EXPECT_EQ(total, array.valve_count());
+}
+
+TEST(CutPlannerTest, StaircaseCountMatchesTable1Law) {
+  // n_c = 2n-2 staircases on full arrays reproduces Table I's cut counts.
+  for (const int n : {5, 10, 15}) {
+    const auto array = grid::full_array(n, n);
+    CutPlanner planner(array);
+    const auto result = planner.cover(all_targets(array));
+    EXPECT_EQ(static_cast<int>(result.cuts.size()), 2 * n - 2) << "n=" << n;
+    EXPECT_TRUE(result.uncoverable.empty());
+  }
+}
+
+TEST(CutPlannerTest, ChannelBreaksOneStaircase) {
+  const auto array = grid::table1_array(5);  // channel at (5,4), interface 4
+  CutPlanner planner(array);
+  EXPECT_FALSE(planner.staircase(4).has_value());
+  EXPECT_TRUE(planner.staircase(3).has_value());
+  // cover() patches the broken interface with snake cuts.
+  const auto result = planner.cover(all_targets(array));
+  EXPECT_TRUE(result.uncoverable.empty());
+  std::vector<bool> covered(static_cast<std::size_t>(array.valve_count()),
+                            false);
+  for (const CutSet& cut : result.cuts) {
+    EXPECT_EQ(validate_cut_set(array, cut), std::nullopt);
+    for (const grid::ValveId v : cut_valves(array, cut)) {
+      covered[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  for (std::size_t v = 0; v < covered.size(); ++v) {
+    EXPECT_TRUE(covered[v]) << "valve " << v;
+  }
+}
+
+class CutCoverSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutCoverSweep, CoversTable1Array) {
+  const auto array = grid::table1_array(GetParam());
+  CutPlanner planner(array);
+  const auto result = planner.cover(all_targets(array));
+  EXPECT_TRUE(result.uncoverable.empty());
+  std::vector<bool> covered(static_cast<std::size_t>(array.valve_count()),
+                            false);
+  for (const CutSet& cut : result.cuts) {
+    EXPECT_EQ(validate_cut_set(array, cut), std::nullopt);
+    for (const grid::ValveId v : cut_valves(array, cut)) {
+      covered[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  int missing = 0;
+  for (const bool c : covered) missing += !c;
+  EXPECT_EQ(missing, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, CutCoverSweep,
+                         ::testing::Values(5, 10, 15, 20));
+
+TEST(CutPlannerTest, CutThroughSpecificValve) {
+  const auto array = grid::full_array(5, 5);
+  CutPlanner planner(array);
+  for (const grid::ValveId v : {0, 13, 27, 39}) {
+    const auto cut = planner.cut_through(v);
+    ASSERT_TRUE(cut.has_value()) << "valve " << v;
+    EXPECT_EQ(validate_cut_set(array, *cut), std::nullopt);
+    const auto valves = cut_valves(array, *cut);
+    EXPECT_NE(std::find(valves.begin(), valves.end(), v), valves.end());
+  }
+}
+
+TEST(CutPlannerTest, CutThroughRespectsAvoid) {
+  const auto array = grid::full_array(4, 4);
+  CutPlanner planner(array);
+  std::vector<bool> avoid(static_cast<std::size_t>(array.valve_count()),
+                          false);
+  avoid[3] = avoid[8] = true;
+  const auto cut = planner.cut_through(12, &avoid);
+  if (cut.has_value()) {
+    for (const grid::ValveId v : cut_valves(array, *cut)) {
+      EXPECT_FALSE(avoid[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(CutPlannerTest, ChordlessAbsorbsBracketedValves) {
+  // Construct a cut with a deliberate chord: a U-shaped dual path whose
+  // opening brackets one valve. make_chordless must absorb it.
+  const auto array = grid::full_array(3, 3);
+  CutPlanner planner(array);
+  CutSet cut;
+  // Dual posts (0,2)->(2,2)->(2,4)->(0,4) cross sites (1,2),(2,3),(1,4):
+  // posts (0,2) and (0,4) are both on the top boundary -- and the valve at
+  // site (0,3) is a boundary wall, not a valve, so instead bracket an
+  // interior valve: posts (2,2),(4,2),(4,4),(2,4) have interior valve (3,3)
+  // between (2,2)... actually between posts (2,2)-(2,4) lies (2,3) and
+  // between (4,2)-(4,4) lies (4,3); the bracketed chord of the U
+  // (2,2)->(4,2)->(4,4)->(2,4) is site (2,3) -- wait, that U crosses
+  // (3,2),(4,3),(3,4) and brackets (2,3).
+  cut.sites = {Site{3, 2}, Site{4, 3}, Site{3, 4}};
+  planner.make_chordless(cut);
+  EXPECT_NE(std::find(cut.sites.begin(), cut.sites.end(), (Site{2, 3})),
+            cut.sites.end());
+}
+
+TEST(CutSetTest, ValidateRejectsNonSeparatingSets) {
+  const auto array = grid::full_array(3, 3);
+  CutSet empty;
+  EXPECT_TRUE(validate_cut_set(array, empty).has_value());
+  CutSet partial;
+  partial.sites = {Site{1, 2}};  // one valve cannot separate
+  EXPECT_TRUE(validate_cut_set(array, partial).has_value());
+}
+
+TEST(CutSetTest, ValidateRejectsChannelSites) {
+  const auto array = grid::table1_array(5);
+  CutSet cut;
+  cut.sites = {Site{5, 4}};  // the preset channel
+  const auto problem = validate_cut_set(array, cut);
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("channel"), std::string::npos);
+}
+
+TEST(CutSetTest, VectorExpectationsAreSilent) {
+  const auto array = grid::full_array(4, 4);
+  const sim::Simulator simulator(array);
+  CutPlanner planner(array);
+  const auto cut = planner.staircase(3);
+  ASSERT_TRUE(cut.has_value());
+  const auto vector = to_test_vector(array, simulator, *cut, "c");
+  EXPECT_EQ(vector.kind, sim::VectorKind::kCutSet);
+  for (const bool reading : vector.expected) {
+    EXPECT_FALSE(reading);
+  }
+  // Every cut valve's stuck-at-1 leak is visible through this vector.
+  for (const grid::ValveId v : cut_valves(array, *cut)) {
+    const sim::Fault fault[] = {sim::stuck_at_1(v)};
+    EXPECT_TRUE(simulator.detects(vector, fault)) << "valve " << v;
+  }
+}
+
+}  // namespace
+}  // namespace fpva::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/generator.h"
+#include "grid/presets.h"
+#include "sim/diagnosis.h"
+
+namespace fpva::sim {
+namespace {
+
+TEST(DiagnosisTest, FaultFreeChipDiagnosesClean) {
+  const auto array = grid::full_array(4, 4);
+  const auto set = core::generate_test_set(array);
+  const Simulator simulator(array);
+  const auto observed = fault_free_signature(set.vectors);
+  const auto universe = single_stuck_fault_universe(array);
+  const auto result = diagnose(simulator, set.vectors, observed, universe);
+  EXPECT_TRUE(result.consistent_with_fault_free);
+  // A fully covering vector set leaves no fault with the clean signature.
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST(DiagnosisTest, TrueFaultIsAlwaysACandidate) {
+  const auto array = grid::table1_array(5);
+  const auto set = core::generate_test_set(array);
+  const Simulator simulator(array);
+  const auto universe = single_stuck_fault_universe(array);
+  for (const Fault& truth : universe) {
+    const auto observed = response_signature(simulator, set.vectors, truth);
+    const auto result =
+        diagnose(simulator, set.vectors, observed, universe);
+    EXPECT_FALSE(result.consistent_with_fault_free) << to_string(truth);
+    EXPECT_NE(std::find(result.candidates.begin(), result.candidates.end(),
+                        truth),
+              result.candidates.end())
+        << to_string(truth);
+  }
+}
+
+TEST(DiagnosisTest, SignatureArityIsVectorsTimesSinks) {
+  const auto array = grid::full_array(3, 3);
+  const auto set = core::generate_test_set(array);
+  const Simulator simulator(array);
+  const auto signature =
+      response_signature(simulator, set.vectors, stuck_at_0(0));
+  EXPECT_EQ(signature.size(),
+            set.vectors.size() *
+                static_cast<std::size_t>(simulator.sink_count()));
+}
+
+TEST(DiagnosisTest, DiagnosabilityReportIsConsistent) {
+  const auto array = grid::table1_array(5);
+  const auto set = core::generate_test_set(array);
+  const Simulator simulator(array);
+  const auto universe = single_stuck_fault_universe(array);
+  const auto report = diagnosability(simulator, set.vectors, universe);
+  EXPECT_EQ(report.total_faults, static_cast<int>(universe.size()));
+  // The generated set detects every stuck fault (see generator tests).
+  EXPECT_EQ(report.detected_faults, report.total_faults);
+  EXPECT_GE(report.equivalence_classes, 1);
+  EXPECT_LE(report.equivalence_classes, report.detected_faults);
+  EXPECT_LE(report.distinguished_pairs, report.total_pairs);
+  EXPECT_GE(report.resolution(), 0.0);
+  EXPECT_LE(report.resolution(), 1.0);
+  // A compact detection-oriented set still tells most fault pairs apart.
+  EXPECT_GT(report.resolution(), 0.5);
+}
+
+TEST(DiagnosisTest, MoreVectorsNeverReduceResolution) {
+  const auto array = grid::full_array(4, 4);
+  core::GeneratorOptions thin;
+  thin.generate_cut_vectors = false;
+  thin.generate_leak_vectors = false;
+  const auto thin_set = core::generate_test_set(array, thin);
+  const auto full_set = core::generate_test_set(array);
+  const Simulator simulator(array);
+  const auto universe = single_stuck_fault_universe(array);
+  const auto thin_report =
+      diagnosability(simulator, thin_set.vectors, universe);
+  const auto full_report =
+      diagnosability(simulator, full_set.vectors, universe);
+  EXPECT_GE(full_report.detected_faults, thin_report.detected_faults);
+  EXPECT_GE(full_report.equivalence_classes,
+            thin_report.equivalence_classes);
+}
+
+TEST(DiagnosisTest, RejectsWrongArity) {
+  const auto array = grid::full_array(3, 3);
+  const auto set = core::generate_test_set(array);
+  const Simulator simulator(array);
+  const auto universe = single_stuck_fault_universe(array);
+  ResponseSignature wrong(3, false);
+  EXPECT_THROW(diagnose(simulator, set.vectors, wrong, universe),
+               common::Error);
+}
+
+}  // namespace
+}  // namespace fpva::sim

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/flow_path.h"
+#include "grid/builder.h"
+#include "grid/presets.h"
+
+namespace fpva::core {
+namespace {
+
+using grid::Cell;
+using grid::Site;
+
+FlowPath straight_row_path(const grid::ValveArray& array) {
+  // Valid only for 1xN arrays with default ports.
+  FlowPath path;
+  path.source_port = 0;
+  path.sink_port = 1;
+  for (int j = 0; j < array.cols(); ++j) {
+    path.cells.push_back(Cell{0, j});
+  }
+  return path;
+}
+
+TEST(FlowPathTest, SitesAndValvesOfRowPath) {
+  const auto array = grid::full_array(1, 4);
+  const FlowPath path = straight_row_path(array);
+  EXPECT_EQ(validate_flow_path(array, path), std::nullopt);
+  const auto sites = path_sites(array, path);
+  ASSERT_EQ(sites.size(), 5u);  // port + 3 internal + port
+  EXPECT_EQ(sites.front(), (Site{1, 0}));
+  EXPECT_EQ(sites.back(), (Site{1, 8}));
+  EXPECT_EQ(path_valves(array, path).size(), 3u);  // ports carry no valve
+}
+
+TEST(FlowPathTest, ValidationCatchesDefects) {
+  const auto array = grid::full_array(3, 3);
+  FlowPath path;
+  path.source_port = 0;
+  path.sink_port = 1;
+  // Wrong start cell.
+  path.cells = {Cell{1, 1}, Cell{2, 1}, Cell{2, 2}};
+  EXPECT_TRUE(validate_flow_path(array, path).has_value());
+  // Non-adjacent jump.
+  path.cells = {Cell{0, 0}, Cell{2, 2}};
+  EXPECT_TRUE(validate_flow_path(array, path).has_value());
+  // Repeated cell (not simple).
+  path.cells = {Cell{0, 0}, Cell{0, 1}, Cell{0, 0}, Cell{1, 0},
+                Cell{1, 1}, Cell{1, 2}, Cell{2, 2}};
+  EXPECT_TRUE(validate_flow_path(array, path).has_value());
+  // Swapped port kinds.
+  FlowPath swapped;
+  swapped.source_port = 1;
+  swapped.sink_port = 0;
+  swapped.cells = {Cell{0, 0}};
+  EXPECT_TRUE(validate_flow_path(array, swapped).has_value());
+  // Valid L-shaped path.
+  FlowPath good;
+  good.source_port = 0;
+  good.sink_port = 1;
+  good.cells = {Cell{0, 0}, Cell{1, 0}, Cell{2, 0}, Cell{2, 1}, Cell{2, 2}};
+  EXPECT_EQ(validate_flow_path(array, good), std::nullopt);
+}
+
+TEST(FlowPathTest, PathThroughObstacleWallRejected) {
+  const auto array = grid::LayoutBuilder(3, 3)
+                         .obstacle_rect(Cell{1, 1}, Cell{1, 1})
+                         .default_ports()
+                         .build();
+  FlowPath path;
+  path.source_port = 0;
+  path.sink_port = 1;
+  path.cells = {Cell{0, 0}, Cell{0, 1}, Cell{1, 1}, Cell{2, 1}, Cell{2, 2}};
+  const auto problem = validate_flow_path(array, path);
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("not a fluid cell"), std::string::npos);
+}
+
+TEST(FlowPathTest, TestVectorOpensExactlyPathValves) {
+  const auto array = grid::full_array(2, 3);
+  const sim::Simulator simulator(array);
+  FlowPath path;
+  path.source_port = 0;
+  path.sink_port = 1;
+  path.cells = {Cell{0, 0}, Cell{0, 1}, Cell{1, 1}, Cell{1, 2}};
+  ASSERT_EQ(validate_flow_path(array, path), std::nullopt);
+  const auto vector = to_test_vector(array, simulator, path, "p");
+  EXPECT_EQ(vector.kind, sim::VectorKind::kFlowPath);
+  const auto valves = path_valves(array, path);
+  int open_count = 0;
+  for (std::size_t v = 0; v < vector.states.size(); ++v) {
+    if (vector.states[v]) ++open_count;
+  }
+  EXPECT_EQ(open_count, static_cast<int>(valves.size()));
+  ASSERT_EQ(vector.expected.size(), 1u);
+  EXPECT_TRUE(vector.expected[0]);  // the path conducts on a good chip
+}
+
+TEST(FlowPathTest, VectorDetectsStuckAt0OnEveryPathValve) {
+  const auto array = grid::full_array(2, 3);
+  const sim::Simulator simulator(array);
+  FlowPath path;
+  path.source_port = 0;
+  path.sink_port = 1;
+  path.cells = {Cell{0, 0}, Cell{0, 1}, Cell{1, 1}, Cell{1, 2}};
+  const auto vector = to_test_vector(array, simulator, path, "p");
+  for (const grid::ValveId valve : path_valves(array, path)) {
+    const sim::Fault fault[] = {sim::stuck_at_0(valve)};
+    EXPECT_TRUE(simulator.detects(vector, fault)) << "valve " << valve;
+  }
+}
+
+TEST(FlowPathTest, InvalidPathRefusesVectorConversion) {
+  const auto array = grid::full_array(2, 2);
+  const sim::Simulator simulator(array);
+  FlowPath bad;
+  bad.source_port = 0;
+  bad.sink_port = 1;
+  bad.cells = {Cell{1, 1}};
+  EXPECT_THROW(to_test_vector(array, simulator, bad, "x"), common::Error);
+}
+
+}  // namespace
+}  // namespace fpva::core

@@ -1,0 +1,129 @@
+// End-to-end properties across modules: generate -> simulate -> verify, on
+// arrays with every structural feature (channels, obstacles, rectangular
+// shapes, extra ports).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/generator.h"
+#include "grid/builder.h"
+#include "grid/presets.h"
+#include "grid/serialize.h"
+#include "sim/campaign.h"
+#include "sim/control_topology.h"
+#include "sim/coverage.h"
+
+namespace fpva::core {
+namespace {
+
+using grid::Cell;
+using grid::Site;
+
+struct Scenario {
+  std::string name;
+  grid::ValveArray array;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> list;
+  list.push_back({"full_6x6", grid::full_array(6, 6)});
+  list.push_back({"rect_3x9", grid::full_array(3, 9)});
+  list.push_back({"table1_5", grid::table1_array(5)});
+  list.push_back({"channel_cross",
+                  grid::LayoutBuilder(6, 6)
+                      .channel_run(Site{5, 4}, Site{5, 8})
+                      .channel_run(Site{6, 7}, Site{8, 7})
+                      .default_ports()
+                      .build()});
+  list.push_back({"obstacle_block",
+                  grid::LayoutBuilder(6, 6)
+                      .obstacle_rect(Cell{2, 2}, Cell{3, 3})
+                      .default_ports()
+                      .build()});
+  list.push_back({"two_sinks",
+                  grid::LayoutBuilder(5, 5)
+                      .port(Site{1, 0}, grid::PortKind::kSource, "src")
+                      .port(Site{9, 10}, grid::PortKind::kSink, "m1")
+                      .port(Site{10, 9}, grid::PortKind::kSink, "m2")
+                      .build()});
+  return list;
+}
+
+class ScenarioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioTest, GenerateThenVerifyEverything) {
+  const Scenario scenario =
+      scenarios()[static_cast<std::size_t>(GetParam())];
+  const grid::ValveArray& array = scenario.array;
+  const auto set = generate_test_set(array);
+  SCOPED_TRACE(scenario.name);
+
+  // 1. All vectors are well-formed: right arity, simulated expectations.
+  const sim::Simulator simulator(array);
+  for (const sim::TestVector& vector : set.vectors) {
+    ASSERT_EQ(vector.states.size(),
+              static_cast<std::size_t>(array.valve_count()));
+    EXPECT_EQ(simulator.expected(vector.states), vector.expected);
+  }
+
+  // 2. Structural artifacts validate.
+  for (const FlowPath& path : set.paths) {
+    EXPECT_EQ(validate_flow_path(array, path), std::nullopt);
+  }
+  for (const CutSet& cut : set.cuts) {
+    EXPECT_EQ(validate_cut_set(array, cut), std::nullopt);
+  }
+
+  // 3. Full single-fault coverage of testable faults.
+  EXPECT_TRUE(set.undetected.empty())
+      << set.undetected.size() << " undetected";
+
+  // 4. Random multi-fault campaign (compressed Section IV experiment).
+  sim::CampaignOptions campaign;
+  campaign.trials_per_count = 500;
+  campaign.max_faults = std::min(5, array.valve_count());
+  const auto result = run_campaign(simulator, set.vectors, campaign);
+  EXPECT_TRUE(result.all_detected());
+
+  // 5. Vector economy: far fewer vectors than the 2*n_v baseline.
+  if (array.valve_count() >= 40) {
+    EXPECT_LT(set.total_vectors(), array.valve_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioTest,
+                         ::testing::Range(0, 6));
+
+TEST(IntegrationTest, SerializedArrayBehavesIdentically) {
+  const auto original = grid::table1_array(5);
+  const auto reparsed = grid::parse_ascii(grid::to_ascii(original));
+  const auto set_a = generate_test_set(original);
+  const auto set_b = generate_test_set(reparsed);
+  EXPECT_EQ(set_a.total_vectors(), set_b.total_vectors());
+  EXPECT_EQ(set_a.path_stage.vectors, set_b.path_stage.vectors);
+  EXPECT_EQ(set_a.cut_stage.vectors, set_b.cut_stage.vectors);
+}
+
+TEST(IntegrationTest, CampaignWithControlLeaksDetected) {
+  const auto array = grid::table1_array(5);
+  const auto set = generate_test_set(array);
+  const sim::Simulator simulator(array);
+  sim::CampaignOptions options;
+  options.trials_per_count = 1000;
+  options.include_control_leaks = true;
+  options.max_faults = 3;
+  // Draw only testable pairs (the port-less corner pairs are untestable by
+  // construction; see GeneratedTestSet::untestable_leaks).
+  for (const auto& pair : sim::control_leak_pairs(array)) {
+    const sim::Fault as_fault = sim::control_leak(pair.first, pair.second);
+    if (std::find(set.untestable_leaks.begin(), set.untestable_leaks.end(),
+                  as_fault) == set.untestable_leaks.end()) {
+      options.leak_pairs.push_back(pair);
+    }
+  }
+  const auto result = run_campaign(simulator, set.vectors, options);
+  EXPECT_TRUE(result.all_detected());
+}
+
+}  // namespace
+}  // namespace fpva::core

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace fpva::lp {
+namespace {
+
+TEST(LpModelTest, RejectsBadInput) {
+  Model model;
+  EXPECT_THROW(model.add_variable(1.0, 0.0, 0.0), common::Error);
+  EXPECT_THROW(model.add_variable(0.0, 1e99, 0.0), common::Error);
+  const int x = model.add_variable(0.0, 1.0, 1.0);
+  EXPECT_THROW(model.add_constraint({{x + 1, 1.0}}, Sense::kLessEqual, 0.0),
+               common::Error);
+}
+
+TEST(SimplexTest, UnconstrainedMinimizationSitsAtBounds) {
+  Model model;
+  model.add_variable(-2.0, 5.0, 1.0);   // minimize +x -> lower bound
+  model.add_variable(-2.0, 5.0, -1.0);  // minimize -y -> upper bound
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(solution.values[0], -2.0);
+  EXPECT_DOUBLE_EQ(solution.values[1], 5.0);
+  EXPECT_DOUBLE_EQ(solution.objective, -7.0);
+}
+
+TEST(SimplexTest, SimpleTwoVariableLp) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6  ->  min -(x+y).
+  Model model;
+  const int x = model.add_variable(0.0, 10.0, -1.0);
+  const int y = model.add_variable(0.0, 10.0, -1.0);
+  model.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::kLessEqual, 4.0);
+  model.add_constraint({{x, 3.0}, {y, 1.0}}, Sense::kLessEqual, 6.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(x)], 1.6, 1e-6);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(y)], 1.2, 1e-6);
+  EXPECT_NEAR(solution.objective, -2.8, 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraintNeedsPhase1) {
+  // min x + y s.t. x + y = 3, x - y >= 1.
+  Model model;
+  const int x = model.add_variable(0.0, 10.0, 1.0);
+  const int y = model.add_variable(0.0, 10.0, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 3.0);
+  model.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kGreaterEqual, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 3.0, 1e-6);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(x)] +
+                  solution.values[static_cast<std::size_t>(y)],
+              3.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  Model model;
+  const int x = model.add_variable(0.0, 1.0, 0.0);
+  model.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, ConflictingEqualitiesInfeasible) {
+  Model model;
+  const int x = model.add_variable(-5.0, 5.0, 0.0);
+  const int y = model.add_variable(-5.0, 5.0, 0.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 2.0);
+  EXPECT_EQ(solve(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, RedundantConstraintsHandled) {
+  Model model;
+  const int x = model.add_variable(0.0, 4.0, -1.0);
+  model.add_constraint({{x, 1.0}}, Sense::kLessEqual, 3.0);
+  model.add_constraint({{x, 2.0}}, Sense::kLessEqual, 6.0);  // same face
+  model.add_constraint({{x, 1.0}, {x, 1.0}}, Sense::kLessEqual, 6.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0], 3.0, 1e-6);
+}
+
+TEST(SimplexTest, NegativeLowerBoundsWork) {
+  // min x + y s.t. x + y >= -3, x <= -1.
+  Model model;
+  const int x = model.add_variable(-10.0, -1.0, 1.0);
+  const int y = model.add_variable(-10.0, 10.0, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, -3.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -3.0, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateVerticesTerminate) {
+  // Many redundant constraints through one vertex (classic degeneracy).
+  Model model;
+  const int x = model.add_variable(0.0, 10.0, -1.0);
+  const int y = model.add_variable(0.0, 10.0, -1.0);
+  for (int k = 1; k <= 6; ++k) {
+    model.add_constraint({{x, static_cast<double>(k)}, {y, 1.0}},
+                         Sense::kLessEqual, static_cast<double>(k));
+  }
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  // Optimum at x=0, y=1: objective -1... or x=1,y=0 gives -1 as well; the
+  // LP optimum is x=0,y=1 only if feasible; verify feasibility instead.
+  EXPECT_LE(model.max_violation(solution.values), 1e-6);
+  EXPECT_NEAR(solution.objective, -1.0, 1e-6);
+}
+
+TEST(SimplexTest, TransportationProblem) {
+  // 2 supplies x 2 demands, balanced; optimal cost known.
+  // supplies: 10, 20; demands: 15, 15.
+  // costs: c11=1, c12=4, c21=2, c22=1 -> ship 10 on (1,1), 5 on (2,1),
+  // 15 on (2,2): cost 10 + 10 + 15 = 35.
+  Model model;
+  const int x11 = model.add_variable(0.0, 30.0, 1.0);
+  const int x12 = model.add_variable(0.0, 30.0, 4.0);
+  const int x21 = model.add_variable(0.0, 30.0, 2.0);
+  const int x22 = model.add_variable(0.0, 30.0, 1.0);
+  model.add_constraint({{x11, 1.0}, {x12, 1.0}}, Sense::kEqual, 10.0);
+  model.add_constraint({{x21, 1.0}, {x22, 1.0}}, Sense::kEqual, 20.0);
+  model.add_constraint({{x11, 1.0}, {x21, 1.0}}, Sense::kEqual, 15.0);
+  model.add_constraint({{x12, 1.0}, {x22, 1.0}}, Sense::kEqual, 15.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 35.0, 1e-6);
+}
+
+TEST(SimplexTest, ObjectiveMatchesModelEvaluation) {
+  Model model;
+  const int x = model.add_variable(0.0, 2.0, 3.0);
+  const int y = model.add_variable(0.0, 2.0, -2.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 3.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(solution.objective, model.objective_value(solution.values));
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(x)], 0.0, 1e-9);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(y)], 2.0, 1e-9);
+}
+
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+// Property sweep: random bounded LPs must terminate with either a feasible
+// optimal point or a proven-infeasible status; optimal points must satisfy
+// all constraints.
+TEST_P(SimplexRandomTest, TerminatesConsistently) {
+  const int seed = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(seed));
+  Model model;
+  const int vars = 3 + static_cast<int>(rng.next_below(5));
+  for (int j = 0; j < vars; ++j) {
+    const double lo = static_cast<double>(rng.next_in(-5, 0));
+    const double hi = lo + static_cast<double>(rng.next_in(0, 8));
+    model.add_variable(lo, hi, static_cast<double>(rng.next_in(-4, 4)));
+  }
+  const int rows = 2 + static_cast<int>(rng.next_below(5));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.next_bool(0.7)) {
+        terms.push_back({j, static_cast<double>(rng.next_in(-3, 3))});
+      }
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    const auto sense = static_cast<Sense>(rng.next_below(3));
+    model.add_constraint(std::move(terms), sense,
+                         static_cast<double>(rng.next_in(-6, 6)));
+  }
+  const Solution solution = solve(model);
+  ASSERT_NE(solution.status, SolveStatus::kIterationLimit);
+  if (solution.status == SolveStatus::kOptimal) {
+    EXPECT_LE(model.max_violation(solution.values), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexRandomTest,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace fpva::lp

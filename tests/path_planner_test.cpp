@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "core/path_planner.h"
+#include "grid/builder.h"
+#include "grid/presets.h"
+
+namespace fpva::core {
+namespace {
+
+using grid::Cell;
+using grid::Site;
+
+std::vector<bool> all_targets(const grid::ValveArray& array) {
+  return std::vector<bool>(static_cast<std::size_t>(array.valve_count()),
+                           true);
+}
+
+/// Coverage union of a path set.
+std::vector<bool> coverage_of(const grid::ValveArray& array,
+                              const std::vector<FlowPath>& paths) {
+  std::vector<bool> covered(static_cast<std::size_t>(array.valve_count()),
+                            false);
+  for (const FlowPath& path : paths) {
+    for (const grid::ValveId v : path_valves(array, path)) {
+      covered[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  return covered;
+}
+
+class PathCoverSweep : public ::testing::TestWithParam<int> {};
+
+// Property: on full n x n arrays every valve is covered by a valid simple
+// path, and the number of paths stays near the two-serpentine optimum.
+TEST_P(PathCoverSweep, CoversFullArray) {
+  const int n = GetParam();
+  const auto array = grid::full_array(n, n);
+  PathPlanner planner(array);
+  const auto result = planner.cover(all_targets(array));
+  EXPECT_TRUE(result.uncoverable.empty());
+  for (const FlowPath& path : result.paths) {
+    EXPECT_EQ(validate_flow_path(array, path), std::nullopt);
+  }
+  const auto covered = coverage_of(array, result.paths);
+  for (std::size_t v = 0; v < covered.size(); ++v) {
+    EXPECT_TRUE(covered[v]) << "valve " << v << " uncovered";
+  }
+  // Fig. 8(a): a full array needs very few snaking paths. The ILP optimum
+  // is 2 (see ilp_models_test); the constructive heuristic stays within a
+  // small constant of it regardless of n.
+  EXPECT_LE(static_cast<int>(result.paths.size()), n <= 8 ? 4 : 5)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(FullArrays, PathCoverSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10, 12));
+
+TEST(PathPlannerTest, CoversTable1ArraysWithObstacles) {
+  for (const int n : grid::table1_sizes()) {
+    const auto array = grid::table1_array(n);
+    PathPlanner planner(array);
+    const auto result = planner.cover(all_targets(array));
+    EXPECT_TRUE(result.uncoverable.empty()) << "n=" << n;
+    const auto covered = coverage_of(array, result.paths);
+    int missing = 0;
+    for (const bool c : covered) missing += !c;
+    EXPECT_EQ(missing, 0) << "n=" << n;
+    for (const FlowPath& path : result.paths) {
+      EXPECT_EQ(validate_flow_path(array, path), std::nullopt);
+    }
+  }
+}
+
+TEST(PathPlannerTest, PathThroughSpecificValve) {
+  const auto array = grid::full_array(5, 5);
+  PathPlanner planner(array);
+  for (const grid::ValveId v : {0, 7, 19, 39}) {
+    const auto path = planner.path_through(v);
+    ASSERT_TRUE(path.has_value()) << "valve " << v;
+    EXPECT_EQ(validate_flow_path(array, *path), std::nullopt);
+    const auto valves = path_valves(array, *path);
+    EXPECT_NE(std::find(valves.begin(), valves.end(), v), valves.end());
+  }
+}
+
+TEST(PathPlannerTest, AvoidMaskIsRespected) {
+  const auto array = grid::full_array(4, 4);
+  PathPlanner planner(array);
+  // Target valve 5; forbid a handful of others.
+  std::vector<bool> avoid(static_cast<std::size_t>(array.valve_count()),
+                          false);
+  avoid[10] = avoid[11] = avoid[12] = true;
+  const auto path = planner.path_through(5, &avoid);
+  ASSERT_TRUE(path.has_value());
+  for (const grid::ValveId v : path_valves(array, *path)) {
+    EXPECT_FALSE(avoid[static_cast<std::size_t>(v)]) << "crossed " << v;
+  }
+}
+
+TEST(PathPlannerTest, AvoidingTheTargetItselfFails) {
+  const auto array = grid::full_array(3, 3);
+  PathPlanner planner(array);
+  std::vector<bool> avoid(static_cast<std::size_t>(array.valve_count()),
+                          false);
+  avoid[4] = true;
+  EXPECT_FALSE(planner.path_through(4, &avoid).has_value());
+}
+
+TEST(PathPlannerTest, ValveFacingObstacleIsUncoverable) {
+  // A 1x1 obstacle at (1,1) of a 3x3 array: its four frontier sites become
+  // walls, so they are not valves at all; all remaining valves coverable.
+  const auto array = grid::LayoutBuilder(3, 3)
+                         .obstacle_rect(Cell{1, 1}, Cell{1, 1})
+                         .default_ports()
+                         .build();
+  PathPlanner planner(array);
+  const auto result = planner.cover(all_targets(array));
+  EXPECT_TRUE(result.uncoverable.empty());
+  const auto covered = coverage_of(array, result.paths);
+  for (const bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(PathPlannerTest, DeadEndPocketValveHandled) {
+  // Wall off a pocket: obstacles around cell (1,1) except from the top.
+  // The pocket valve (top of (1,1)) is coverable only if the path can
+  // enter and leave -- it cannot (dead end), so the planner must report it
+  // uncoverable rather than hang or emit an invalid path.
+  const auto array = grid::LayoutBuilder(4, 4)
+                         .obstacle_rect(Cell{1, 0}, Cell{1, 0})
+                         .obstacle_rect(Cell{1, 2}, Cell{1, 2})
+                         .obstacle_rect(Cell{2, 1}, Cell{2, 1})
+                         .default_ports()
+                         .build();
+  PathPlanner planner(array);
+  const auto result = planner.cover(all_targets(array));
+  // The valve into the dead-end cell (1,1) from (0,1):
+  const grid::ValveId pocket = array.valve_id(Site{2, 3});
+  ASSERT_NE(pocket, grid::kInvalidValve);
+  EXPECT_NE(std::find(result.uncoverable.begin(), result.uncoverable.end(),
+                      pocket),
+            result.uncoverable.end());
+  for (const FlowPath& path : result.paths) {
+    EXPECT_EQ(validate_flow_path(array, path), std::nullopt);
+  }
+}
+
+TEST(PathPlannerTest, HonorsCoverRemainingState) {
+  const auto array = grid::full_array(4, 4);
+  PathPlanner planner(array);
+  std::vector<bool> covered(static_cast<std::size_t>(array.valve_count()),
+                            false);
+  const auto targets = all_targets(array);
+  const auto first = planner.cover_remaining(targets, covered);
+  EXPECT_FALSE(first.paths.empty());
+  // Everything is covered now; a second call adds nothing.
+  const auto second = planner.cover_remaining(targets, covered);
+  EXPECT_TRUE(second.paths.empty());
+}
+
+TEST(PathPlannerTest, RectangularArrays) {
+  for (const auto [rows, cols] :
+       std::vector<std::pair<int, int>>{{1, 6}, {6, 1}, {2, 9}, {7, 3}}) {
+    const auto array = grid::full_array(rows, cols);
+    PathPlanner planner(array);
+    const auto result = planner.cover(all_targets(array));
+    EXPECT_TRUE(result.uncoverable.empty()) << rows << "x" << cols;
+    const auto covered = coverage_of(array, result.paths);
+    for (const bool c : covered) EXPECT_TRUE(c);
+  }
+}
+
+}  // namespace
+}  // namespace fpva::core

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/generator.h"
+#include "core/port_advisor.h"
+#include "grid/builder.h"
+#include "grid/presets.h"
+
+namespace fpva::core {
+namespace {
+
+TEST(PortAdvisorTest, FixesTheTwoCornerPairsOfAFullArray) {
+  const auto array = grid::full_array(5, 5);
+  // Baseline: two untestable corner pairs with the default hookup.
+  ASSERT_EQ(generate_test_set(array).untestable_leaks.size(), 2u);
+
+  const PortAdvice advice = advise_meters(array);
+  EXPECT_EQ(advice.added_meters.size(), 2u);
+  EXPECT_TRUE(advice.still_untestable.empty());
+  for (const grid::Site site : advice.added_meters) {
+    EXPECT_TRUE(advice.amended.is_boundary_site(site));
+  }
+
+  // The amended hookup really generates a fully covering set.
+  const auto set = generate_test_set(advice.amended);
+  EXPECT_TRUE(set.untestable_leaks.empty());
+  EXPECT_TRUE(set.undetected.empty());
+}
+
+TEST(PortAdvisorTest, NoAdviceNeededWithoutLeakPairs) {
+  // A 1x2 array has a single valve, hence no leak pairs at all.
+  const auto array = grid::full_array(1, 2);
+  const PortAdvice advice = advise_meters(array);
+  EXPECT_TRUE(advice.added_meters.empty());
+  EXPECT_TRUE(advice.still_untestable.empty());
+}
+
+TEST(PortAdvisorTest, RowArraysNeedMidRowMeters) {
+  // In a 1xN array every interior leak pair is inseparable end-to-end:
+  // any path through one member must continue through the other. The
+  // advisor must place meters along the row to break the chain.
+  const auto array = grid::full_array(1, 5);
+  const PortAdvice advice = advise_meters(array);
+  EXPECT_FALSE(advice.added_meters.empty());
+  EXPECT_TRUE(advice.still_untestable.empty());
+}
+
+TEST(PortAdvisorTest, RespectsTheMeterBudget) {
+  const auto array = grid::full_array(6, 6);
+  const PortAdvice advice = advise_meters(array, /*max_extra_meters=*/1);
+  EXPECT_LE(advice.added_meters.size(), 1u);
+  // One meter fixes one corner; the other pair remains.
+  EXPECT_EQ(advice.still_untestable.size(), 1u);
+}
+
+TEST(PortAdvisorTest, WorksOnTable1Presets) {
+  for (const int n : {5, 10}) {
+    const auto array = grid::table1_array(n);
+    const PortAdvice advice = advise_meters(array);
+    EXPECT_TRUE(advice.still_untestable.empty()) << "n=" << n;
+    const auto set = generate_test_set(advice.amended);
+    EXPECT_TRUE(set.untestable_leaks.empty()) << "n=" << n;
+    EXPECT_TRUE(set.undetected.empty()) << "n=" << n;
+  }
+}
+
+TEST(PortAdvisorTest, AmendedArrayKeepsValveIdentity) {
+  const auto array = grid::full_array(4, 4);
+  const PortAdvice advice = advise_meters(array);
+  ASSERT_EQ(advice.amended.valve_count(), array.valve_count());
+  for (grid::ValveId v = 0; v < array.valve_count(); ++v) {
+    EXPECT_EQ(advice.amended.valves()[static_cast<std::size_t>(v)],
+              array.valves()[static_cast<std::size_t>(v)]);
+  }
+}
+
+}  // namespace
+}  // namespace fpva::core
