@@ -79,6 +79,14 @@ bool Rng::next_bool(double p) {
   return next_double() < p;
 }
 
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t stream) {
+  // Feed the golden-ratio-spread stream index through the same finalizer the
+  // seeder uses; one round per input word.
+  std::uint64_t x = base ^ (stream * 0x9e3779b97f4a7c15ULL);
+  std::uint64_t first = splitmix64(x);
+  return splitmix64(x) ^ first;
+}
+
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
   check(k <= n, "Rng::sample_indices requires k <= n");
   std::vector<std::size_t> all(n);

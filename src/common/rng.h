@@ -62,6 +62,14 @@ class Rng {
   std::array<std::uint64_t, 4> state_;
 };
 
+/// Counter-based derivation of a decorrelated child seed: the seed of stream
+/// `stream` rooted at `base`. Sharded workloads (e.g. the parallel fault
+/// campaigns) give every unit of work its own stream so that results do not
+/// depend on how units are distributed over threads; two rounds of the
+/// splitmix64 finalizer keep nearby (base, stream) pairs statistically
+/// independent.
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace fpva::common
 
 #endif  // FPVA_COMMON_RNG_H

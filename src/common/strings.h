@@ -14,7 +14,7 @@ namespace fpva::common {
 template <typename... Args>
 std::string cat(const Args&... args) {
   std::ostringstream out;
-  (out << ... << args);
+  (void)(out << ... << args);  // void-cast: empty packs leave a bare `out`
   return out.str();
 }
 

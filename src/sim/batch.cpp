@@ -1,0 +1,169 @@
+#include "sim/batch.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+
+namespace fpva::sim {
+
+namespace {
+
+constexpr BatchSimulator::LaneMask kAllLanes = ~0ULL;
+
+constexpr std::array<int, BatchSimulator::kLanes> identity_lanes() {
+  std::array<int, BatchSimulator::kLanes> lanes{};
+  for (int i = 0; i < BatchSimulator::kLanes; ++i) lanes[i] = i;
+  return lanes;
+}
+constexpr auto kIdentityLanes = identity_lanes();
+
+}  // namespace
+
+BatchSimulator::BatchSimulator(const grid::ValveArray& array)
+    : array_(&array), topology_(array) {
+  open_lanes_.assign(static_cast<std::size_t>(array.valve_count()), 0);
+  pressurized_.assign(static_cast<std::size_t>(topology_.cell_count()), 0);
+  frontier_.reserve(static_cast<std::size_t>(topology_.cell_count()));
+  queued_.assign(static_cast<std::size_t>(topology_.cell_count()), 0);
+}
+
+BatchSimulator::LaneMask BatchSimulator::active_mask(std::size_t count) {
+  common::check(count <= kLanes, "BatchSimulator: too many scenarios");
+  return count == kLanes ? kAllLanes : (LaneMask{1} << count) - 1;
+}
+
+void BatchSimulator::resolve_open_lanes(const ValveStates& states,
+                                        std::span<const FaultScenario> pool,
+                                        std::span<const int> lanes) const {
+  common::check(static_cast<int>(states.size()) == array_->valve_count(),
+                "BatchSimulator: vector arity != valve count");
+  common::check(lanes.size() <= kLanes,
+                "BatchSimulator: too many scenarios");
+  // Broadcast the commanded state into every lane.
+  for (int v = 0; v < array_->valve_count(); ++v) {
+    open_lanes_[static_cast<std::size_t>(v)] =
+        states[static_cast<std::size_t>(v)] ? kAllLanes : 0;
+  }
+  const auto valid = [&](grid::ValveId id) {
+    return id >= 0 && id < array_->valve_count();
+  };
+  // Per-lane fault resolution in the scalar Simulator's order: control
+  // leaks, then stuck-at-0 forces closed, then stuck-at-1 forces open.
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const LaneMask bit = LaneMask{1} << lane;
+    const FaultScenario& scenario =
+        pool[static_cast<std::size_t>(lanes[lane])];
+    for (const Fault& fault : scenario) {
+      if (fault.type != FaultType::kControlLeak) continue;
+      common::check(valid(fault.valve) && valid(fault.partner),
+                    "BatchSimulator: control-leak fault on invalid valves");
+      const bool either_actuated =
+          !states[static_cast<std::size_t>(fault.valve)] ||
+          !states[static_cast<std::size_t>(fault.partner)];
+      if (either_actuated) {
+        open_lanes_[static_cast<std::size_t>(fault.valve)] &= ~bit;
+        open_lanes_[static_cast<std::size_t>(fault.partner)] &= ~bit;
+      }
+    }
+    for (const Fault& fault : scenario) {
+      if (fault.type != FaultType::kStuckAt0) continue;
+      common::check(valid(fault.valve), "BatchSimulator: sa0 on invalid valve");
+      open_lanes_[static_cast<std::size_t>(fault.valve)] &= ~bit;
+    }
+    for (const Fault& fault : scenario) {
+      if (fault.type != FaultType::kStuckAt1) continue;
+      common::check(valid(fault.valve), "BatchSimulator: sa1 on invalid valve");
+      open_lanes_[static_cast<std::size_t>(fault.valve)] |= bit;
+    }
+  }
+}
+
+void BatchSimulator::flood() const {
+  std::fill(pressurized_.begin(), pressurized_.end(), 0);
+  frontier_.clear();
+  for (const int cell : topology_.source_cells()) {
+    if (!queued_[static_cast<std::size_t>(cell)]) {
+      queued_[static_cast<std::size_t>(cell)] = 1;
+      frontier_.push_back(cell);
+    }
+    pressurized_[static_cast<std::size_t>(cell)] = kAllLanes;
+  }
+  // Fixed-point worklist: unlike the scalar BFS a cell can gain lanes after
+  // it was first expanded, so popped cells may be re-queued; each pass
+  // widens pressurized_ monotonically, hence termination.
+  for (std::size_t head = 0; head < frontier_.size(); ++head) {
+    const int cell = frontier_[head];
+    queued_[static_cast<std::size_t>(cell)] = 0;
+    const LaneMask word = pressurized_[static_cast<std::size_t>(cell)];
+    for (const FlowLink& link : topology_.links_of(cell)) {
+      const LaneMask gate = link.valve == grid::kInvalidValve
+                                ? kAllLanes
+                                : open_lanes_[static_cast<std::size_t>(
+                                      link.valve)];
+      const LaneMask delta =
+          word & gate & ~pressurized_[static_cast<std::size_t>(link.to)];
+      if (delta) {
+        pressurized_[static_cast<std::size_t>(link.to)] |= delta;
+        if (!queued_[static_cast<std::size_t>(link.to)]) {
+          queued_[static_cast<std::size_t>(link.to)] = 1;
+          frontier_.push_back(link.to);
+        }
+      }
+    }
+  }
+}
+
+std::vector<BatchSimulator::LaneMask> BatchSimulator::readings(
+    const ValveStates& states,
+    std::span<const FaultScenario> scenarios) const {
+  resolve_open_lanes(states, scenarios,
+                     std::span<const int>(kIdentityLanes.data(),
+                                          scenarios.size()));
+  flood();
+  const std::vector<int>& sink_cells = topology_.sink_cells();
+  std::vector<LaneMask> result(sink_cells.size());
+  for (std::size_t s = 0; s < sink_cells.size(); ++s) {
+    result[s] = pressurized_[static_cast<std::size_t>(sink_cells[s])];
+  }
+  return result;
+}
+
+BatchSimulator::LaneMask BatchSimulator::detect_lanes(
+    const TestVector& vector,
+    std::span<const FaultScenario> scenarios) const {
+  return detect_lanes(vector, scenarios,
+                      std::span<const int>(kIdentityLanes.data(),
+                                           scenarios.size()));
+}
+
+BatchSimulator::LaneMask BatchSimulator::detect_lanes(
+    const TestVector& vector, std::span<const FaultScenario> pool,
+    std::span<const int> lanes) const {
+  common::check(static_cast<int>(vector.expected.size()) == sink_count(),
+                "BatchSimulator: vector expected-arity != sink count");
+  resolve_open_lanes(vector.states, pool, lanes);
+  flood();
+  const std::vector<int>& sink_cells = topology_.sink_cells();
+  LaneMask mismatch = 0;
+  for (std::size_t s = 0; s < sink_cells.size(); ++s) {
+    const LaneMask expected = vector.expected[s] ? kAllLanes : 0;
+    mismatch |= pressurized_[static_cast<std::size_t>(sink_cells[s])] ^
+                expected;
+  }
+  return mismatch & active_mask(lanes.size());
+}
+
+BatchSimulator::LaneMask BatchSimulator::any_detect_lanes(
+    std::span<const TestVector> vectors,
+    std::span<const FaultScenario> scenarios) const {
+  const LaneMask active = active_mask(scenarios.size());
+  LaneMask detected = 0;
+  for (const TestVector& vector : vectors) {
+    detected |= detect_lanes(vector, scenarios);
+    if (detected == active) break;
+  }
+  return detected;
+}
+
+}  // namespace fpva::sim

@@ -1,0 +1,100 @@
+// Bit-parallel batched fault simulation.
+//
+// The Section IV campaigns evaluate tens of thousands of fault scenarios
+// against the same vector set; doing that one BFS per scenario wastes the
+// word width of the machine. BatchSimulator packs up to 64 scenarios into
+// the bit lanes of a uint64_t -- lane L of open_lanes_[v] says "valve v is
+// open in scenario L" -- and propagates pressure for all lanes at once with
+// word-wide AND/OR over the flow adjacency, the classic bit-parallel
+// pattern-simulation trick of electronic test.
+//
+// Semantics are bit-for-bit those of the scalar Simulator (which remains
+// the differential-testing oracle); see tests/batch_sim_test.cpp.
+#ifndef FPVA_SIM_BATCH_H
+#define FPVA_SIM_BATCH_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grid/array.h"
+#include "sim/fault.h"
+#include "sim/flow_topology.h"
+#include "sim/test_vector.h"
+
+namespace fpva::sim {
+
+/// One injected fault combination (one campaign trial, one coverage probe).
+using FaultScenario = std::vector<Fault>;
+
+/// Simulates up to kLanes fault scenarios per pass over the grid.
+///
+/// Not thread-safe: scratch buffers are reused across calls. Create one
+/// BatchSimulator per thread.
+class BatchSimulator {
+ public:
+  /// Scenarios per batch: the bit width of the lane word.
+  static constexpr int kLanes = 64;
+
+  /// One bit per scenario lane; bit L refers to scenarios[L].
+  using LaneMask = std::uint64_t;
+
+  explicit BatchSimulator(const grid::ValveArray& array);
+
+  const grid::ValveArray& array() const { return *array_; }
+
+  /// Number of sink ports (arity of readings()).
+  int sink_count() const {
+    return static_cast<int>(topology_.sink_cells().size());
+  }
+
+  /// Mask with one bit set per active scenario; count must be <= kLanes.
+  static LaneMask active_mask(std::size_t count);
+
+  /// Pressure reading at each sink port for every scenario at once:
+  /// bit L of readings()[s] = sink s pressurized in scenarios[L].
+  /// Lanes beyond scenarios.size() simulate the fault-free chip.
+  std::vector<LaneMask> readings(const ValveStates& states,
+                                 std::span<const FaultScenario> scenarios)
+      const;
+
+  /// Lanes whose readings under `vector.states` differ from
+  /// `vector.expected`, i.e. the scenarios this vector detects.
+  LaneMask detect_lanes(const TestVector& vector,
+                        std::span<const FaultScenario> scenarios) const;
+
+  /// Gather form of detect_lanes: lane L simulates pool[lanes[L]]. This is
+  /// the fault-dropping workhorse -- callers keep one big scenario pool and
+  /// recompact the indices of still-undetected scenarios into full words as
+  /// earlier vectors drop lanes.
+  LaneMask detect_lanes(const TestVector& vector,
+                        std::span<const FaultScenario> pool,
+                        std::span<const int> lanes) const;
+
+  /// Lanes detected by at least one vector. Early-exits once every active
+  /// lane is detected, so vector order matters for speed (not results).
+  LaneMask any_detect_lanes(std::span<const TestVector> vectors,
+                            std::span<const FaultScenario> scenarios) const;
+
+ private:
+  /// Resolves commanded `states` + per-lane faults into open_lanes_;
+  /// lane L carries pool[lanes[L]].
+  void resolve_open_lanes(const ValveStates& states,
+                          std::span<const FaultScenario> pool,
+                          std::span<const int> lanes) const;
+
+  /// Word-wide flood fill: pressurized_ = fixed point of propagating
+  /// source lanes through open_lanes_-gated links.
+  void flood() const;
+
+  const grid::ValveArray* array_;
+  FlowTopology topology_;
+  mutable std::vector<LaneMask> open_lanes_;   ///< per valve; scratch
+  mutable std::vector<LaneMask> pressurized_;  ///< per cell; scratch
+  mutable std::vector<int> frontier_;          ///< scratch worklist
+  mutable std::vector<char> queued_;           ///< cell in frontier_? scratch
+};
+
+}  // namespace fpva::sim
+
+#endif  // FPVA_SIM_BATCH_H

@@ -1,10 +1,13 @@
 #include "sim/campaign.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "common/check.h"
-#include "common/rng.h"
-#include "sim/control_topology.h"
+#include "sim/batch.h"
 
 namespace fpva::sim {
 
@@ -20,22 +23,254 @@ long CampaignResult::total_detected() const {
   return total;
 }
 
+std::uint64_t campaign_trial_seed(std::uint64_t seed, int fault_count,
+                                  int trial) {
+  return common::stream_seed(
+      seed, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                 fault_count))
+             << 32) |
+                static_cast<std::uint32_t>(trial));
+}
+
+std::vector<Fault> draw_fault_set(common::Rng& rng,
+                                  const grid::ValveArray& array,
+                                  int fault_count,
+                                  std::span<const LeakPair> leak_pairs,
+                                  double stuck_at_1_probability) {
+  // Draw faults on distinct valves. A leak fault occupies both of its
+  // valves so that combinations stay physically consistent.
+  std::vector<Fault> faults;
+  std::vector<char> used(static_cast<std::size_t>(array.valve_count()), 0);
+  int guard = 0;
+  while (static_cast<int>(faults.size()) < fault_count) {
+    common::check(++guard < 10000,
+                  "draw_fault_set: cannot place requested faults");
+    const bool draw_leak = !leak_pairs.empty() && rng.next_bool(1.0 / 3.0);
+    if (draw_leak) {
+      const LeakPair& pair = leak_pairs[static_cast<std::size_t>(
+          rng.next_below(leak_pairs.size()))];
+      if (used[static_cast<std::size_t>(pair.first)] ||
+          used[static_cast<std::size_t>(pair.second)]) {
+        continue;
+      }
+      used[static_cast<std::size_t>(pair.first)] = 1;
+      used[static_cast<std::size_t>(pair.second)] = 1;
+      faults.push_back(control_leak(pair.first, pair.second));
+    } else {
+      const auto valve = static_cast<grid::ValveId>(rng.next_below(
+          static_cast<std::uint64_t>(array.valve_count())));
+      if (used[static_cast<std::size_t>(valve)]) continue;
+      used[static_cast<std::size_t>(valve)] = 1;
+      faults.push_back(rng.next_bool(stuck_at_1_probability)
+                           ? stuck_at_1(valve)
+                           : stuck_at_0(valve));
+    }
+  }
+  return faults;
+}
+
+namespace {
+
+void validate_options(const grid::ValveArray& array,
+                      const CampaignOptions& options) {
+  common::check(
+      options.min_faults >= 1 && options.min_faults <= options.max_faults,
+      "run_campaign: bad fault-count range");
+  common::check(array.valve_count() >= options.max_faults,
+                "run_campaign: more faults requested than valves exist");
+}
+
+std::vector<LeakPair> resolve_leak_pairs(const grid::ValveArray& array,
+                                         const CampaignOptions& options) {
+  if (!options.include_control_leaks) return {};
+  return options.leak_pairs.empty() ? control_leak_pairs(array)
+                                    : options.leak_pairs;
+}
+
+/// Trials per unit of parallel work. Fixed (never derived from the thread
+/// count) so the shard decomposition -- and with it every undetected-sample
+/// prefix -- is identical no matter how many workers run.
+constexpr int kShardTrials = 4096;
+
+/// Outcome of one contiguous shard of trials at one fault count.
+struct ShardOutcome {
+  int detected = 0;
+  /// Scenarios no vector detected, in trial order.
+  std::vector<FaultScenario> undetected;
+};
+
+/// True when `scenario` could possibly change the readings of `vector`:
+/// an exact monotonicity screen, not a heuristic. Faults that only close
+/// valves shrink the pressurized region, so they can only flip sinks whose
+/// expected reading is 1; faults that only open valves can only flip
+/// 0-expected sinks; a scenario changing no effective state at all reads
+/// exactly `expected`. Everything the screen rejects is provably
+/// undetected, so skipping its flood keeps results bit-identical.
+bool possibly_detectable(const TestVector& vector, bool has_one_expected,
+                         bool has_zero_expected,
+                         const FaultScenario& scenario) {
+  bool closes = false;
+  bool opens = false;
+  for (const Fault& fault : scenario) {
+    const auto valve = static_cast<std::size_t>(fault.valve);
+    switch (fault.type) {
+      case FaultType::kStuckAt0:
+        closes = closes || vector.states[valve];
+        break;
+      case FaultType::kStuckAt1:
+        opens = opens || !vector.states[valve];
+        break;
+      case FaultType::kControlLeak: {
+        const auto partner = static_cast<std::size_t>(fault.partner);
+        // The leak fires when either partner is actuated; it changes an
+        // effective state only if the other partner was commanded open.
+        if ((!vector.states[valve] || !vector.states[partner]) &&
+            (vector.states[valve] || vector.states[partner])) {
+          closes = true;
+        }
+        break;
+      }
+    }
+  }
+  return (closes && has_one_expected) || (opens && has_zero_expected);
+}
+
+/// Evaluates trials [first_trial, first_trial + count) with fault dropping:
+/// vectors are applied outermost, and after each vector the surviving
+/// (still-undetected) trials are compacted into fresh full 64-lane words.
+/// Early vectors detect the bulk of the trials, so later vectors flood only
+/// a few words -- this is where the batched engine beats the scalar path's
+/// per-trial early exit.
+ShardOutcome evaluate_shard(const BatchSimulator& batch,
+                            std::span<const TestVector> vectors,
+                            const CampaignOptions& options,
+                            std::span<const LeakPair> leak_pairs,
+                            int fault_count, int first_trial, int count) {
+  std::vector<FaultScenario> pool;
+  pool.reserve(static_cast<std::size_t>(count));
+  for (int t = 0; t < count; ++t) {
+    common::Rng rng(
+        campaign_trial_seed(options.seed, fault_count, first_trial + t));
+    pool.push_back(draw_fault_set(rng, batch.array(), fault_count,
+                                  leak_pairs,
+                                  options.stuck_at_1_probability));
+  }
+
+  // alive holds pool indices of undetected trials, always in trial order.
+  std::vector<int> alive(pool.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    alive[i] = static_cast<int>(i);
+  }
+  std::vector<int> screened;   // lanes worth flooding, in trial order
+  std::vector<int> survivors;  // lanes still undetected afterward
+  screened.reserve(alive.size());
+  survivors.reserve(alive.size());
+  for (const TestVector& vector : vectors) {
+    if (alive.empty()) break;
+    bool has_one = false;
+    bool has_zero = false;
+    for (const bool expected : vector.expected) {
+      (expected ? has_one : has_zero) = true;
+    }
+    screened.clear();
+    for (const int index : alive) {
+      if (possibly_detectable(vector, has_one, has_zero,
+                              pool[static_cast<std::size_t>(index)])) {
+        screened.push_back(index);
+      }
+    }
+    if (screened.empty()) continue;
+    survivors.clear();
+    for (std::size_t chunk = 0; chunk < screened.size();
+         chunk += BatchSimulator::kLanes) {
+      const std::size_t lanes = std::min<std::size_t>(
+          BatchSimulator::kLanes, screened.size() - chunk);
+      const auto detected = batch.detect_lanes(
+          vector, pool,
+          std::span<const int>(screened.data() + chunk, lanes));
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (!((detected >> lane) & 1)) {
+          survivors.push_back(screened[chunk + lane]);
+        }
+      }
+    }
+    if (survivors.size() == screened.size()) continue;  // nothing dropped
+    // alive := (alive \ screened) merged with survivors, preserving trial
+    // order; both inputs are sorted.
+    std::vector<int> merged;
+    merged.reserve(alive.size() - screened.size() + survivors.size());
+    std::size_t s = 0;  // cursor into screened
+    std::size_t u = 0;  // cursor into survivors
+    for (const int index : alive) {
+      if (s < screened.size() && screened[s] == index) {
+        ++s;
+        if (u < survivors.size() && survivors[u] == index) {
+          ++u;
+          merged.push_back(index);
+        }
+      } else {
+        merged.push_back(index);
+      }
+    }
+    alive.swap(merged);
+  }
+
+  ShardOutcome outcome;
+  outcome.detected = count - static_cast<int>(alive.size());
+  outcome.undetected.reserve(alive.size());
+  for (const int index : alive) {
+    outcome.undetected.push_back(
+        std::move(pool[static_cast<std::size_t>(index)]));
+  }
+  return outcome;
+}
+
+/// Accumulates a shard into its row; shards must arrive in trial order so
+/// undetected_samples keeps the same prefix for every execution strategy.
+void fold_shard(CampaignRow& row, ShardOutcome&& outcome,
+                std::size_t max_undetected_kept) {
+  row.detected += outcome.detected;
+  for (FaultScenario& faults : outcome.undetected) {
+    if (row.undetected_samples.size() >= max_undetected_kept) break;
+    row.undetected_samples.push_back(std::move(faults));
+  }
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const Simulator& simulator,
                             std::span<const TestVector> vectors,
                             const CampaignOptions& options) {
   const grid::ValveArray& array = simulator.array();
-  common::check(options.min_faults >= 1 &&
-                    options.min_faults <= options.max_faults,
-                "run_campaign: bad fault-count range");
-  common::check(array.valve_count() >= options.max_faults,
-                "run_campaign: more faults requested than valves exist");
+  validate_options(array, options);
+  const std::vector<LeakPair> leak_pairs = resolve_leak_pairs(array, options);
+  const BatchSimulator batch(array);
 
-  std::vector<LeakPair> leak_pairs;
-  if (options.include_control_leaks) {
-    leak_pairs = options.leak_pairs.empty() ? control_leak_pairs(array)
-                                            : options.leak_pairs;
+  CampaignResult result;
+  for (int k = options.min_faults; k <= options.max_faults; ++k) {
+    CampaignRow row;
+    row.fault_count = k;
+    row.trials = options.trials_per_count;
+    for (int first = 0; first < options.trials_per_count;
+         first += kShardTrials) {
+      const int count =
+          std::min(kShardTrials, options.trials_per_count - first);
+      fold_shard(row,
+                 evaluate_shard(batch, vectors, options, leak_pairs, k,
+                                first, count),
+                 options.max_undetected_kept);
+    }
+    result.rows.push_back(std::move(row));
   }
-  common::Rng rng(options.seed);
+  return result;
+}
+
+CampaignResult run_campaign_scalar(const Simulator& simulator,
+                                   std::span<const TestVector> vectors,
+                                   const CampaignOptions& options) {
+  const grid::ValveArray& array = simulator.array();
+  validate_options(array, options);
+  const std::vector<LeakPair> leak_pairs = resolve_leak_pairs(array, options);
 
   CampaignResult result;
   for (int k = options.min_faults; k <= options.max_faults; ++k) {
@@ -43,45 +278,100 @@ CampaignResult run_campaign(const Simulator& simulator,
     row.fault_count = k;
     row.trials = options.trials_per_count;
     for (int trial = 0; trial < options.trials_per_count; ++trial) {
-      // Draw k faults on distinct valves. A leak fault occupies both of its
-      // valves so that combinations stay physically consistent.
-      std::vector<Fault> faults;
-      std::vector<char> used(static_cast<std::size_t>(array.valve_count()),
-                             0);
-      int guard = 0;
-      while (static_cast<int>(faults.size()) < k) {
-        common::check(++guard < 10000,
-                      "run_campaign: cannot place requested faults");
-        const bool draw_leak =
-            !leak_pairs.empty() && rng.next_bool(1.0 / 3.0);
-        if (draw_leak) {
-          const LeakPair& pair = leak_pairs[static_cast<std::size_t>(
-              rng.next_below(leak_pairs.size()))];
-          if (used[static_cast<std::size_t>(pair.first)] ||
-              used[static_cast<std::size_t>(pair.second)]) {
-            continue;
-          }
-          used[static_cast<std::size_t>(pair.first)] = 1;
-          used[static_cast<std::size_t>(pair.second)] = 1;
-          faults.push_back(control_leak(pair.first, pair.second));
-        } else {
-          const auto valve = static_cast<grid::ValveId>(
-              rng.next_below(static_cast<std::uint64_t>(
-                  array.valve_count())));
-          if (used[static_cast<std::size_t>(valve)]) continue;
-          used[static_cast<std::size_t>(valve)] = 1;
-          faults.push_back(
-              rng.next_bool(options.stuck_at_1_probability)
-                  ? stuck_at_1(valve)
-                  : stuck_at_0(valve));
-        }
-      }
+      common::Rng rng(campaign_trial_seed(options.seed, k, trial));
+      std::vector<Fault> faults = draw_fault_set(
+          rng, array, k, leak_pairs, options.stuck_at_1_probability);
       if (simulator.any_detects(vectors, faults)) {
         ++row.detected;
       } else if (row.undetected_samples.size() <
                  options.max_undetected_kept) {
         row.undetected_samples.push_back(std::move(faults));
       }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+ParallelCampaignRunner::ParallelCampaignRunner(const grid::ValveArray& array,
+                                               int thread_count)
+    : array_(&array),
+      thread_count_(thread_count > 0
+                        ? thread_count
+                        : std::max(1u,
+                                   std::thread::hardware_concurrency())) {}
+
+CampaignResult ParallelCampaignRunner::run(
+    std::span<const TestVector> vectors,
+    const CampaignOptions& options) const {
+  validate_options(*array_, options);
+  const std::vector<LeakPair> leak_pairs =
+      resolve_leak_pairs(*array_, options);
+
+  // Flatten the campaign into fixed-size shard jobs so threads stay busy
+  // across fault counts; each job's result lands in its own slot, making
+  // the merge (and therefore the CampaignResult) independent of thread
+  // scheduling.
+  struct Job {
+    int fault_count;
+    int first_trial;
+    int count;
+  };
+  std::vector<Job> jobs;
+  for (int k = options.min_faults; k <= options.max_faults; ++k) {
+    for (int first = 0; first < options.trials_per_count;
+         first += kShardTrials) {
+      jobs.push_back({k, first,
+                      std::min(kShardTrials,
+                               options.trials_per_count - first)});
+    }
+  }
+
+  std::vector<ShardOutcome> outcomes(jobs.size());
+  std::atomic<std::size_t> next{0};
+  // The first failure (e.g. a common::Error from an unplaceable fault draw)
+  // is rethrown on the calling thread after the join, so callers see the
+  // same catchable exception run_campaign would throw.
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  const auto worker = [&]() noexcept {
+    try {
+      const BatchSimulator batch(*array_);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        const Job& job = jobs[i];
+        outcomes[i] =
+            evaluate_shard(batch, vectors, options, leak_pairs,
+                           job.fault_count, job.first_trial, job.count);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!failure) failure = std::current_exception();
+    }
+  };
+  const std::size_t spawned = std::min(
+      static_cast<std::size_t>(thread_count_), std::max<std::size_t>(
+                                                   jobs.size(), 1));
+  std::vector<std::thread> threads;
+  threads.reserve(spawned);
+  for (std::size_t t = 0; t + 1 < spawned; ++t) {
+    threads.emplace_back(worker);
+  }
+  worker();  // the calling thread is worker #0
+  for (std::thread& thread : threads) thread.join();
+  if (failure) std::rethrow_exception(failure);
+
+  CampaignResult result;
+  std::size_t job_index = 0;
+  for (int k = options.min_faults; k <= options.max_faults; ++k) {
+    CampaignRow row;
+    row.fault_count = k;
+    row.trials = options.trials_per_count;
+    for (int first = 0; first < options.trials_per_count;
+         first += kShardTrials) {
+      fold_shard(row, std::move(outcomes[job_index++]),
+                 options.max_undetected_kept);
     }
     result.rows.push_back(std::move(row));
   }

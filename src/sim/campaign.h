@@ -3,6 +3,12 @@
 // "For each valve array in Table I we randomly introduced one, two, three,
 // four and five faults, respectively, and applied the generated test
 // vectors. We repeated this process 10,000 times."
+//
+// Every trial draws its faults from its own counter-based RNG stream
+// (common::stream_seed of CampaignOptions::seed and the trial coordinates),
+// so the scalar oracle, the bit-parallel batched engine, and the
+// multi-threaded runner all see identical fault sets and produce
+// bit-identical CampaignResults regardless of batching or thread count.
 #ifndef FPVA_SIM_CAMPAIGN_H
 #define FPVA_SIM_CAMPAIGN_H
 
@@ -10,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "common/rng.h"
 #include "sim/control_topology.h"
 #include "sim/simulator.h"
 
@@ -50,12 +57,53 @@ struct CampaignResult {
   bool all_detected() const { return total_detected() == total_trials(); }
 };
 
-/// Draws `fault_count` random faults (distinct valves; optionally leak
-/// pairs) and checks whether any vector detects the combination; repeats
-/// trials_per_count times per fault count.
+/// Seed of the dedicated RNG stream of trial `trial` at fault count
+/// `fault_count`; every evaluation strategy draws trial (k, t) from
+/// Rng(campaign_trial_seed(seed, k, t)).
+std::uint64_t campaign_trial_seed(std::uint64_t seed, int fault_count,
+                                  int trial);
+
+/// Draws `fault_count` random faults on distinct valves (a leak fault
+/// occupies both of its valves so combinations stay physically consistent).
+/// `leak_pairs` empty disables leak draws.
+std::vector<Fault> draw_fault_set(common::Rng& rng,
+                                  const grid::ValveArray& array,
+                                  int fault_count,
+                                  std::span<const LeakPair> leak_pairs,
+                                  double stuck_at_1_probability);
+
+/// Runs the campaign through the bit-parallel BatchSimulator, 64 trials per
+/// grid pass. Results are bit-identical to run_campaign_scalar.
 CampaignResult run_campaign(const Simulator& simulator,
                             std::span<const TestVector> vectors,
                             const CampaignOptions& options = {});
+
+/// Reference implementation: one scalar Simulator pass per trial. Kept as
+/// the differential-testing oracle for the batched engine; prefer
+/// run_campaign (or ParallelCampaignRunner) everywhere else.
+CampaignResult run_campaign_scalar(const Simulator& simulator,
+                                   std::span<const TestVector> vectors,
+                                   const CampaignOptions& options = {});
+
+/// Shards the campaign's 64-trial batches across worker threads, each with
+/// its own BatchSimulator. Because every trial owns its RNG stream and
+/// batches are merged in trial order, the CampaignResult is bit-identical
+/// for any thread count (including the single-threaded run_campaign).
+class ParallelCampaignRunner {
+ public:
+  /// `thread_count` 0 means std::thread::hardware_concurrency().
+  explicit ParallelCampaignRunner(const grid::ValveArray& array,
+                                  int thread_count = 0);
+
+  int thread_count() const { return thread_count_; }
+
+  CampaignResult run(std::span<const TestVector> vectors,
+                     const CampaignOptions& options = {}) const;
+
+ private:
+  const grid::ValveArray* array_;
+  int thread_count_;
+};
 
 }  // namespace fpva::sim
 

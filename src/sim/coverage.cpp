@@ -1,5 +1,6 @@
 #include "sim/coverage.h"
 
+#include "sim/batch.h"
 #include "sim/control_topology.h"
 
 namespace fpva::sim {
@@ -28,12 +29,23 @@ CoverageReport single_fault_coverage(const Simulator& simulator,
                                      std::span<const Fault> universe) {
   CoverageReport report;
   report.total_faults = static_cast<int>(universe.size());
-  for (const Fault& fault : universe) {
-    const Fault injected[] = {fault};
-    if (simulator.any_detects(vectors, injected)) {
-      ++report.detected_faults;
-    } else {
-      report.undetected.push_back(fault);
+  const BatchSimulator batch(simulator.array());
+  std::vector<FaultScenario> scenarios;
+  for (std::size_t base = 0; base < universe.size();
+       base += BatchSimulator::kLanes) {
+    const std::size_t count = std::min<std::size_t>(
+        BatchSimulator::kLanes, universe.size() - base);
+    scenarios.clear();
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      scenarios.push_back({universe[base + lane]});
+    }
+    const auto detected = batch.any_detect_lanes(vectors, scenarios);
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      if ((detected >> lane) & 1) {
+        ++report.detected_faults;
+      } else {
+        report.undetected.push_back(universe[base + lane]);
+      }
     }
   }
   return report;
@@ -44,20 +56,32 @@ PairCoverageReport two_fault_coverage(const Simulator& simulator,
                                       std::span<const Fault> universe,
                                       std::size_t max_undetected_kept) {
   PairCoverageReport report;
+  const BatchSimulator batch(simulator.array());
+  std::vector<FaultScenario> scenarios;
+  const auto flush = [&] {
+    if (scenarios.empty()) return;
+    const auto detected = batch.any_detect_lanes(vectors, scenarios);
+    for (std::size_t lane = 0; lane < scenarios.size(); ++lane) {
+      if ((detected >> lane) & 1) {
+        ++report.detected_pairs;
+      } else if (report.undetected.size() < max_undetected_kept) {
+        report.undetected.emplace_back(scenarios[lane][0],
+                                       scenarios[lane][1]);
+      }
+    }
+    scenarios.clear();
+  };
   for (std::size_t a = 0; a < universe.size(); ++a) {
     for (std::size_t b = a + 1; b < universe.size(); ++b) {
       // Two faults on the same valve are contradictory (a valve cannot be
       // both stuck open and stuck closed); skip same-valve combinations.
       if (universe[a].valve == universe[b].valve) continue;
       ++report.total_pairs;
-      const Fault injected[] = {universe[a], universe[b]};
-      if (simulator.any_detects(vectors, injected)) {
-        ++report.detected_pairs;
-      } else if (report.undetected.size() < max_undetected_kept) {
-        report.undetected.emplace_back(universe[a], universe[b]);
-      }
+      scenarios.push_back({universe[a], universe[b]});
+      if (scenarios.size() == BatchSimulator::kLanes) flush();
     }
   }
+  flush();
   return report;
 }
 

@@ -3,8 +3,44 @@
 #include <map>
 
 #include "common/check.h"
+#include "sim/batch.h"
 
 namespace fpva::sim {
+
+namespace {
+
+/// Signatures of every fault in `universe`, computed bit-parallel: one
+/// batched grid pass per (vector, 64 faults) instead of one scalar BFS per
+/// (vector, fault).
+std::vector<ResponseSignature> batched_signatures(
+    const BatchSimulator& batch, std::span<const TestVector> vectors,
+    std::span<const Fault> universe) {
+  const auto sinks = static_cast<std::size_t>(batch.sink_count());
+  std::vector<ResponseSignature> signatures(
+      universe.size(), ResponseSignature(vectors.size() * sinks));
+  std::vector<FaultScenario> scenarios;
+  for (std::size_t base = 0; base < universe.size();
+       base += BatchSimulator::kLanes) {
+    const std::size_t count = std::min<std::size_t>(
+        BatchSimulator::kLanes, universe.size() - base);
+    scenarios.clear();
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      scenarios.push_back({universe[base + lane]});
+    }
+    for (std::size_t v = 0; v < vectors.size(); ++v) {
+      const auto readings = batch.readings(vectors[v].states, scenarios);
+      for (std::size_t s = 0; s < sinks; ++s) {
+        for (std::size_t lane = 0; lane < count; ++lane) {
+          signatures[base + lane][v * sinks + s] =
+              (readings[s] >> lane) & 1;
+        }
+      }
+    }
+  }
+  return signatures;
+}
+
+}  // namespace
 
 ResponseSignature response_signature(const Simulator& simulator,
                                      std::span<const TestVector> vectors,
@@ -38,9 +74,11 @@ DiagnosisResult diagnose(const Simulator& simulator,
   DiagnosisResult result;
   result.consistent_with_fault_free =
       observed == fault_free_signature(vectors);
-  for (const Fault& fault : universe) {
-    if (response_signature(simulator, vectors, fault) == observed) {
-      result.candidates.push_back(fault);
+  const BatchSimulator batch(simulator.array());
+  const auto signatures = batched_signatures(batch, vectors, universe);
+  for (std::size_t f = 0; f < universe.size(); ++f) {
+    if (signatures[f] == observed) {
+      result.candidates.push_back(universe[f]);
     }
   }
   return result;
@@ -53,10 +91,10 @@ DiagnosabilityReport diagnosability(const Simulator& simulator,
   report.total_faults = static_cast<int>(universe.size());
   const ResponseSignature healthy = fault_free_signature(vectors);
 
+  const BatchSimulator batch(simulator.array());
   std::map<ResponseSignature, long> classes;
-  for (const Fault& fault : universe) {
-    ResponseSignature signature =
-        response_signature(simulator, vectors, fault);
+  for (ResponseSignature& signature :
+       batched_signatures(batch, vectors, universe)) {
     if (signature == healthy) continue;  // undetected: not localizable
     ++report.detected_faults;
     ++classes[std::move(signature)];

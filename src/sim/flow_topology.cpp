@@ -1,0 +1,52 @@
+#include "sim/flow_topology.h"
+
+namespace fpva::sim {
+
+using grid::Cell;
+using grid::Direction;
+using grid::Site;
+using grid::SiteKind;
+
+FlowTopology::FlowTopology(const grid::ValveArray& array)
+    : cell_count_(array.rows() * array.cols()) {
+  link_begin_.assign(static_cast<std::size_t>(cell_count_) + 1, 0);
+
+  // Two passes: count links per cell, then fill the packed adjacency.
+  const auto for_each_link = [&](auto&& visit) {
+    for (int index = 0; index < cell_count_; ++index) {
+      const Cell cell = array.cell_at_index(index);
+      if (!array.is_fluid(cell)) continue;
+      for (const Direction direction : grid::kAllDirections) {
+        const auto next = array.neighbor(cell, direction);
+        if (!next || !array.is_fluid(*next)) continue;
+        const Site gate = valve_site_of(cell, direction);
+        const SiteKind kind = array.site_kind(gate);
+        if (kind == SiteKind::kWall) continue;
+        visit(index, array.cell_index(*next), array.valve_id(gate));
+      }
+    }
+  };
+  for_each_link([&](int from, int, grid::ValveId) {
+    ++link_begin_[static_cast<std::size_t>(from) + 1];
+  });
+  for (std::size_t i = 1; i < link_begin_.size(); ++i) {
+    link_begin_[i] += link_begin_[i - 1];
+  }
+  links_.resize(static_cast<std::size_t>(link_begin_.back()));
+  std::vector<int> cursor(link_begin_.begin(), link_begin_.end() - 1);
+  for_each_link([&](int from, int to, grid::ValveId valve) {
+    links_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(from)]++)] = FlowLink{to, valve};
+  });
+
+  for (const grid::Port& port : array.ports()) {
+    const int cell = array.cell_index(array.port_cell(port));
+    if (port.kind == grid::PortKind::kSource) {
+      source_cells_.push_back(cell);
+    } else {
+      sink_cells_.push_back(cell);
+    }
+  }
+}
+
+}  // namespace fpva::sim

@@ -1,0 +1,58 @@
+// Packed flow-layer adjacency shared by the scalar and batched simulators.
+//
+// Pressure propagation only ever needs the same three facts about an array:
+// which fluid cells border which (and through which valve), which cells the
+// source ports feed, and which cells the sink ports read. This extracts that
+// CSR-style adjacency from Simulator so BatchSimulator can reuse it instead
+// of rebuilding its own copy of the grid walk.
+#ifndef FPVA_SIM_FLOW_TOPOLOGY_H
+#define FPVA_SIM_FLOW_TOPOLOGY_H
+
+#include <span>
+#include <vector>
+
+#include "grid/array.h"
+
+namespace fpva::sim {
+
+/// One traversable neighbor of a fluid cell. `valve` is kInvalidValve for
+/// always-open channel links.
+struct FlowLink {
+  int to;               ///< destination cell index
+  grid::ValveId valve;  ///< gating valve, or kInvalidValve
+};
+
+/// Immutable packed adjacency of an array's flow layer.
+class FlowTopology {
+ public:
+  explicit FlowTopology(const grid::ValveArray& array);
+
+  /// rows() * cols() of the source array (obstacle cells have no links).
+  int cell_count() const { return cell_count_; }
+
+  /// Outgoing links of `cell`.
+  std::span<const FlowLink> links_of(int cell) const {
+    const auto begin = static_cast<std::size_t>(
+        link_begin_[static_cast<std::size_t>(cell)]);
+    const auto end = static_cast<std::size_t>(
+        link_begin_[static_cast<std::size_t>(cell) + 1]);
+    return {links_.data() + begin, end - begin};
+  }
+
+  /// Cell indices fed by source ports (may repeat when ports share a cell).
+  const std::vector<int>& source_cells() const { return source_cells_; }
+
+  /// Cell indices read by sink ports, in ports_of_kind(kSink) order.
+  const std::vector<int>& sink_cells() const { return sink_cells_; }
+
+ private:
+  int cell_count_ = 0;
+  std::vector<int> link_begin_;  ///< cell index -> first link
+  std::vector<FlowLink> links_;  ///< packed adjacency (fluid cells)
+  std::vector<int> source_cells_;
+  std::vector<int> sink_cells_;
+};
+
+}  // namespace fpva::sim
+
+#endif  // FPVA_SIM_FLOW_TOPOLOGY_H

@@ -22,48 +22,10 @@ const char* to_cstring(VectorKind kind) {
   return "?";
 }
 
-Simulator::Simulator(const grid::ValveArray& array) : array_(&array) {
-  const int cell_count = array.rows() * array.cols();
-  link_begin_.assign(static_cast<std::size_t>(cell_count) + 1, 0);
-
-  // Two passes: count links per cell, then fill the packed adjacency.
-  const auto for_each_link = [&](auto&& visit) {
-    for (int index = 0; index < cell_count; ++index) {
-      const Cell cell = array.cell_at_index(index);
-      if (!array.is_fluid(cell)) continue;
-      for (const Direction direction : grid::kAllDirections) {
-        const auto next = array.neighbor(cell, direction);
-        if (!next || !array.is_fluid(*next)) continue;
-        const Site gate = valve_site_of(cell, direction);
-        const SiteKind kind = array.site_kind(gate);
-        if (kind == SiteKind::kWall) continue;
-        visit(index, array.cell_index(*next), array.valve_id(gate));
-      }
-    }
-  };
-  for_each_link([&](int from, int, grid::ValveId) {
-    ++link_begin_[static_cast<std::size_t>(from) + 1];
-  });
-  for (std::size_t i = 1; i < link_begin_.size(); ++i) {
-    link_begin_[i] += link_begin_[i - 1];
-  }
-  links_.resize(static_cast<std::size_t>(link_begin_.back()));
-  std::vector<int> cursor(link_begin_.begin(), link_begin_.end() - 1);
-  for_each_link([&](int from, int to, grid::ValveId valve) {
-    links_[static_cast<std::size_t>(
-        cursor[static_cast<std::size_t>(from)]++)] = Link{to, valve};
-  });
-
-  for (const grid::Port& port : array.ports()) {
-    const int cell = array.cell_index(array.port_cell(port));
-    if (port.kind == grid::PortKind::kSource) {
-      source_cells_.push_back(cell);
-    } else {
-      sink_cells_.push_back(cell);
-    }
-  }
-  pressurized_.assign(static_cast<std::size_t>(cell_count), 0);
-  frontier_.reserve(static_cast<std::size_t>(cell_count));
+Simulator::Simulator(const grid::ValveArray& array)
+    : array_(&array), topology_(array) {
+  pressurized_.assign(static_cast<std::size_t>(topology_.cell_count()), 0);
+  frontier_.reserve(static_cast<std::size_t>(topology_.cell_count()));
   open_scratch_.assign(static_cast<std::size_t>(array.valve_count()), 0);
 }
 
@@ -126,7 +88,7 @@ std::vector<bool> Simulator::readings(const ValveStates& states,
   // BFS flood from all source cells.
   std::fill(pressurized_.begin(), pressurized_.end(), 0);
   frontier_.clear();
-  for (const int cell : source_cells_) {
+  for (const int cell : topology_.source_cells()) {
     if (!pressurized_[static_cast<std::size_t>(cell)]) {
       pressurized_[static_cast<std::size_t>(cell)] = 1;
       frontier_.push_back(cell);
@@ -134,10 +96,7 @@ std::vector<bool> Simulator::readings(const ValveStates& states,
   }
   for (std::size_t head = 0; head < frontier_.size(); ++head) {
     const int cell = frontier_[head];
-    const int begin = link_begin_[static_cast<std::size_t>(cell)];
-    const int end = link_begin_[static_cast<std::size_t>(cell) + 1];
-    for (int k = begin; k < end; ++k) {
-      const Link& link = links_[static_cast<std::size_t>(k)];
+    for (const FlowLink& link : topology_.links_of(cell)) {
       if (link.valve != grid::kInvalidValve &&
           !open_scratch_[static_cast<std::size_t>(link.valve)]) {
         continue;
@@ -149,16 +108,17 @@ std::vector<bool> Simulator::readings(const ValveStates& states,
     }
   }
 
-  std::vector<bool> result(sink_cells_.size());
-  for (std::size_t s = 0; s < sink_cells_.size(); ++s) {
-    result[s] = pressurized_[static_cast<std::size_t>(sink_cells_[s])] != 0;
+  const std::vector<int>& sink_cells = topology_.sink_cells();
+  std::vector<bool> result(sink_cells.size());
+  for (std::size_t s = 0; s < sink_cells.size(); ++s) {
+    result[s] = pressurized_[static_cast<std::size_t>(sink_cells[s])] != 0;
   }
   return result;
 }
 
 bool Simulator::detects(const TestVector& vector,
                         std::span<const Fault> faults) const {
-  common::check(vector.expected.size() == sink_cells_.size(),
+  common::check(static_cast<int>(vector.expected.size()) == sink_count(),
                 "Simulator: vector expected-arity != sink count");
   return readings(vector.states, faults) != vector.expected;
 }

@@ -13,6 +13,7 @@
 
 #include "grid/array.h"
 #include "sim/fault.h"
+#include "sim/flow_topology.h"
 #include "sim/test_vector.h"
 
 namespace fpva::sim {
@@ -53,19 +54,16 @@ class Simulator {
                    std::span<const Fault> faults) const;
 
   /// Number of sink ports (arity of readings()).
-  int sink_count() const { return static_cast<int>(sink_cells_.size()); }
+  int sink_count() const {
+    return static_cast<int>(topology_.sink_cells().size());
+  }
+
+  /// The packed flow-layer adjacency (shared with BatchSimulator).
+  const FlowTopology& topology() const { return topology_; }
 
  private:
-  struct Link {
-    int to;                      ///< destination cell index
-    grid::ValveId valve;         ///< kInvalidValve for channel links
-  };
-
   const grid::ValveArray* array_;
-  std::vector<int> link_begin_;        ///< cell index -> first link
-  std::vector<Link> links_;            ///< packed adjacency (fluid cells)
-  std::vector<int> source_cells_;      ///< cell indices fed by sources
-  std::vector<int> sink_cells_;        ///< cell indices read by sinks
+  FlowTopology topology_;
   mutable std::vector<char> pressurized_;  // scratch
   mutable std::vector<int> frontier_;      // scratch
   mutable std::vector<char> open_scratch_; // scratch

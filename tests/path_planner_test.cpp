@@ -158,7 +158,7 @@ TEST(PathPlannerTest, HonorsCoverRemainingState) {
 }
 
 TEST(PathPlannerTest, RectangularArrays) {
-  for (const auto [rows, cols] :
+  for (const auto& [rows, cols] :
        std::vector<std::pair<int, int>>{{1, 6}, {6, 1}, {2, 9}, {7, 3}}) {
     const auto array = grid::full_array(rows, cols);
     PathPlanner planner(array);
