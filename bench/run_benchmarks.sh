@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the registered Google-Benchmark binaries and records the results at
+# the repo root, so the perf trajectory is tracked from PR to PR:
+#
+#   BENCH_ilp.json       <- bench_ilp_solver   (LP/ILP solver substrate)
+#   BENCH_batch_sim.json <- bench_batch_sim_micro (campaign engines)
+#
+# Usage:
+#   bench/run_benchmarks.sh                 # full run (default min time)
+#   BENCH_MIN_TIME=0.01 bench/run_benchmarks.sh   # CI smoke: one rep each
+#   BUILD_DIR=out bench/run_benchmarks.sh   # non-default build directory
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+extra_args=()
+if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
+  extra_args+=("--benchmark_min_time=${BENCH_MIN_TIME}")
+fi
+
+failures=0
+run_one() {
+  local binary="$1" out="$2"
+  if [[ ! -x "$build_dir/$binary" ]]; then
+    echo "run_benchmarks: skipping $binary ($build_dir/$binary not built;" \
+         "is Google Benchmark installed?)" >&2
+    return 0
+  fi
+  echo "== $binary -> $out"
+  if ! "$build_dir/$binary" \
+      "${extra_args[@]}" \
+      --benchmark_format=console \
+      --benchmark_out="$repo_root/$out" \
+      --benchmark_out_format=json; then
+    echo "run_benchmarks: $binary failed" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+run_one bench_ilp_solver BENCH_ilp.json
+run_one bench_batch_sim_micro BENCH_batch_sim.json
+
+exit "$failures"

@@ -16,6 +16,12 @@ std::string decorate(const std::string& message,
 
 }  // namespace
 
+void check(bool condition, const char* message, std::source_location where) {
+  if (!condition) [[unlikely]] {
+    throw Error(decorate(message, where));
+  }
+}
+
 void check(bool condition, const std::string& message,
            std::source_location where) {
   if (!condition) {

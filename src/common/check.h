@@ -23,6 +23,14 @@ class Error : public std::runtime_error {
 /// Throws Error with a message that includes the call site when `condition`
 /// is false. Use for preconditions on public API entry points and for
 /// internal invariants that must hold regardless of build type.
+///
+/// The const char* overload is the hot-path form: a passing check performs
+/// no allocation and no formatting (the message string is only materialized
+/// on failure). Prefer it with literal messages; when the message needs
+/// cat()-style interpolation, guard the call so the formatting stays off
+/// the success path:  if (!ok) fail(cat(...));
+void check(bool condition, const char* message,
+           std::source_location where = std::source_location::current());
 void check(bool condition, const std::string& message,
            std::source_location where = std::source_location::current());
 

@@ -16,14 +16,17 @@ std::string to_string(Cell cell) {
 }
 
 SiteKind ValveArray::site_kind(Site site) const {
-  check(is_valve_parity_site(site),
+  if (!is_valve_parity_site(site)) {
+    common::fail(
         common::cat("site_kind: not a valve-parity site ", to_string(site)));
+  }
   return site_kinds_[static_cast<std::size_t>(site_index(site))];
 }
 
 CellKind ValveArray::cell_kind(Cell cell) const {
-  check(cell_in_bounds(cell),
-        common::cat("cell_kind: out of bounds ", to_string(cell)));
+  if (!cell_in_bounds(cell)) {
+    common::fail(common::cat("cell_kind: out of bounds ", to_string(cell)));
+  }
   return cell_kinds_[static_cast<std::size_t>(cell_index(cell))];
 }
 
@@ -38,8 +41,10 @@ std::optional<Cell> ValveArray::neighbor(Cell cell, Direction direction) const {
 
 std::pair<std::optional<Cell>, std::optional<Cell>> ValveArray::sides(
     Site site) const {
-  check(is_valve_parity_site(site),
+  if (!is_valve_parity_site(site)) {
+    common::fail(
         common::cat("sides: not a valve-parity site ", to_string(site)));
+  }
   std::optional<Cell> first;
   std::optional<Cell> second;
   if (site.row % 2 != 0) {

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "ilp/presolve.h"
+#include "lp/revised_simplex.h"
 #include "lp/simplex.h"
 
 namespace fpva::ilp {
@@ -16,37 +19,76 @@ namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
+/// One bound change relative to the parent node.
+struct BoundDelta {
+  int var = 0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
 struct Node {
-  std::vector<double> lower;
-  std::vector<double> upper;
-  double parent_bound = -kInfinity;  // LP bound inherited from the parent
+  /// Bound deltas accumulated along the root->node path, in order. This is
+  /// the node's entire bound state: O(depth) instead of two full vectors.
+  std::vector<BoundDelta> path;
+  double parent_bound = -kInfinity;  ///< raw LP bound inherited from parent
   int depth = 0;
+  int retries = 0;        ///< LP pivot-budget enlargements so far
+  long lp_budget = 0;     ///< pivot budget for this node's LP
+  int branch_var = -1;    ///< variable branched to create this node
+  double branch_frac = 0.0;  ///< fractional distance closed by the branch
+  bool branch_up = false;    ///< branched toward ceil (vs floor)
 };
 
 class Searcher {
  public:
-  Searcher(const Model& model, const Options& options)
-      : model_(model), options_(options), lp_copy_(model.lp()) {}
+  /// `shared_propagator` (optional) reuses a Propagator already built over
+  /// this exact model, e.g. by the root presolve.
+  Searcher(const Model& model, const Options& options,
+           const Propagator* shared_propagator, bool root_propagated)
+      : model_(model), options_(options) {
+    if (options_.warm_start) {
+      solver_.emplace(model.lp(),
+                      lp::SolveOptions{options.lp_iteration_limit, 1e-7,
+                                       lp::Algorithm::kRevised});
+    }
+    root_propagated_ = root_propagated;
+    if (shared_propagator != nullptr) {
+      propagator_ = shared_propagator;
+    } else if (options_.node_propagation) {
+      own_propagator_.emplace(model);
+      propagator_ = &*own_propagator_;
+    }
+    const int n = model_.variable_count();
+    root_lower_.resize(static_cast<std::size_t>(n));
+    root_upper_.resize(static_cast<std::size_t>(n));
+    integer_.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      root_lower_[static_cast<std::size_t>(j)] = model_.lp().variable(j).lower;
+      root_upper_[static_cast<std::size_t>(j)] = model_.lp().variable(j).upper;
+      integer_[static_cast<std::size_t>(j)] = model_.is_integer(j) ? 1 : 0;
+    }
+    cur_lower_ = root_lower_;
+    cur_upper_ = root_upper_;
+  }
 
   Result run() {
     common::Timer timer;
     Result result;
     const int n = model_.variable_count();
 
-    Node root;
-    root.lower.resize(static_cast<std::size_t>(n));
-    root.upper.resize(static_cast<std::size_t>(n));
-    for (int j = 0; j < n; ++j) {
-      root.lower[static_cast<std::size_t>(j)] = model_.lp().variable(j).lower;
-      root.upper[static_cast<std::size_t>(j)] = model_.lp().variable(j).upper;
-    }
-
     std::vector<Node> stack;
+    Node root;
+    root.lp_budget = options_.lp_iteration_limit;
     stack.push_back(std::move(root));
+
     double incumbent_objective = kInfinity;
     std::vector<double> incumbent;
+    bool have_incumbent = false;  // incumbent may be the empty vector when
+                                  // presolve fixed every variable
     double exhausted_bound = kInfinity;  // min bound over pruned frontier
     bool limits_hit = false;
+    bool bound_lost = false;  // a subtree was dropped without a dual bound
+    std::vector<int> seeds;
 
     while (!stack.empty()) {
       if (timer.seconds() > options_.time_limit_seconds ||
@@ -59,95 +101,121 @@ class Searcher {
       ++result.nodes;
 
       // Bound-based pruning using the parent's LP bound before paying for
-      // this node's LP.
-      if (node.parent_bound >= prune_threshold(incumbent_objective)) {
-        exhausted_bound = std::min(exhausted_bound, node.parent_bound);
+      // this node's bounds setup and LP.
+      const double parent_bound = strengthen(node.parent_bound);
+      if (parent_bound >= prune_threshold(incumbent_objective)) {
+        exhausted_bound = std::min(exhausted_bound, parent_bound);
         continue;
       }
 
-      for (int j = 0; j < n; ++j) {
-        lp_copy_.set_bounds(j, node.lower[static_cast<std::size_t>(j)],
-                            node.upper[static_cast<std::size_t>(j)]);
+      // Materialize the node's bounds from its delta chain.
+      apply_path(node);
+
+      // Constraint propagation: tighten integer bounds, or prune the whole
+      // subtree without touching the LP.
+      // (The root is skipped when presolve already propagated this model
+      // to a fixpoint and found nothing.)
+      if (options_.node_propagation && propagator_ != nullptr &&
+          !(node.path.empty() && root_propagated_)) {
+        seeds.clear();
+        for (const BoundDelta& delta : node.path) seeds.push_back(delta.var);
+        if (!propagator_->propagate(cur_lower_, cur_upper_, seeds)) {
+          ++result.nodes_pruned_by_propagation;
+          continue;
+        }
       }
-      lp::SolveOptions lp_options;
-      lp_options.max_iterations = options_.lp_iteration_limit;
-      const lp::Solution relaxation = lp::solve(lp_copy_, lp_options);
+
+      const lp::Solution relaxation = solve_node_lp(node.lp_budget);
+      result.lp_pivots += relaxation.iterations;
       if (relaxation.status == lp::SolveStatus::kInfeasible) {
         continue;
       }
       if (relaxation.status == lp::SolveStatus::kIterationLimit) {
-        common::log_warning("branch-and-bound: node LP hit iteration limit; "
-                            "treating subtree bound as unknown");
+        if (node.retries < options_.max_lp_retries) {
+          // Re-queue with a larger pivot budget; the subtree — and with it
+          // the optimality certificate — survives a transient limit.
+          ++node.retries;
+          node.lp_budget = node.lp_budget > 0 ? node.lp_budget * 4
+                                              : options_.lp_iteration_limit;
+          stack.push_back(std::move(node));
+          continue;
+        }
+        common::log_warning(
+            "branch-and-bound: node LP kept hitting the pivot limit after "
+            "retries; treating subtree bound as unknown");
         exhausted_bound = -kInfinity;  // cannot certify optimality any more
+        bound_lost = true;
         continue;
       }
-      const double bound = relaxation.objective;
+      const double raw_bound = relaxation.objective;
+      update_pseudocost(node, raw_bound);
+      const double bound = strengthen(raw_bound);
       if (bound >= prune_threshold(incumbent_objective)) {
         exhausted_bound = std::min(exhausted_bound, bound);
         continue;
       }
 
       // Rounding heuristic: snap integers to nearest and test feasibility.
-      std::vector<double> rounded = relaxation.values;
+      rounded_.assign(relaxation.values.begin(), relaxation.values.end());
       for (int j = 0; j < n; ++j) {
-        if (model_.is_integer(j)) {
-          rounded[static_cast<std::size_t>(j)] =
-              std::round(rounded[static_cast<std::size_t>(j)]);
+        if (integer_[static_cast<std::size_t>(j)]) {
+          rounded_[static_cast<std::size_t>(j)] =
+              std::round(rounded_[static_cast<std::size_t>(j)]);
         }
       }
-      if (model_.is_feasible(rounded, options_.integrality_tolerance * 10)) {
-        const double rounded_objective = model_.lp().objective_value(rounded);
+      if (model_.is_feasible(rounded_, options_.integrality_tolerance * 10)) {
+        const double rounded_objective = model_.lp().objective_value(rounded_);
         if (rounded_objective < incumbent_objective - 1e-12) {
           incumbent_objective = rounded_objective;
-          incumbent = rounded;
+          incumbent = rounded_;
+          have_incumbent = true;
         }
       }
 
-      // Pick the most fractional integer variable to branch on.
-      int branch_var = -1;
-      double branch_value = 0.0;
-      double worst_distance = options_.integrality_tolerance;
-      for (int j = 0; j < n; ++j) {
-        if (!model_.is_integer(j)) continue;
-        const double v = relaxation.values[static_cast<std::size_t>(j)];
-        const double distance = std::abs(v - std::round(v));
-        if (distance > worst_distance) {
-          worst_distance = distance;
-          branch_var = j;
-          branch_value = v;
-        }
-      }
-
+      const int branch_var = select_branch_variable(relaxation.values);
       if (branch_var < 0) {
         // Integer feasible (possibly after snapping within tolerance).
-        std::vector<double> snapped = relaxation.values;
-        for (int j = 0; j < n; ++j) {
-          if (model_.is_integer(j)) {
-            snapped[static_cast<std::size_t>(j)] =
-                std::round(snapped[static_cast<std::size_t>(j)]);
-          }
-        }
-        if (model_.is_feasible(snapped,
+        // rounded_ already holds exactly this snapped point.
+        if (model_.is_feasible(rounded_,
                                options_.integrality_tolerance * 100) &&
-            model_.lp().objective_value(snapped) <
+            model_.lp().objective_value(rounded_) <
                 incumbent_objective - 1e-12) {
-          incumbent_objective = model_.lp().objective_value(snapped);
-          incumbent = snapped;
+          incumbent_objective = model_.lp().objective_value(rounded_);
+          incumbent = rounded_;
+          have_incumbent = true;
         }
         continue;
       }
 
       // Two children; dive first into the side nearest the LP value.
+      const double branch_value =
+          relaxation.values[static_cast<std::size_t>(branch_var)];
       const double floor_value = std::floor(branch_value);
-      Node down = node;
-      down.upper[static_cast<std::size_t>(branch_var)] = floor_value;
-      down.parent_bound = bound;
-      ++down.depth;
-      Node up = std::move(node);
-      up.lower[static_cast<std::size_t>(branch_var)] = floor_value + 1.0;
-      up.parent_bound = bound;
-      ++up.depth;
-      const bool prefer_down = branch_value - floor_value < 0.5;
+      const double frac = branch_value - floor_value;
+      const auto bv = static_cast<std::size_t>(branch_var);
+
+      Node down;
+      down.path.reserve(node.path.size() + 1);
+      down.path = node.path;
+      down.path.push_back({branch_var, cur_lower_[bv], floor_value});
+      down.parent_bound = raw_bound;
+      down.depth = node.depth + 1;
+      down.lp_budget = options_.lp_iteration_limit;
+      down.branch_var = branch_var;
+      down.branch_frac = std::max(frac, options_.integrality_tolerance);
+      down.branch_up = false;
+
+      Node up;
+      up.path = std::move(node.path);
+      up.path.push_back({branch_var, floor_value + 1.0, cur_upper_[bv]});
+      up.parent_bound = raw_bound;
+      up.depth = node.depth + 1;
+      up.lp_budget = options_.lp_iteration_limit;
+      up.branch_var = branch_var;
+      up.branch_frac = std::max(1.0 - frac, options_.integrality_tolerance);
+      up.branch_up = true;
+
+      const bool prefer_down = frac < 0.5;
       // Depth-first: the preferred child goes on top of the stack.
       if (prefer_down) {
         stack.push_back(std::move(up));
@@ -159,15 +227,17 @@ class Searcher {
     }
 
     result.seconds = timer.seconds();
-    if (!incumbent.empty()) {
+    if (have_incumbent) {
       result.objective = incumbent_objective;
       result.values = std::move(incumbent);
       result.best_bound =
           limits_hit ? -kInfinity
                      : std::min(exhausted_bound, incumbent_objective);
-      result.status = limits_hit ? ResultStatus::kFeasible
-                                 : ResultStatus::kOptimal;
-    } else if (!limits_hit) {
+      // A dropped subtree without a dual bound forfeits the optimality
+      // certificate even when no explicit limit fired.
+      result.status = limits_hit || bound_lost ? ResultStatus::kFeasible
+                                               : ResultStatus::kOptimal;
+    } else if (!limits_hit && !bound_lost) {
       result.status = ResultStatus::kInfeasible;
       result.best_bound = kInfinity;
     } else {
@@ -178,6 +248,58 @@ class Searcher {
   }
 
  private:
+  /// Rebuilds cur_lower_/cur_upper_ for `node`: root bounds with the node's
+  /// delta chain applied (later deltas win, matching the dive order).
+  void apply_path(const Node& node) {
+    std::copy(root_lower_.begin(), root_lower_.end(), cur_lower_.begin());
+    std::copy(root_upper_.begin(), root_upper_.end(), cur_upper_.begin());
+    for (const BoundDelta& delta : node.path) {
+      const auto v = static_cast<std::size_t>(delta.var);
+      cur_lower_[v] = std::max(cur_lower_[v], delta.lower);
+      cur_upper_[v] = std::min(cur_upper_[v], delta.upper);
+    }
+  }
+
+  /// Solves the node LP over cur_lower_/cur_upper_. Warm path: push only
+  /// the changed bounds into the shared incremental solver and dual-simplex
+  /// reoptimize; cold path: rebuild through lp::solve each time.
+  lp::Solution solve_node_lp(long budget) {
+    const int n = model_.variable_count();
+    if (options_.warm_start) {
+      for (int j = 0; j < n; ++j) {
+        const auto js = static_cast<std::size_t>(j);
+        if (solver_->lower_bound(j) != cur_lower_[js] ||
+            solver_->upper_bound(j) != cur_upper_[js]) {
+          solver_->set_bounds(j, cur_lower_[js], cur_upper_[js]);
+        }
+      }
+      solver_->set_iteration_limit(budget);
+      lp::Solution solution = solver_->reoptimize();
+      if (!solver_->numerical_trouble()) return solution;
+      common::log_warning(
+          "branch-and-bound: warm solver hit numerical trouble; node "
+          "re-solved through the dense oracle");
+    }
+    if (!lp_copy_.has_value()) lp_copy_.emplace(model_.lp());
+    for (int j = 0; j < n; ++j) {
+      lp_copy_->set_bounds(j, cur_lower_[static_cast<std::size_t>(j)],
+                           cur_upper_[static_cast<std::size_t>(j)]);
+    }
+    lp::SolveOptions lp_options;
+    lp_options.max_iterations = budget;
+    lp_options.algorithm = options_.warm_start ? lp::Algorithm::kDenseTableau
+                                               : options_.lp_algorithm;
+    return lp::solve(*lp_copy_, lp_options);
+  }
+
+  /// With an integral objective the LP bound rounds up to the next integer.
+  double strengthen(double bound) const {
+    if (!options_.objective_is_integral || !std::isfinite(bound)) {
+      return bound;
+    }
+    return std::ceil(bound - 1e-6);
+  }
+
   double prune_threshold(double incumbent_objective) const {
     if (incumbent_objective == kInfinity) {
       return kInfinity;
@@ -189,16 +311,167 @@ class Searcher {
     return incumbent_objective - 1e-9;
   }
 
+  void ensure_pseudocost_storage() {
+    if (!pc_up_sum_.empty()) return;
+    const auto n = static_cast<std::size_t>(model_.variable_count());
+    pc_up_sum_.assign(n, 0.0);
+    pc_up_count_.assign(n, 0.0);
+    pc_down_sum_.assign(n, 0.0);
+    pc_down_count_.assign(n, 0.0);
+  }
+
+  /// Records the dual-bound degradation of the branch that created `node`.
+  void update_pseudocost(const Node& node, double bound) {
+    if (!options_.pseudocost_branching || node.branch_var < 0) return;
+    ensure_pseudocost_storage();
+    if (!std::isfinite(node.parent_bound) || !std::isfinite(bound)) return;
+    const double gain = std::max(bound - node.parent_bound, 0.0);
+    const double per_unit = gain / node.branch_frac;
+    const auto v = static_cast<std::size_t>(node.branch_var);
+    if (node.branch_up) {
+      pc_up_sum_[v] += per_unit;
+      pc_up_count_[v] += 1.0;
+    } else {
+      pc_down_sum_[v] += per_unit;
+      pc_down_count_[v] += 1.0;
+    }
+  }
+
+  /// Pseudocost of branching `var` in one direction; initialized from the
+  /// objective coefficient until real observations arrive.
+  double pseudocost(int var, bool up) const {
+    const auto v = static_cast<std::size_t>(var);
+    if (!pc_up_sum_.empty()) {
+      const double count = up ? pc_up_count_[v] : pc_down_count_[v];
+      if (count > 0.0) {
+        return (up ? pc_up_sum_[v] : pc_down_sum_[v]) / count;
+      }
+    }
+    return std::abs(model_.lp().variable(var).objective) + 1.0;
+  }
+
+  /// Most promising fractional integer variable, or -1 when none is
+  /// fractional beyond tolerance.
+  int select_branch_variable(const std::vector<double>& values) const {
+    const int n = model_.variable_count();
+    int best = -1;
+    double best_score = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (!integer_[static_cast<std::size_t>(j)]) continue;
+      const double v = values[static_cast<std::size_t>(j)];
+      const double frac = v - std::floor(v);
+      const double distance = std::min(frac, 1.0 - frac);
+      if (distance <= options_.integrality_tolerance) continue;
+      double score;
+      if (options_.pseudocost_branching) {
+        // Product rule over the two estimated child degradations.
+        const double down_gain = pseudocost(j, false) * frac;
+        const double up_gain = pseudocost(j, true) * (1.0 - frac);
+        score = std::max(down_gain, 1e-6) * std::max(up_gain, 1e-6);
+      } else {
+        score = distance;  // most-fractional
+      }
+      if (best < 0 || score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    return best;
+  }
+
   const Model& model_;
   const Options& options_;
-  lp::Model lp_copy_;
+  /// Bounds scratch for cold/oracle solves; built on first use so the
+  /// warm-start path never pays for the model copy.
+  std::optional<lp::Model> lp_copy_;
+  /// Shared warm-start engine; absent when warm_start is off so the
+  /// legacy/oracle configuration pays nothing for it.
+  std::optional<lp::RevisedSimplex> solver_;
+  std::optional<Propagator> own_propagator_;
+  const Propagator* propagator_ = nullptr;
+  std::vector<double> rounded_;  ///< rounding-heuristic scratch
+
+  bool root_propagated_ = false;  ///< presolve already swept the root
+  std::vector<char> integer_;  ///< cached integrality mask
+  std::vector<double> root_lower_, root_upper_;
+  std::vector<double> cur_lower_, cur_upper_;  ///< this node's bounds
+  std::vector<double> pc_up_sum_, pc_up_count_;
+  std::vector<double> pc_down_sum_, pc_down_count_;
 };
+
+Result solve_without_presolve(const Model& model, const Options& options,
+                              const Propagator* shared_propagator = nullptr,
+                              bool root_propagated = false) {
+  Searcher searcher(model, options, shared_propagator, root_propagated);
+  return searcher.run();
+}
 
 }  // namespace
 
 Result solve(const Model& model, const Options& options) {
-  Searcher searcher(model, options);
-  return searcher.run();
+  if (!options.presolve) {
+    return solve_without_presolve(model, options);
+  }
+
+  common::Timer timer;
+  const Propagator root_propagator(model);
+  Presolved pres = presolve(model, root_propagator);
+  if (pres.is_identity) {
+    Options inner = options;
+    inner.presolve = false;
+    return solve_without_presolve(model, inner, &root_propagator,
+                                  /*root_propagated=*/true);
+  }
+  Result result;
+  result.presolve_stats = pres.stats;
+  if (pres.infeasible) {
+    result.status = ResultStatus::kInfeasible;
+    result.best_bound = kInfinity;
+    result.seconds = timer.seconds();
+    return result;
+  }
+  if (pres.reduced.variable_count() == 0) {
+    // Presolve fixed everything; the fixed point is feasible by
+    // construction (every row was verified during substitution).
+    result.status = ResultStatus::kOptimal;
+    result.values = pres.fixed_values;
+    result.objective = model.lp().objective_value(result.values);
+    result.best_bound = result.objective;
+    result.nodes = 0;
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  Options inner = options;
+  inner.presolve = false;
+  if (inner.objective_is_integral) {
+    // The reduced objective is shifted by the fixed contribution; the
+    // integral-spacing argument only survives an integral shift.
+    const double offset = pres.objective_offset;
+    if (std::abs(offset - std::round(offset)) > 1e-9) {
+      inner.objective_is_integral = false;
+    }
+  }
+  // The reduced model's bounds are already at the propagation fixpoint.
+  Result reduced_result = solve_without_presolve(
+      pres.reduced, inner, nullptr, /*root_propagated=*/true);
+
+  result.status = reduced_result.status;
+  result.nodes = reduced_result.nodes;
+  result.lp_pivots = reduced_result.lp_pivots;
+  result.nodes_pruned_by_propagation =
+      reduced_result.nodes_pruned_by_propagation;
+  if (!reduced_result.values.empty()) {
+    result.values = pres.restore(reduced_result.values);
+    result.objective = model.lp().objective_value(result.values);
+  }
+  if (std::isfinite(reduced_result.best_bound)) {
+    result.best_bound = reduced_result.best_bound + pres.objective_offset;
+  } else {
+    result.best_bound = reduced_result.best_bound;
+  }
+  result.seconds = timer.seconds();
+  return result;
 }
 
 }  // namespace fpva::ilp

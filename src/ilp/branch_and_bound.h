@@ -1,16 +1,27 @@
 // Branch-and-bound MILP solver over the lp:: simplex relaxation.
 //
-// Depth-first diving with most-fractional branching, LP-bound pruning and a
-// nearest-integer rounding heuristic for early incumbents. Designed for the
-// subblock-sized path/cut models of the hierarchical FPVA test generator
-// (hundreds of variables); it is a faithful stand-in for the commercial ILP
-// solver the paper used, not a general-purpose MIP engine.
+// The search pipeline is: root presolve (presolve.h) -> per-node bound
+// propagation -> warm-started dual-simplex LP (lp::RevisedSimplex, one
+// factorized basis shared by the whole tree) -> pseudocost branching.
+// Nodes carry sparse bound deltas against the root instead of full bound
+// vectors, and a node LP that exhausts its pivot budget is re-queued with a
+// larger budget instead of silently giving up the optimality certificate.
+//
+// Depth-first diving with LP-bound pruning and a nearest-integer rounding
+// heuristic for early incumbents. Designed for the subblock-sized path/cut
+// models of the hierarchical FPVA test generator (hundreds of variables);
+// it is a faithful stand-in for the commercial ILP solver the paper used,
+// not a general-purpose MIP engine. Every acceleration can be switched off
+// through Options, which restores the original cold-start most-fractional
+// search for differential testing.
 #ifndef FPVA_ILP_BRANCH_AND_BOUND_H
 #define FPVA_ILP_BRANCH_AND_BOUND_H
 
 #include <vector>
 
 #include "ilp/model.h"
+#include "ilp/presolve.h"
+#include "lp/simplex.h"
 
 namespace fpva::ilp {
 
@@ -30,6 +41,22 @@ struct Options {
   /// points, so a node with bound > incumbent - 1 can be pruned. All of the
   /// paper's models (minimize the number of used paths) qualify.
   bool objective_is_integral = false;
+
+  /// Root presolve: bound tightening, implied fixings, row removal.
+  bool presolve = true;
+  /// Single-constraint bound propagation at every node (prunes without LP).
+  bool node_propagation = true;
+  /// Reuse one factorized basis across nodes via dual-simplex reoptimize.
+  /// Off = every node LP cold-starts through lp::solve.
+  bool warm_start = true;
+  /// Pseudocost branching (initialized from objective coefficients);
+  /// off = pure most-fractional selection.
+  bool pseudocost_branching = true;
+  /// Re-queue a node whose LP hit the pivot budget this many times with a
+  /// 4x larger budget before declaring the dual bound lost.
+  int max_lp_retries = 3;
+  /// LP engine used when warm_start is off (and for differential oracles).
+  lp::Algorithm lp_algorithm = lp::Algorithm::kRevised;
 };
 
 struct Result {
@@ -39,6 +66,9 @@ struct Result {
   double best_bound = 0.0;           ///< global dual bound at termination
   long nodes = 0;                    ///< branch-and-bound nodes processed
   double seconds = 0.0;              ///< wall-clock spent
+  long lp_pivots = 0;                ///< simplex pivots summed over all nodes
+  long nodes_pruned_by_propagation = 0;  ///< pruned before any LP was solved
+  PresolveStats presolve_stats;      ///< root reduction summary
 };
 
 /// Minimizes `model`. The model is copied internally; bounds are tightened

@@ -1,0 +1,402 @@
+#include "ilp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace fpva::ilp {
+
+namespace {
+
+constexpr double kFeasTol = 1e-7;    ///< constraint violation tolerance
+constexpr double kImprove = 1e-9;    ///< minimum accepted bound improvement
+constexpr double kIntTol = 1e-6;     ///< integrality rounding tolerance
+constexpr int kMaxRounds = 50;       ///< propagation fixpoint cap
+
+/// Rounds tightened bounds of integer variables to the integer lattice.
+void round_integer_bounds(bool is_integer, double& lo, double& hi) {
+  if (!is_integer) return;
+  lo = std::ceil(lo - kIntTol);
+  hi = std::floor(hi + kIntTol);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Propagator
+
+Propagator::Propagator(const Model& model) {
+  variable_count_ = model.variable_count();
+  const int m = model.constraint_count();
+  integer_.resize(static_cast<std::size_t>(variable_count_));
+  for (int j = 0; j < variable_count_; ++j) {
+    integer_[static_cast<std::size_t>(j)] = model.is_integer(j) ? 1 : 0;
+  }
+
+  // Merge duplicate terms per row through a stamped dense accumulator (no
+  // per-row allocations), writing straight into the CSR arenas.
+  row_start_.assign(static_cast<std::size_t>(m) + 1, 0);
+  row_sense_.resize(static_cast<std::size_t>(m));
+  row_rhs_.resize(static_cast<std::size_t>(m));
+  std::vector<int> stamp(static_cast<std::size_t>(variable_count_), -1);
+  std::vector<double> acc(static_cast<std::size_t>(variable_count_), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const lp::Constraint& src = model.lp().constraint(i);
+    row_sense_[static_cast<std::size_t>(i)] = src.sense;
+    row_rhs_[static_cast<std::size_t>(i)] = src.rhs;
+    for (const lp::Term& term : src.terms) {
+      const auto v = static_cast<std::size_t>(term.variable);
+      if (stamp[v] != i) {
+        stamp[v] = i;
+        acc[v] = term.coefficient;
+        ++row_start_[static_cast<std::size_t>(i) + 1];
+      } else {
+        acc[v] += term.coefficient;
+      }
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    row_start_[static_cast<std::size_t>(i) + 1] +=
+        row_start_[static_cast<std::size_t>(i)];
+  }
+  row_terms_.resize(static_cast<std::size_t>(row_start_[
+      static_cast<std::size_t>(m)]));
+  std::fill(stamp.begin(), stamp.end(), -1);
+  std::vector<int> fill = row_start_;
+  for (int i = 0; i < m; ++i) {
+    const lp::Constraint& src = model.lp().constraint(i);
+    for (const lp::Term& term : src.terms) {
+      const auto v = static_cast<std::size_t>(term.variable);
+      if (stamp[v] != i) {
+        stamp[v] = i;
+        acc[v] = term.coefficient;
+        row_terms_[static_cast<std::size_t>(fill[static_cast<std::size_t>(
+            i)]++)] = {term.variable, 0.0};
+      } else {
+        acc[v] += term.coefficient;
+      }
+    }
+    for (int k = row_start_[static_cast<std::size_t>(i)];
+         k < row_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      lp::Term& term = row_terms_[static_cast<std::size_t>(k)];
+      term.coefficient = acc[static_cast<std::size_t>(term.variable)];
+    }
+  }
+
+  // Variable -> row incidence, CSR over the merged terms.
+  var_start_.assign(static_cast<std::size_t>(variable_count_) + 1, 0);
+  for (const lp::Term& term : row_terms_) {
+    ++var_start_[static_cast<std::size_t>(term.variable) + 1];
+  }
+  for (int j = 0; j < variable_count_; ++j) {
+    var_start_[static_cast<std::size_t>(j) + 1] +=
+        var_start_[static_cast<std::size_t>(j)];
+  }
+  var_rows_.resize(row_terms_.size());
+  std::vector<int> vfill = var_start_;
+  for (int i = 0; i < m; ++i) {
+    for (int k = row_start_[static_cast<std::size_t>(i)];
+         k < row_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto v = static_cast<std::size_t>(
+          row_terms_[static_cast<std::size_t>(k)].variable);
+      var_rows_[static_cast<std::size_t>(vfill[v]++)] = i;
+    }
+  }
+}
+
+bool Propagator::tighten_row(int row_index, std::vector<double>& lower,
+                             std::vector<double>& upper,
+                             std::vector<char>& row_dirty,
+                             std::vector<int>& dirty_rows) const {
+  const auto is = static_cast<std::size_t>(row_index);
+  const int term_begin = row_start_[is];
+  const int term_end = row_start_[is + 1];
+  const double rhs = row_rhs_[is];
+  double min_activity = 0.0;
+  double max_activity = 0.0;
+  for (int k = term_begin; k < term_end; ++k) {
+    const lp::Term& term = row_terms_[static_cast<std::size_t>(k)];
+    const auto v = static_cast<std::size_t>(term.variable);
+    const double a = term.coefficient;
+    min_activity += std::min(a * lower[v], a * upper[v]);
+    max_activity += std::max(a * lower[v], a * upper[v]);
+  }
+
+  const bool upper_active =
+      row_sense_[is] != lp::Sense::kGreaterEqual;  // <= rhs
+  const bool lower_active = row_sense_[is] != lp::Sense::kLessEqual;  // >= rhs
+  if (upper_active && min_activity > rhs + kFeasTol) return false;
+  if (lower_active && max_activity < rhs - kFeasTol) return false;
+
+  for (int k = term_begin; k < term_end; ++k) {
+    const lp::Term& term = row_terms_[static_cast<std::size_t>(k)];
+    const auto v = static_cast<std::size_t>(term.variable);
+    const double a = term.coefficient;
+    if (a == 0.0) continue;
+    const double contrib_min = std::min(a * lower[v], a * upper[v]);
+    const double contrib_max = std::max(a * lower[v], a * upper[v]);
+    double new_lo = lower[v];
+    double new_hi = upper[v];
+    if (upper_active) {
+      // a*x <= rhs - (min activity of the other terms)
+      const double headroom = rhs - (min_activity - contrib_min);
+      if (a > 0.0) {
+        new_hi = std::min(new_hi, headroom / a);
+      } else {
+        new_lo = std::max(new_lo, headroom / a);
+      }
+    }
+    if (lower_active) {
+      // a*x >= rhs - (max activity of the other terms)
+      const double need = rhs - (max_activity - contrib_max);
+      if (a > 0.0) {
+        new_lo = std::max(new_lo, need / a);
+      } else {
+        new_hi = std::min(new_hi, need / a);
+      }
+    }
+    // Cheap pre-check before paying for ceil/floor: rounding only shrinks
+    // the interval, so a candidate that does not improve the raw bounds
+    // cannot improve the rounded ones either (integer bounds are integral).
+    if (new_lo <= lower[v] + kImprove && new_hi >= upper[v] - kImprove) {
+      continue;
+    }
+    round_integer_bounds(integer_[v] != 0, new_lo, new_hi);
+    if (new_lo > lower[v] + kImprove || new_hi < upper[v] - kImprove) {
+      if (new_lo > new_hi + kImprove) return false;
+      // Keep the interval well-formed under floating point noise.
+      lower[v] = std::min(new_lo, new_hi);
+      upper[v] = std::max(new_lo, new_hi);
+      for (int r = var_start_[v]; r < var_start_[v + 1]; ++r) {
+        const int other = var_rows_[static_cast<std::size_t>(r)];
+        if (!row_dirty[static_cast<std::size_t>(other)]) {
+          row_dirty[static_cast<std::size_t>(other)] = 1;
+          dirty_rows.push_back(other);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool Propagator::propagate(std::vector<double>& lower,
+                           std::vector<double>& upper,
+                           const std::vector<int>& seeds) const {
+  common::check(lower.size() == static_cast<std::size_t>(variable_count_) &&
+                    upper.size() == static_cast<std::size_t>(variable_count_),
+                "Propagator::propagate: wrong arity");
+  const std::size_t row_count = row_sense_.size();
+  std::vector<char>& row_dirty = row_dirty_;
+  row_dirty.assign(row_count, 0);
+  std::vector<int>& dirty_rows = dirty_rows_;
+  dirty_rows.clear();
+  if (seeds.empty()) {
+    dirty_rows.resize(row_count);
+    for (std::size_t i = 0; i < row_count; ++i) {
+      dirty_rows[i] = static_cast<int>(i);
+      row_dirty[i] = 1;
+    }
+  } else {
+    for (const int var : seeds) {
+      const auto v = static_cast<std::size_t>(var);
+      for (int r = var_start_[v]; r < var_start_[v + 1]; ++r) {
+        const int row = var_rows_[static_cast<std::size_t>(r)];
+        if (!row_dirty[static_cast<std::size_t>(row)]) {
+          row_dirty[static_cast<std::size_t>(row)] = 1;
+          dirty_rows.push_back(row);
+        }
+      }
+    }
+  }
+
+  // Round-based sweeps: deterministic (ascending row order) and bounded.
+  for (int round = 0; round < kMaxRounds && !dirty_rows.empty(); ++round) {
+    std::sort(dirty_rows.begin(), dirty_rows.end());
+    std::vector<int>& current = round_scratch_;
+    current.clear();
+    current.swap(dirty_rows);
+    for (const int row : current) {
+      row_dirty[static_cast<std::size_t>(row)] = 0;
+    }
+    for (const int row : current) {
+      if (!tighten_row(row, lower, upper, row_dirty, dirty_rows)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Propagator::any_droppable_row(const std::vector<double>& lower,
+                                   const std::vector<double>& upper) const {
+  const int m = static_cast<int>(row_sense_.size());
+  for (int i = 0; i < m; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    const int begin = row_start_[is];
+    const int end = row_start_[is + 1];
+    if (end - begin <= 1) return true;  // empty or singleton
+    double min_activity = 0.0;
+    double max_activity = 0.0;
+    for (int k = begin; k < end; ++k) {
+      const lp::Term& term = row_terms_[static_cast<std::size_t>(k)];
+      const auto v = static_cast<std::size_t>(term.variable);
+      min_activity += std::min(term.coefficient * lower[v],
+                               term.coefficient * upper[v]);
+      max_activity += std::max(term.coefficient * lower[v],
+                               term.coefficient * upper[v]);
+    }
+    const bool upper_active = row_sense_[is] != lp::Sense::kGreaterEqual;
+    const bool lower_active = row_sense_[is] != lp::Sense::kLessEqual;
+    const bool upper_redundant =
+        !upper_active || max_activity <= row_rhs_[is] + kFeasTol;
+    const bool lower_redundant =
+        !lower_active || min_activity >= row_rhs_[is] - kFeasTol;
+    if (upper_redundant && lower_redundant) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------ presolve
+
+std::vector<double> Presolved::restore(
+    const std::vector<double>& reduced_values) const {
+  common::check(reduced_values.size() == orig_of_reduced.size(),
+                "Presolved::restore: wrong arity");
+  std::vector<double> full = fixed_values;
+  for (std::size_t r = 0; r < orig_of_reduced.size(); ++r) {
+    full[static_cast<std::size_t>(orig_of_reduced[r])] = reduced_values[r];
+  }
+  return full;
+}
+
+Presolved presolve(const Model& model) {
+  return presolve(model, Propagator(model));
+}
+
+Presolved presolve(const Model& model, const Propagator& propagator) {
+  Presolved out;
+  const int n = model.variable_count();
+  out.original_variables = n;
+
+  std::vector<double> lower(static_cast<std::size_t>(n));
+  std::vector<double> upper(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    lower[static_cast<std::size_t>(j)] = model.lp().variable(j).lower;
+    upper[static_cast<std::size_t>(j)] = model.lp().variable(j).upper;
+  }
+
+  if (!propagator.propagate(lower, upper, {})) {
+    out.infeasible = true;
+    return out;
+  }
+
+  // Count tightenings against the source model for the stats report.
+  for (int j = 0; j < n; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const lp::Variable& var = model.lp().variable(j);
+    if (lower[js] > var.lower + kImprove) ++out.stats.bounds_tightened;
+    if (upper[js] < var.upper - kImprove) ++out.stats.bounds_tightened;
+  }
+
+  // Identity fast path: when propagation changed nothing and no row is
+  // droppable, hand the original model back untouched instead of paying
+  // for a full rebuild (frequent for small, already-tight models).
+  bool any_fixed = false;
+  for (int j = 0; j < n && !any_fixed; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    any_fixed = upper[js] - lower[js] <= kImprove;
+  }
+  if (!any_fixed && out.stats.bounds_tightened == 0 &&
+      !propagator.any_droppable_row(lower, upper)) {
+    out.is_identity = true;
+    return out;
+  }
+
+  // Partition variables into fixed (substituted) and surviving.
+  out.fixed_values.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> red_of_orig(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (upper[js] - lower[js] <= kImprove) {
+      const double value =
+          model.is_integer(j) ? std::round(lower[js]) : lower[js];
+      out.fixed_values[js] = value;
+      out.objective_offset += model.lp().variable(j).objective * value;
+      ++out.stats.variables_fixed;
+      continue;
+    }
+    red_of_orig[js] = out.reduced.variable_count();
+    out.orig_of_reduced.push_back(j);
+    const lp::Variable& var = model.lp().variable(j);
+    if (model.is_integer(j)) {
+      out.reduced.add_integer(lower[js], upper[js], var.objective, var.name);
+    } else {
+      out.reduced.add_continuous(lower[js], upper[js], var.objective,
+                                 var.name);
+    }
+  }
+
+  // Rebuild rows over the surviving variables; drop the trivial ones.
+  for (int i = 0; i < model.constraint_count(); ++i) {
+    const lp::Constraint& src = model.lp().constraint(i);
+    // Merge duplicates and substitute fixed variables into the rhs.
+    std::vector<lp::Term> terms;
+    double rhs = src.rhs;
+    for (const lp::Term& term : src.terms) {
+      const auto v = static_cast<std::size_t>(term.variable);
+      if (red_of_orig[v] < 0) {
+        rhs -= term.coefficient * out.fixed_values[v];
+        continue;
+      }
+      bool found = false;
+      for (lp::Term& existing : terms) {
+        if (existing.variable == red_of_orig[v]) {
+          existing.coefficient += term.coefficient;
+          found = true;
+          break;
+        }
+      }
+      if (!found) terms.push_back({red_of_orig[v], term.coefficient});
+    }
+
+    const bool upper_active = src.sense != lp::Sense::kGreaterEqual;
+    const bool lower_active = src.sense != lp::Sense::kLessEqual;
+    if (terms.empty()) {
+      // Fully substituted: feasibility was already checked by propagation,
+      // but guard against tolerance drift anyway.
+      if ((upper_active && 0.0 > rhs + kFeasTol) ||
+          (lower_active && 0.0 < rhs - kFeasTol)) {
+        out.infeasible = true;
+        return out;
+      }
+      ++out.stats.rows_removed;
+      continue;
+    }
+    if (terms.size() == 1) {
+      // Singleton row: propagation already folded it into the variable
+      // bounds, so the row itself is redundant.
+      ++out.stats.rows_removed;
+      continue;
+    }
+    double min_activity = 0.0;
+    double max_activity = 0.0;
+    for (const lp::Term& term : terms) {
+      const lp::Variable& var = out.reduced.lp().variable(term.variable);
+      min_activity +=
+          std::min(term.coefficient * var.lower, term.coefficient * var.upper);
+      max_activity +=
+          std::max(term.coefficient * var.lower, term.coefficient * var.upper);
+    }
+    const bool upper_redundant = !upper_active || max_activity <= rhs + kFeasTol;
+    const bool lower_redundant = !lower_active || min_activity >= rhs - kFeasTol;
+    if (upper_redundant && lower_redundant) {
+      ++out.stats.rows_removed;
+      continue;
+    }
+    out.reduced.add_constraint(std::move(terms), src.sense, rhs);
+  }
+  return out;
+}
+
+}  // namespace fpva::ilp

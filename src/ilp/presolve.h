@@ -1,0 +1,106 @@
+// MILP presolve and bound propagation.
+//
+// Two cooperating pieces:
+//
+//  * presolve(): a root-node reduction pass. Activity-based bound
+//    tightening (with integer rounding), fixing of implied binaries,
+//    removal of empty / singleton / redundant rows, and substitution of
+//    fixed variables into the remaining rows. Produces a smaller model plus
+//    the bookkeeping needed to map a reduced solution back to the original
+//    variable space (restore()).
+//
+//  * Propagator: the same single-constraint bound tightening packaged for
+//    incremental use inside branch-and-bound. Built once per model, it
+//    propagates a node's bound changes through the rows they touch and
+//    reports subtree infeasibility before any LP is paid for.
+//
+// All reasoning is over one constraint at a time (no clique/probing), which
+// keeps every deduction sound for the paper's path/cut models and cheap
+// enough to run at every node.
+#ifndef FPVA_ILP_PRESOLVE_H
+#define FPVA_ILP_PRESOLVE_H
+
+#include <vector>
+
+#include "ilp/model.h"
+
+namespace fpva::ilp {
+
+class Propagator;
+
+struct PresolveStats {
+  int bounds_tightened = 0;  ///< individual bound improvements
+  int variables_fixed = 0;   ///< variables removed (lower == upper)
+  int rows_removed = 0;      ///< empty + singleton + redundant rows dropped
+};
+
+struct Presolved {
+  bool infeasible = false;  ///< proven infeasible at the root
+  /// True when presolve found nothing to do: `reduced` is left empty and
+  /// the caller should keep using the original model (skips a full model
+  /// rebuild on already-tight instances).
+  bool is_identity = false;
+  Model reduced;            ///< model over the surviving variables
+  /// reduced variable index -> original variable index.
+  std::vector<int> orig_of_reduced;
+  /// Original-space point with every fixed variable at its value and
+  /// surviving variables at 0 (placeholder until restore()).
+  std::vector<double> fixed_values;
+  /// Objective contribution of the fixed variables.
+  double objective_offset = 0.0;
+  int original_variables = 0;
+  PresolveStats stats;
+
+  /// Maps a reduced-space solution back to the original variable space.
+  std::vector<double> restore(const std::vector<double>& reduced_values) const;
+};
+
+/// Runs the root presolve. The input model is not modified.
+Presolved presolve(const Model& model);
+
+/// Same, reusing a Propagator already built over `model`.
+Presolved presolve(const Model& model, const Propagator& propagator);
+
+/// Incremental single-constraint bound propagation for branch-and-bound.
+class Propagator {
+ public:
+  explicit Propagator(const Model& model);
+
+  /// Tightens `lower`/`upper` in place, seeded by the variables in `seeds`
+  /// (empty seeds = sweep every row once). Returns false when some
+  /// constraint is proven unsatisfiable under the given bounds.
+  /// Deterministic: rows are processed in ascending index order per round.
+  bool propagate(std::vector<double>& lower, std::vector<double>& upper,
+                 const std::vector<int>& seeds) const;
+
+  /// True when some row is empty, a singleton, or redundant under the given
+  /// bounds — i.e. the presolve rebuild would shrink the model.
+  bool any_droppable_row(const std::vector<double>& lower,
+                         const std::vector<double>& upper) const;
+
+ private:
+  bool tighten_row(int row, std::vector<double>& lower,
+                   std::vector<double>& upper,
+                   std::vector<char>& row_dirty,
+                   std::vector<int>& dirty_rows) const;
+
+  int variable_count_ = 0;
+  // Rows in CSR form with duplicate variables merged (flat arenas, one
+  // allocation each, instead of a vector-of-vectors per model).
+  std::vector<int> row_start_;
+  std::vector<lp::Term> row_terms_;
+  std::vector<lp::Sense> row_sense_;
+  std::vector<double> row_rhs_;
+  std::vector<char> integer_;
+  // Variable -> incident rows, also CSR.
+  std::vector<int> var_start_;
+  std::vector<int> var_rows_;
+  // Worklist scratch reused across propagate() calls (hot in B&B).
+  mutable std::vector<char> row_dirty_;
+  mutable std::vector<int> dirty_rows_;
+  mutable std::vector<int> round_scratch_;
+};
+
+}  // namespace fpva::ilp
+
+#endif  // FPVA_ILP_PRESOLVE_H

@@ -20,8 +20,11 @@ int Model::add_variable(double lower, double upper, double objective,
   check(std::isfinite(lower) && std::isfinite(upper) &&
             std::abs(lower) < kBoundLimit && std::abs(upper) < kBoundLimit,
         "lp::Model: variable bounds must be finite");
-  check(lower <= upper, cat("lp::Model: empty domain [", lower, ", ", upper,
-                            "] for variable ", name));
+  if (!(lower <= upper)) {
+    common::fail(cat("lp::Model: empty domain [", lower, ", ", upper,
+                     "] for variable ", name));
+  }
+  if (variables_.capacity() == 0) variables_.reserve(32);
   variables_.push_back(Variable{lower, upper, objective, std::move(name)});
   return static_cast<int>(variables_.size()) - 1;
 }
@@ -49,6 +52,7 @@ int Model::add_constraint(std::vector<Term> terms, Sense sense, double rhs) {
           "lp::Model::add_constraint: non-finite coefficient");
   }
   check(std::isfinite(rhs), "lp::Model::add_constraint: non-finite rhs");
+  if (constraints_.capacity() == 0) constraints_.reserve(16);
   constraints_.push_back(Constraint{std::move(terms), sense, rhs});
   return static_cast<int>(constraints_.size()) - 1;
 }

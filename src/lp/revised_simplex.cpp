@@ -1,0 +1,1129 @@
+#include "lp/revised_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace fpva::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kPivotEpsilon = 1e-9;
+constexpr double kWeakPivot = 1e-7;   ///< below this, prefer a fresh factor
+constexpr double kDropEpsilon = 1e-12;
+constexpr int kRefactorInterval = 64;
+
+}  // namespace
+
+RevisedSimplex::RevisedSimplex(const Model& model, SolveOptions options)
+    : options_(options) {
+  n_ = model.variable_count();
+  m_ = model.constraint_count();
+  first_artificial_ = n_ + m_;
+  total_ = n_ + 2 * m_;
+  build_columns(model);
+
+  objective_.resize(static_cast<std::size_t>(n_));
+  lower_.assign(static_cast<std::size_t>(total_), 0.0);
+  upper_.assign(static_cast<std::size_t>(total_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    const Variable& var = model.variable(j);
+    objective_[static_cast<std::size_t>(j)] = var.objective;
+    lower_[static_cast<std::size_t>(j)] = var.lower;
+    upper_[static_cast<std::size_t>(j)] = var.upper;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const auto slack = static_cast<std::size_t>(n_ + i);
+    switch (sense_[static_cast<std::size_t>(i)]) {
+      case Sense::kLessEqual:
+        lower_[slack] = 0.0;
+        upper_[slack] = kInf;
+        break;
+      case Sense::kGreaterEqual:
+        lower_[slack] = -kInf;
+        upper_[slack] = 0.0;
+        break;
+      case Sense::kEqual:
+        lower_[slack] = 0.0;
+        upper_[slack] = 0.0;
+        break;
+    }
+  }
+  // Artificial bounds are opened per-row by reset_to_slack_basis.
+
+  x_.assign(static_cast<std::size_t>(total_), 0.0);
+  cost_.assign(static_cast<std::size_t>(total_), 0.0);
+  state_.assign(static_cast<std::size_t>(total_), VarState::kAtLower);
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  artificial_sign_.assign(static_cast<std::size_t>(m_), 1.0);
+  work_.assign(static_cast<std::size_t>(m_), 0.0);
+  work2_.assign(static_cast<std::size_t>(m_), 0.0);
+  pattern_.reserve(static_cast<std::size_t>(m_));
+}
+
+void RevisedSimplex::build_columns(const Model& model) {
+  // Gather the structural matrix column-wise with duplicate terms merged.
+  std::vector<int> nnz(static_cast<std::size_t>(n_), 0);
+  std::vector<std::vector<Term>> merged(
+      static_cast<std::size_t>(m_));
+  rhs_.resize(static_cast<std::size_t>(m_));
+  sense_.resize(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& row = model.constraint(i);
+    rhs_[static_cast<std::size_t>(i)] = row.rhs;
+    sense_[static_cast<std::size_t>(i)] = row.sense;
+    auto& out = merged[static_cast<std::size_t>(i)];
+    for (const Term& term : row.terms) {
+      bool found = false;
+      for (Term& existing : out) {
+        if (existing.variable == term.variable) {
+          existing.coefficient += term.coefficient;
+          found = true;
+          break;
+        }
+      }
+      if (!found) out.push_back(term);
+    }
+    for (const Term& term : out) {
+      ++nnz[static_cast<std::size_t>(term.variable)];
+    }
+  }
+  col_start_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (int j = 0; j < n_; ++j) {
+    col_start_[static_cast<std::size_t>(j) + 1] =
+        col_start_[static_cast<std::size_t>(j)] +
+        nnz[static_cast<std::size_t>(j)];
+  }
+  const int total_nnz = col_start_[static_cast<std::size_t>(n_)];
+  row_index_.resize(static_cast<std::size_t>(total_nnz));
+  coeff_.resize(static_cast<std::size_t>(total_nnz));
+  std::vector<int> fill = col_start_;
+  for (int i = 0; i < m_; ++i) {
+    for (const Term& term : merged[static_cast<std::size_t>(i)]) {
+      const int slot = fill[static_cast<std::size_t>(term.variable)]++;
+      row_index_[static_cast<std::size_t>(slot)] = i;
+      coeff_[static_cast<std::size_t>(slot)] = term.coefficient;
+    }
+  }
+}
+
+int RevisedSimplex::column_nnz(int var) const {
+  if (var < n_) {
+    return col_start_[static_cast<std::size_t>(var) + 1] -
+           col_start_[static_cast<std::size_t>(var)];
+  }
+  return 1;  // slack and artificial columns are unit
+}
+
+void RevisedSimplex::load_column(int var, std::vector<double>& dense,
+                                 std::vector<int>& pattern) const {
+  for (const int i : pattern) dense[static_cast<std::size_t>(i)] = 0.0;
+  pattern.clear();
+  if (var < n_) {
+    for (int k = col_start_[static_cast<std::size_t>(var)];
+         k < col_start_[static_cast<std::size_t>(var) + 1]; ++k) {
+      const int row = row_index_[static_cast<std::size_t>(k)];
+      dense[static_cast<std::size_t>(row)] =
+          coeff_[static_cast<std::size_t>(k)];
+      pattern.push_back(row);
+    }
+  } else if (var < first_artificial_) {
+    const int row = var - n_;
+    dense[static_cast<std::size_t>(row)] = 1.0;
+    pattern.push_back(row);
+  } else {
+    const int row = var - first_artificial_;
+    dense[static_cast<std::size_t>(row)] =
+        artificial_sign_[static_cast<std::size_t>(row)];
+    pattern.push_back(row);
+  }
+}
+
+double RevisedSimplex::column_dot(int var,
+                                  const std::vector<double>& dense) const {
+  if (var < n_) {
+    double sum = 0.0;
+    for (int k = col_start_[static_cast<std::size_t>(var)];
+         k < col_start_[static_cast<std::size_t>(var) + 1]; ++k) {
+      sum += coeff_[static_cast<std::size_t>(k)] *
+             dense[static_cast<std::size_t>(row_index_[
+                 static_cast<std::size_t>(k)])];
+    }
+    return sum;
+  }
+  if (var < first_artificial_) {
+    return dense[static_cast<std::size_t>(var - n_)];
+  }
+  const int row = var - first_artificial_;
+  return artificial_sign_[static_cast<std::size_t>(row)] *
+         dense[static_cast<std::size_t>(row)];
+}
+
+void RevisedSimplex::set_bounds(int variable, double lower, double upper) {
+  common::check(variable >= 0 && variable < n_,
+                "RevisedSimplex::set_bounds: variable out of range");
+  common::check(lower <= upper, "RevisedSimplex::set_bounds: empty domain");
+  const auto j = static_cast<std::size_t>(variable);
+  lower_[j] = lower;
+  upper_[j] = upper;
+  if (state_[j] == VarState::kAtLower) {
+    x_[j] = lower;
+  } else if (state_[j] == VarState::kAtUpper) {
+    x_[j] = upper;
+  }
+  values_dirty_ = true;
+}
+
+double RevisedSimplex::lower_bound(int variable) const {
+  common::check(variable >= 0 && variable < n_,
+                "RevisedSimplex::lower_bound: out of range");
+  return lower_[static_cast<std::size_t>(variable)];
+}
+
+double RevisedSimplex::upper_bound(int variable) const {
+  common::check(variable >= 0 && variable < n_,
+                "RevisedSimplex::upper_bound: out of range");
+  return upper_[static_cast<std::size_t>(variable)];
+}
+
+// ---------------------------------------------------------------- factorize
+
+void RevisedSimplex::append_eta(int pivot_row,
+                                const std::vector<double>& alpha,
+                                const std::vector<int>& alpha_pattern) {
+  const double pivot_value = alpha[static_cast<std::size_t>(pivot_row)];
+  Eta eta;
+  eta.pivot_row = pivot_row;
+  eta.pivot_value = 1.0 / pivot_value;
+  eta.start = static_cast<int>(eta_index_.size());
+  for (const int i : alpha_pattern) {
+    if (i == pivot_row) continue;
+    const double a = alpha[static_cast<std::size_t>(i)];
+    if (std::abs(a) <= kDropEpsilon) continue;
+    eta_index_.push_back(i);
+    eta_value_.push_back(-a / pivot_value);
+  }
+  eta.end = static_cast<int>(eta_index_.size());
+  etas_.push_back(eta);
+}
+
+void RevisedSimplex::ftran(std::vector<double>& dense) const {
+  for (const Eta& eta : etas_) {
+    const double t = dense[static_cast<std::size_t>(eta.pivot_row)];
+    if (t == 0.0) continue;
+    dense[static_cast<std::size_t>(eta.pivot_row)] = eta.pivot_value * t;
+    for (int k = eta.start; k < eta.end; ++k) {
+      dense[static_cast<std::size_t>(
+          eta_index_[static_cast<std::size_t>(k)])] +=
+          eta_value_[static_cast<std::size_t>(k)] * t;
+    }
+  }
+}
+
+void RevisedSimplex::btran(std::vector<double>& dense) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    const Eta& eta = *it;
+    double s = eta.pivot_value * dense[static_cast<std::size_t>(eta.pivot_row)];
+    for (int k = eta.start; k < eta.end; ++k) {
+      s += eta_value_[static_cast<std::size_t>(k)] *
+           dense[static_cast<std::size_t>(
+               eta_index_[static_cast<std::size_t>(k)])];
+    }
+    dense[static_cast<std::size_t>(eta.pivot_row)] = s;
+  }
+}
+
+bool RevisedSimplex::refactorize() {
+  etas_.clear();
+  eta_index_.clear();
+  eta_value_.clear();
+  // Process basis columns sparsest-first: unit slack/artificial columns
+  // pivot their row with zero fill, leaving only the structural "bump".
+  std::vector<int> order(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return column_nnz(basis_[static_cast<std::size_t>(a)]) <
+           column_nnz(basis_[static_cast<std::size_t>(b)]);
+  });
+
+  std::vector<char> row_taken(static_cast<std::size_t>(m_), 0);
+  std::vector<int> new_basis(static_cast<std::size_t>(m_), -1);
+  std::vector<double>& dense = work_;
+  std::vector<int>& pattern = pattern_;
+  for (const int position : order) {
+    const int var = basis_[static_cast<std::size_t>(position)];
+    load_column(var, dense, pattern);
+    ftran(dense);
+    // The FTRAN may have created fill outside the loaded pattern; rescan.
+    int pivot_row = -1;
+    double best = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      if (row_taken[static_cast<std::size_t>(i)]) continue;
+      const double a = std::abs(dense[static_cast<std::size_t>(i)]);
+      if (a > best) {
+        best = a;
+        pivot_row = i;
+      }
+    }
+    if (pivot_row < 0 || best <= 1e-11) {
+      // Clear the dense scratch before bailing out.
+      std::fill(dense.begin(), dense.end(), 0.0);
+      pattern.clear();
+      return false;  // singular basis
+    }
+    pattern.clear();
+    for (int i = 0; i < m_; ++i) {
+      if (dense[static_cast<std::size_t>(i)] != 0.0) pattern.push_back(i);
+    }
+    append_eta(pivot_row, dense, pattern);
+    row_taken[static_cast<std::size_t>(pivot_row)] = 1;
+    new_basis[static_cast<std::size_t>(pivot_row)] = var;
+    for (const int i : pattern) dense[static_cast<std::size_t>(i)] = 0.0;
+    pattern.clear();
+  }
+  basis_ = std::move(new_basis);
+  factor_etas_ = static_cast<int>(etas_.size());
+  values_dirty_ = true;
+  return true;
+}
+
+void RevisedSimplex::compute_basic_values() {
+  std::vector<double>& r = work2_;
+  for (int i = 0; i < m_; ++i) {
+    r[static_cast<std::size_t>(i)] = rhs_[static_cast<std::size_t>(i)];
+  }
+  for (int j = 0; j < total_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (state_[js] == VarState::kBasic) continue;
+    const double v = x_[js];
+    if (v == 0.0) continue;
+    if (j < n_) {
+      for (int k = col_start_[js]; k < col_start_[js + 1]; ++k) {
+        r[static_cast<std::size_t>(
+            row_index_[static_cast<std::size_t>(k)])] -=
+            coeff_[static_cast<std::size_t>(k)] * v;
+      }
+    } else if (j < first_artificial_) {
+      r[static_cast<std::size_t>(j - n_)] -= v;
+    } else {
+      const int row = j - first_artificial_;
+      r[static_cast<std::size_t>(row)] -=
+          artificial_sign_[static_cast<std::size_t>(row)] * v;
+    }
+  }
+  ftran(r);
+  for (int i = 0; i < m_; ++i) {
+    x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
+        r[static_cast<std::size_t>(i)];
+    r[static_cast<std::size_t>(i)] = 0.0;
+  }
+  values_dirty_ = false;
+}
+
+void RevisedSimplex::compute_duals(std::vector<double>& y) const {
+  y.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+  }
+  btran(y);
+}
+
+double RevisedSimplex::reduced_cost(int var,
+                                    const std::vector<double>& y) const {
+  return cost_[static_cast<std::size_t>(var)] - column_dot(var, y);
+}
+
+// ------------------------------------------------------------------- primal
+
+void RevisedSimplex::reset_to_slack_basis() {
+  etas_.clear();
+  eta_index_.clear();
+  eta_value_.clear();
+  factor_etas_ = 0;
+  basis_valid_ = false;
+
+  for (int j = 0; j < n_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const bool prefer_lower = std::abs(lower_[js]) <= std::abs(upper_[js]);
+    state_[js] = prefer_lower ? VarState::kAtLower : VarState::kAtUpper;
+    x_[js] = prefer_lower ? lower_[js] : upper_[js];
+  }
+
+  // Row residuals once the structurals are parked.
+  std::vector<double>& residual = work2_;
+  for (int i = 0; i < m_; ++i) {
+    residual[static_cast<std::size_t>(i)] = rhs_[static_cast<std::size_t>(i)];
+  }
+  for (int j = 0; j < n_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const double v = x_[js];
+    if (v == 0.0) continue;
+    for (int k = col_start_[js]; k < col_start_[js + 1]; ++k) {
+      residual[static_cast<std::size_t>(
+          row_index_[static_cast<std::size_t>(k)])] -=
+          coeff_[static_cast<std::size_t>(k)] * v;
+    }
+  }
+
+  for (int i = 0; i < m_; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    const auto slack = static_cast<std::size_t>(n_ + i);
+    const auto art = static_cast<std::size_t>(first_artificial_ + i);
+    const double r = residual[is];
+    const double slo = lower_[slack];
+    const double shi = upper_[slack];
+    if (r >= slo - options_.tolerance && r <= shi + options_.tolerance) {
+      // Slack absorbs the residual; artificial stays fixed at zero.
+      state_[slack] = VarState::kBasic;
+      x_[slack] = std::min(std::max(r, slo), shi);
+      basis_[is] = n_ + i;
+      artificial_sign_[is] = 1.0;
+      lower_[art] = 0.0;
+      upper_[art] = 0.0;
+      state_[art] = VarState::kAtLower;
+      x_[art] = 0.0;
+    } else {
+      // Park the slack at its violated (finite) end; the artificial takes
+      // the leftover with a sign that keeps it nonnegative.
+      const double clamped = std::min(std::max(r, slo), shi);
+      state_[slack] = clamped <= slo + options_.tolerance
+                          ? VarState::kAtLower
+                          : VarState::kAtUpper;
+      x_[slack] = clamped;
+      const double leftover = r - clamped;
+      artificial_sign_[is] = leftover > 0 ? 1.0 : -1.0;
+      lower_[art] = 0.0;
+      upper_[art] = kInf;
+      state_[art] = VarState::kBasic;
+      x_[art] = std::abs(leftover);
+      basis_[is] = first_artificial_ + i;
+    }
+    residual[is] = 0.0;
+  }
+  values_dirty_ = false;  // basic values assigned exactly above
+}
+
+bool RevisedSimplex::price(const std::vector<double>& y, bool bland,
+                           int* entering, double* violation) const {
+  int best = -1;
+  double best_violation = options_.tolerance;
+  const auto consider = [&](int j, double d) {
+    const auto js = static_cast<std::size_t>(j);
+    double v = 0.0;
+    if (state_[js] == VarState::kAtLower && d < -options_.tolerance) {
+      v = -d;
+    } else if (state_[js] == VarState::kAtUpper && d > options_.tolerance) {
+      v = d;
+    } else {
+      return false;
+    }
+    if (bland) {
+      best = j;
+      best_violation = v;
+      return true;  // Bland: first violating index wins
+    }
+    if (v > best_violation) {
+      best_violation = v;
+      best = j;
+    }
+    return false;
+  };
+  for (int j = 0; j < n_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (state_[js] == VarState::kBasic) continue;
+    if (upper_[js] - lower_[js] <= 0.0) continue;  // fixed
+    double dot = 0.0;
+    for (int k = col_start_[js]; k < col_start_[js + 1]; ++k) {
+      dot += coeff_[static_cast<std::size_t>(k)] *
+             y[static_cast<std::size_t>(
+                 row_index_[static_cast<std::size_t>(k)])];
+    }
+    if (consider(j, cost_[js] - dot)) break;
+  }
+  if (best < 0 || !bland) {
+    for (int i = 0; i < m_ && (best < 0 || !bland); ++i) {
+      for (int part = 0; part < 2; ++part) {
+        const int j = part == 0 ? n_ + i : first_artificial_ + i;
+        const auto js = static_cast<std::size_t>(j);
+        if (state_[js] == VarState::kBasic) continue;
+        if (upper_[js] - lower_[js] <= 0.0) continue;  // fixed
+        const double dot = part == 0
+                               ? y[static_cast<std::size_t>(i)]
+                               : artificial_sign_[static_cast<std::size_t>(i)] *
+                                     y[static_cast<std::size_t>(i)];
+        if (consider(j, cost_[js] - dot)) break;
+      }
+    }
+  }
+  if (best < 0) return false;
+  *entering = best;
+  *violation = best_violation;
+  return true;
+}
+
+bool RevisedSimplex::primal_iterate(long budget, Solution& result) {
+  int consecutive_degenerate = 0;
+  const int bland_threshold = 2 * (m_ + total_) + 20;
+  std::vector<double>& y = duals_;
+  std::vector<double>& alpha = work_;
+  std::vector<int>& pattern = pattern_;
+  while (true) {
+    if (iterations_ >= budget) {
+      result.status = SolveStatus::kIterationLimit;
+      result.iterations = iterations_;
+      return false;
+    }
+    if (values_dirty_) compute_basic_values();
+
+    compute_duals(y);
+    int entering = -1;
+    double violation = 0.0;
+    if (!price(y, consecutive_degenerate > bland_threshold, &entering,
+               &violation)) {
+      return true;  // phase optimal
+    }
+    const auto q = static_cast<std::size_t>(entering);
+    const double direction = state_[q] == VarState::kAtLower ? 1.0 : -1.0;
+    const bool bland = consecutive_degenerate > bland_threshold;
+
+    load_column(entering, alpha, pattern);
+    ftran(alpha);
+    pattern.clear();
+    for (int i = 0; i < m_; ++i) {
+      if (alpha[static_cast<std::size_t>(i)] != 0.0) pattern.push_back(i);
+    }
+
+    // Bounded ratio test (see simplex.cpp; same tie-breaking).
+    double best_t = upper_[q] - lower_[q];
+    int leaving_row = -1;
+    double leaving_pivot = 0.0;
+    for (const int i : pattern) {
+      const double a = alpha[static_cast<std::size_t>(i)];
+      if (std::abs(a) <= kPivotEpsilon) continue;
+      const int basic = basis_[static_cast<std::size_t>(i)];
+      const auto bs = static_cast<std::size_t>(basic);
+      const double rate = direction * a;  // basic changes by -rate*t
+      double t;
+      if (rate > 0.0) {
+        t = (x_[bs] - lower_[bs]) / rate;
+      } else {
+        t = (upper_[bs] - x_[bs]) / (-rate);
+      }
+      if (!std::isfinite(t)) continue;  // unbounded in this row
+      t = std::max(t, 0.0);
+      const bool better =
+          t < best_t - kPivotEpsilon ||
+          (t < best_t + kPivotEpsilon && leaving_row >= 0 &&
+           (bland ? basic < basis_[static_cast<std::size_t>(leaving_row)]
+                  : std::abs(a) > std::abs(leaving_pivot)));
+      if (leaving_row < 0 ? t < best_t + kPivotEpsilon : better) {
+        best_t = std::min(best_t, t);
+        leaving_row = i;
+        leaving_pivot = a;
+      }
+    }
+
+    if (leaving_row < 0 && !std::isfinite(best_t)) {
+      // A bounded model cannot produce an unbounded improving ray; treat as
+      // numerical breakdown so the caller can fall back.
+      common::log_warning("revised simplex: unbounded step; restarting");
+      numerics_failed_ = true;
+      result.status = SolveStatus::kIterationLimit;
+      result.iterations = iterations_;
+      for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
+      pattern.clear();
+      return false;
+    }
+
+    const double t = std::max(best_t, 0.0);
+    if (leaving_row < 0) {
+      // Pure bound flip.
+      for (const int i : pattern) {
+        const double a = alpha[static_cast<std::size_t>(i)];
+        const auto bs = static_cast<std::size_t>(
+            basis_[static_cast<std::size_t>(i)]);
+        x_[bs] -= direction * t * a;
+        x_[bs] = std::min(std::max(x_[bs], lower_[bs]), upper_[bs]);
+        alpha[static_cast<std::size_t>(i)] = 0.0;
+      }
+      pattern.clear();
+      x_[q] = direction > 0 ? upper_[q] : lower_[q];
+      state_[q] = direction > 0 ? VarState::kAtUpper : VarState::kAtLower;
+      ++iterations_;
+      ++total_iterations_;
+      consecutive_degenerate = 0;
+      continue;
+    }
+
+    const double pivot_value = alpha[static_cast<std::size_t>(leaving_row)];
+    if (std::abs(pivot_value) <= kWeakPivot &&
+        static_cast<int>(etas_.size()) > factor_etas_) {
+      // Weak pivot on a stale factorization: refactorize and retry the
+      // whole iteration with fresh numerics.
+      for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
+      pattern.clear();
+      if (!refactorize()) {
+        numerics_failed_ = true;
+        result.status = SolveStatus::kIterationLimit;
+        result.iterations = iterations_;
+        return false;
+      }
+      continue;
+    }
+    if (std::abs(pivot_value) <= kPivotEpsilon) {
+      common::log_warning("revised simplex: numerically singular pivot");
+      numerics_failed_ = true;
+      result.status = SolveStatus::kIterationLimit;
+      result.iterations = iterations_;
+      for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
+      pattern.clear();
+      return false;
+    }
+
+    for (const int i : pattern) {
+      const double a = alpha[static_cast<std::size_t>(i)];
+      const auto bs =
+          static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+      x_[bs] -= direction * t * a;
+      x_[bs] = std::min(std::max(x_[bs], lower_[bs]), upper_[bs]);
+    }
+    x_[q] += direction * t;
+
+    const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+    const auto ls = static_cast<std::size_t>(leaving);
+    const double rate = direction * pivot_value;
+    if (rate > 0.0) {
+      x_[ls] = lower_[ls];
+      state_[ls] = VarState::kAtLower;
+    } else {
+      x_[ls] = upper_[ls];
+      state_[ls] = VarState::kAtUpper;
+    }
+    state_[q] = VarState::kBasic;
+    basis_[static_cast<std::size_t>(leaving_row)] = entering;
+    append_eta(leaving_row, alpha, pattern);
+    for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
+    pattern.clear();
+
+    ++iterations_;
+    ++total_iterations_;
+    if (t <= options_.tolerance) {
+      ++consecutive_degenerate;
+    } else {
+      consecutive_degenerate = 0;
+    }
+    if (static_cast<int>(etas_.size()) - factor_etas_ >= kRefactorInterval) {
+      if (!refactorize()) {
+        numerics_failed_ = true;
+        result.status = SolveStatus::kIterationLimit;
+        result.iterations = iterations_;
+        return false;
+      }
+      compute_basic_values();
+    }
+  }
+}
+
+// --------------------------------------------------------------------- dual
+
+bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
+  int consecutive_degenerate = 0;
+  const int bland_threshold = 2 * (m_ + total_) + 20;
+  std::vector<double>& y = duals_;
+  std::vector<double>& alpha = work_;
+  std::vector<int>& pattern = pattern_;
+  std::vector<double>& rho = rho_;
+  rho.assign(static_cast<std::size_t>(m_), 0.0);
+  while (true) {
+    if (iterations_ >= budget) {
+      result.status = SolveStatus::kIterationLimit;
+      result.iterations = iterations_;
+      return true;
+    }
+    if (values_dirty_) compute_basic_values();
+
+    const bool bland = consecutive_degenerate > bland_threshold;
+    if (consecutive_degenerate > 8 * bland_threshold + 1000) {
+      // Degenerate stalling despite Bland's rule: give up on the warm basis
+      // and let the caller cold start.
+      numerics_failed_ = true;
+      return false;
+    }
+
+    // Leaving row: the basic variable most outside its bounds (under
+    // Bland's anti-cycling rule: the lowest-index violated basic).
+    int leaving_row = -1;
+    double worst = options_.tolerance;
+    bool below = false;
+    for (int i = 0; i < m_; ++i) {
+      const int basic = basis_[static_cast<std::size_t>(i)];
+      const auto bs = static_cast<std::size_t>(basic);
+      const double under = lower_[bs] - x_[bs];
+      const double over = x_[bs] - upper_[bs];
+      const double violation = std::max(under, over);
+      if (violation <= options_.tolerance) continue;
+      const bool take =
+          bland ? (leaving_row < 0 ||
+                   basic < basis_[static_cast<std::size_t>(leaving_row)])
+                : violation > worst;
+      if (take) {
+        worst = violation;
+        leaving_row = i;
+        below = under > over;
+      }
+    }
+    if (leaving_row < 0) {
+      result.status = SolveStatus::kOptimal;
+      result.iterations = iterations_;
+      return true;  // primal feasible; caller polishes with primal phase 2
+    }
+
+    const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+    const auto ls = static_cast<std::size_t>(leaving);
+    const double target = below ? lower_[ls] : upper_[ls];
+
+    // Row of B^-1 A via BTRAN of the unit vector.
+    std::fill(rho.begin(), rho.end(), 0.0);
+    rho[static_cast<std::size_t>(leaving_row)] = 1.0;
+    btran(rho);
+    compute_duals(y);
+
+    // Collect every admissible breakpoint for the bound-flipping ratio
+    // test (BFRT): one inlined pass over structural (CSC) and slack (unit)
+    // columns; artificial columns are always fixed by the time the dual
+    // runs.
+    std::vector<Breakpoint>& cand = breakpoints_;
+    cand.clear();
+    const auto consider = [&](int j, double a) {
+      const auto js = static_cast<std::size_t>(j);
+      if (std::abs(a) <= kPivotEpsilon) return;
+      const bool at_lower = state_[js] == VarState::kAtLower;
+      // Moving j off its bound must push the leaving basic toward `target`.
+      const bool admissible = below ? (at_lower ? a < 0.0 : a > 0.0)
+                                    : (at_lower ? a > 0.0 : a < 0.0);
+      if (!admissible) return;
+      const double d = cost_[js] - column_dot(j, y);
+      const double ratio = std::max(at_lower ? d : -d, 0.0) / std::abs(a);
+      cand.push_back({ratio, a, j});
+    };
+    for (int j = 0; j < n_; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      if (state_[js] == VarState::kBasic) continue;
+      if (upper_[js] - lower_[js] <= 0.0) continue;  // fixed
+      double a = 0.0;
+      for (int k = col_start_[js]; k < col_start_[js + 1]; ++k) {
+        a += coeff_[static_cast<std::size_t>(k)] *
+             rho[static_cast<std::size_t>(
+                 row_index_[static_cast<std::size_t>(k)])];
+      }
+      consider(j, a);
+    }
+    for (int i = 0; i < m_; ++i) {
+      const int j = n_ + i;
+      const auto js = static_cast<std::size_t>(j);
+      if (state_[js] == VarState::kBasic) continue;
+      if (upper_[js] - lower_[js] <= 0.0) continue;  // fixed
+      consider(j, rho[static_cast<std::size_t>(i)]);
+    }
+    if (cand.empty()) {
+      // No column can repair the violated row: primal infeasible.
+      result.status = SolveStatus::kInfeasible;
+      result.iterations = iterations_;
+      return true;
+    }
+
+    // The minimum dual ratio is mandatory for dual feasibility. Normally
+    // breakpoints are walked in ratio order (larger pivots first on ties);
+    // under Bland's rule the lowest-index minimum-ratio column enters and
+    // no flips happen.
+    std::size_t pick = 0;
+    if (bland) {
+      double min_ratio = kInf;
+      for (const Breakpoint& c : cand) {
+        min_ratio = std::min(min_ratio, c.ratio);
+      }
+      int best_j = total_;
+      for (std::size_t k = 0; k < cand.size(); ++k) {
+        if (cand[k].ratio <= min_ratio + kPivotEpsilon &&
+            cand[k].j < best_j) {
+          best_j = cand[k].j;
+          pick = k;
+        }
+      }
+    } else {
+      std::sort(cand.begin(), cand.end(),
+                [](const Breakpoint& a, const Breakpoint& b) {
+                  if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                  const double pa = std::abs(a.alpha);
+                  const double pb = std::abs(b.alpha);
+                  if (pa != pb) return pa > pb;
+                  return a.j < b.j;
+                });
+      // BFRT walk: a boxed candidate whose entire range still leaves the
+      // row violated gets bound-flipped instead of entering; the first
+      // breakpoint that can absorb the remaining violation enters. All
+      // flipped columns sit past their dual ratio, so flipping keeps the
+      // reduced costs feasible.
+      double remaining = worst;
+      bool exhausted = true;
+      for (pick = 0; pick < cand.size(); ++pick) {
+        const auto js = static_cast<std::size_t>(cand[pick].j);
+        const double capacity =
+            std::abs(cand[pick].alpha) * (upper_[js] - lower_[js]);
+        if (!std::isfinite(capacity) || capacity >= remaining - 1e-9) {
+          exhausted = false;
+          break;
+        }
+        remaining -= capacity;
+      }
+      if (exhausted) {
+        // Even flipping every admissible column cannot pull the row to its
+        // bound: the dual ray certifies primal infeasibility.
+        result.status = SolveStatus::kInfeasible;
+        result.iterations = iterations_;
+        return true;
+      }
+    }
+    const int entering = cand[pick].j;
+    const double best_ratio = cand[pick].ratio;
+    // Under Bland's rule cand is unsorted and pick indexes the chosen
+    // entering column directly; the walked prefix is not a set of passed
+    // breakpoints, so nothing may be flipped.
+    const std::size_t flip_count = bland ? 0 : pick;
+
+    load_column(entering, alpha, pattern);
+    ftran(alpha);
+    pattern.clear();
+    for (int i = 0; i < m_; ++i) {
+      if (alpha[static_cast<std::size_t>(i)] != 0.0) pattern.push_back(i);
+    }
+    const double pivot_value = alpha[static_cast<std::size_t>(leaving_row)];
+    if (std::abs(pivot_value) <= kWeakPivot) {
+      // The BTRAN row and FTRAN column disagree or the pivot is weak;
+      // refresh the factorization, or give up to the caller if fresh.
+      for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
+      pattern.clear();
+      if (static_cast<int>(etas_.size()) > factor_etas_) {
+        if (!refactorize()) {
+          numerics_failed_ = true;
+          return false;
+        }
+        continue;
+      }
+      numerics_failed_ = true;
+      return false;
+    }
+
+    if (flip_count > 0) {
+      // Apply the passed breakpoints as bound flips: accumulate the flipped
+      // columns in row space and push them through one FTRAN.
+      std::vector<double>& acc = flip_acc_;
+      acc.assign(static_cast<std::size_t>(m_), 0.0);
+      for (std::size_t k = 0; k < flip_count; ++k) {
+        const int j = cand[k].j;
+        const auto js = static_cast<std::size_t>(j);
+        const double range = upper_[js] - lower_[js];
+        const bool was_lower = state_[js] == VarState::kAtLower;
+        const double delta = was_lower ? range : -range;
+        if (j < n_) {
+          for (int t = col_start_[js]; t < col_start_[js + 1]; ++t) {
+            acc[static_cast<std::size_t>(
+                row_index_[static_cast<std::size_t>(t)])] +=
+                coeff_[static_cast<std::size_t>(t)] * delta;
+          }
+        } else {
+          acc[static_cast<std::size_t>(j - n_)] += delta;
+        }
+        state_[js] = was_lower ? VarState::kAtUpper : VarState::kAtLower;
+        x_[js] = was_lower ? upper_[js] : lower_[js];
+      }
+      ftran(acc);
+      for (int i = 0; i < m_; ++i) {
+        const double move = acc[static_cast<std::size_t>(i)];
+        if (move == 0.0) continue;
+        x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
+            move;
+      }
+    }
+
+    const auto q = static_cast<std::size_t>(entering);
+    const double delta_q = (x_[ls] - target) / pivot_value;
+    for (const int i : pattern) {
+      const double a = alpha[static_cast<std::size_t>(i)];
+      const auto bs =
+          static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)]);
+      x_[bs] -= a * delta_q;
+    }
+    x_[q] += delta_q;
+    x_[ls] = target;
+    state_[ls] = below ? VarState::kAtLower : VarState::kAtUpper;
+    state_[q] = VarState::kBasic;
+    basis_[static_cast<std::size_t>(leaving_row)] = entering;
+    append_eta(leaving_row, alpha, pattern);
+    for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
+    pattern.clear();
+
+    ++iterations_;
+    ++total_iterations_;
+    if (best_ratio <= options_.tolerance) {
+      ++consecutive_degenerate;
+    } else {
+      consecutive_degenerate = 0;
+    }
+    if (static_cast<int>(etas_.size()) - factor_etas_ >= kRefactorInterval) {
+      if (!refactorize()) {
+        numerics_failed_ = true;
+        return false;
+      }
+      compute_basic_values();
+    }
+  }
+}
+
+// ------------------------------------------------------------------- driver
+
+void RevisedSimplex::evict_basic_artificials() {
+  std::vector<double>& rho = rho_;
+  rho.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const int basic = basis_[static_cast<std::size_t>(i)];
+    if (basic < first_artificial_) continue;
+    std::fill(rho.begin(), rho.end(), 0.0);
+    rho[static_cast<std::size_t>(i)] = 1.0;
+    btran(rho);
+    int replacement = -1;
+    for (int j = 0; j < first_artificial_; ++j) {
+      if (state_[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
+      if (std::abs(column_dot(j, rho)) > 1e-6) {
+        replacement = j;
+        break;
+      }
+    }
+    if (replacement < 0) continue;  // redundant row; artificial stays at 0
+    std::vector<double>& alpha = work_;
+    std::vector<int>& pattern = pattern_;
+    load_column(replacement, alpha, pattern);
+    ftran(alpha);
+    pattern.clear();
+    for (int r = 0; r < m_; ++r) {
+      if (alpha[static_cast<std::size_t>(r)] != 0.0) pattern.push_back(r);
+    }
+    const auto bs = static_cast<std::size_t>(basic);
+    x_[bs] = 0.0;
+    state_[bs] = VarState::kAtLower;
+    state_[static_cast<std::size_t>(replacement)] = VarState::kBasic;
+    basis_[static_cast<std::size_t>(i)] = replacement;
+    append_eta(i, alpha, pattern);
+    for (const int r : pattern) alpha[static_cast<std::size_t>(r)] = 0.0;
+    pattern.clear();
+    // Degenerate exchange: the artificial sat at zero, so no values move.
+  }
+}
+
+Solution RevisedSimplex::finish_optimal() {
+  Solution result;
+  result.status = SolveStatus::kOptimal;
+  result.values.resize(static_cast<std::size_t>(n_));
+  double objective = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const double v = std::min(std::max(x_[js], lower_[js]), upper_[js]);
+    result.values[js] = v;
+    objective += objective_[js] * v;
+  }
+  result.objective = objective;
+  result.iterations = iterations_;
+  basis_valid_ = true;
+  return result;
+}
+
+Solution RevisedSimplex::run_two_phase() {
+  Solution result;
+  reset_to_slack_basis();
+  if (!refactorize()) {
+    numerics_failed_ = true;
+    result.status = SolveStatus::kIterationLimit;
+    return result;
+  }
+  compute_basic_values();
+
+  bool have_artificials = false;
+  for (int i = 0; i < m_; ++i) {
+    if (basis_[static_cast<std::size_t>(i)] >= first_artificial_) {
+      have_artificials = true;
+      break;
+    }
+  }
+  if (have_artificials) {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int j = first_artificial_; j < total_; ++j) {
+      cost_[static_cast<std::size_t>(j)] = 1.0;
+    }
+    if (!primal_iterate(options_.max_iterations, result)) return result;
+    double infeasibility = 0.0;
+    for (int j = first_artificial_; j < total_; ++j) {
+      infeasibility += x_[static_cast<std::size_t>(j)];
+    }
+    if (infeasibility > options_.tolerance * 10) {
+      result.status = SolveStatus::kInfeasible;
+      result.iterations = iterations_;
+      return result;
+    }
+    evict_basic_artificials();
+    for (int j = first_artificial_; j < total_; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      lower_[js] = 0.0;
+      upper_[js] = 0.0;
+      if (state_[js] != VarState::kBasic) {
+        state_[js] = VarState::kAtLower;
+        x_[js] = 0.0;
+      }
+    }
+    values_dirty_ = true;
+  }
+
+  std::fill(cost_.begin(), cost_.end(), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    cost_[static_cast<std::size_t>(j)] = objective_[static_cast<std::size_t>(j)];
+  }
+  if (!primal_iterate(options_.max_iterations, result)) return result;
+  return finish_optimal();
+}
+
+/// Dual-feasible crash start: every structural variable parks at the bound
+/// its objective coefficient prefers, every slack becomes basic (identity
+/// basis, empty eta file). Reduced costs are then feasible by construction
+/// and the dual simplex can cold-start without artificials or phase 1.
+void RevisedSimplex::reset_to_dual_crash() {
+  etas_.clear();
+  eta_index_.clear();
+  eta_value_.clear();
+  factor_etas_ = 0;
+  basis_valid_ = false;
+
+  for (int j = 0; j < n_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const double c = objective_[js];
+    bool at_lower;
+    if (c > options_.tolerance) {
+      at_lower = true;
+    } else if (c < -options_.tolerance) {
+      at_lower = false;
+    } else {
+      at_lower = std::abs(lower_[js]) <= std::abs(upper_[js]);
+    }
+    state_[js] = at_lower ? VarState::kAtLower : VarState::kAtUpper;
+    x_[js] = at_lower ? lower_[js] : upper_[js];
+  }
+  for (int i = 0; i < m_; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    const auto slack = static_cast<std::size_t>(n_ + i);
+    const auto art = static_cast<std::size_t>(first_artificial_ + i);
+    state_[slack] = VarState::kBasic;
+    basis_[is] = n_ + i;
+    artificial_sign_[is] = 1.0;
+    lower_[art] = 0.0;
+    upper_[art] = 0.0;
+    state_[art] = VarState::kAtLower;
+    x_[art] = 0.0;
+  }
+  // Basic slack values = row residuals (B is the identity). Out-of-bounds
+  // values are exactly the primal infeasibilities the dual run repairs.
+  std::vector<double>& residual = work2_;
+  for (int i = 0; i < m_; ++i) {
+    residual[static_cast<std::size_t>(i)] = rhs_[static_cast<std::size_t>(i)];
+  }
+  for (int j = 0; j < n_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const double v = x_[js];
+    if (v == 0.0) continue;
+    for (int k = col_start_[js]; k < col_start_[js + 1]; ++k) {
+      residual[static_cast<std::size_t>(
+          row_index_[static_cast<std::size_t>(k)])] -=
+          coeff_[static_cast<std::size_t>(k)] * v;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    x_[static_cast<std::size_t>(n_ + i)] =
+        residual[static_cast<std::size_t>(i)];
+    residual[static_cast<std::size_t>(i)] = 0.0;
+  }
+  values_dirty_ = false;
+}
+
+/// Dual reoptimization from the current basis, then an exact-cost primal
+/// polish. Sets numerics_failed_ when the caller should restart elsewhere.
+Solution RevisedSimplex::reoptimize_from_basis() {
+  // Phase-2 costs with a tiny deterministic anti-degeneracy perturbation:
+  // the paper's big-M binary models are massively dual-degenerate, and
+  // distinct ratios keep the dual simplex from stalling on zero-gain
+  // pivots. The perturbation leans each nonbasic variable further into
+  // dual feasibility, and the exact-cost primal polish below removes its
+  // O(tolerance) footprint before the solution is reported.
+  const double scale = options_.tolerance * 16.0;
+  std::fill(cost_.begin(), cost_.end(), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const double jitter =
+        scale *
+        (1.0 + static_cast<double>((static_cast<unsigned>(j) * 2654435761u) >>
+                                   24 & 0xffu) /
+                   256.0);
+    const double lean = state_[js] == VarState::kAtUpper ? -jitter : jitter;
+    cost_[js] = objective_[js] + lean;
+  }
+
+  Solution result;
+  if (!dual_iterate(options_.max_iterations, result)) {
+    numerics_failed_ = true;
+    return result;
+  }
+  if (result.status == SolveStatus::kInfeasible) {
+    result.iterations = iterations_;
+    basis_valid_ = true;  // still dual feasible and reusable
+    return result;
+  }
+  if (result.status == SolveStatus::kIterationLimit) {
+    basis_valid_ = false;  // partial reoptimize: do not trust for warm start
+    return result;
+  }
+  // Primal feasible: drop the perturbation and polish with exact costs.
+  std::fill(cost_.begin(), cost_.end(), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    cost_[static_cast<std::size_t>(j)] = objective_[static_cast<std::size_t>(j)];
+  }
+  if (!primal_iterate(options_.max_iterations, result)) {
+    if (!numerics_failed_) basis_valid_ = false;  // pivot budget exhausted
+    return result;
+  }
+  return finish_optimal();
+}
+
+Solution RevisedSimplex::solve_cold() {
+  iterations_ = 0;
+  numerics_failed_ = false;
+  reset_to_dual_crash();
+  Solution result = reoptimize_from_basis();
+  if (!numerics_failed_) return result;
+  // Dual crash broke down numerically: retry with the artificial-variable
+  // two-phase primal, the same method as the dense oracle.
+  iterations_ = 0;
+  numerics_failed_ = false;
+  return run_two_phase();
+}
+
+Solution RevisedSimplex::reoptimize() {
+  if (!basis_valid_) return solve_cold();
+  iterations_ = 0;
+  numerics_failed_ = false;
+  Solution result = reoptimize_from_basis();
+  if (!numerics_failed_) return result;
+  return solve_cold();
+}
+
+}  // namespace fpva::lp

@@ -1,0 +1,163 @@
+// Revised bounded-variable simplex with a factorized basis and warm starts.
+//
+// Unlike the dense tableau solver (simplex.cpp), this engine keeps the basis
+// as a product-form eta file over a sparse column copy of the constraint
+// matrix, so one pivot costs O(nnz) instead of O(rows * columns). It is
+// built for branch-and-bound: after a handful of bound changes the previous
+// optimal basis stays dual feasible, and reoptimize() runs the dual simplex
+// from that basis instead of a two-phase cold start — typically a couple of
+// pivots per node instead of a full solve.
+//
+// The solver owns a private copy of the variable bounds; set_bounds()
+// mutates that copy only, never the source model, so one RevisedSimplex can
+// serve every node of a search tree over the same structural matrix.
+#ifndef FPVA_LP_REVISED_SIMPLEX_H
+#define FPVA_LP_REVISED_SIMPLEX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace fpva::lp {
+
+/// Incremental revised simplex over a fixed constraint matrix.
+class RevisedSimplex {
+ public:
+  /// Snapshots the structure and bounds of `model`. The model must outlive
+  /// the solver only through this constructor; no reference is retained.
+  explicit RevisedSimplex(const Model& model, SolveOptions options = {});
+
+  /// Overwrites the solver's private bounds of structural `variable`.
+  /// Invalidates primal values but keeps the factorized basis for a
+  /// dual-simplex reoptimize.
+  void set_bounds(int variable, double lower, double upper);
+
+  /// Current private bounds (reflects set_bounds calls).
+  double lower_bound(int variable) const;
+  double upper_bound(int variable) const;
+
+  /// Solves from scratch: two-phase primal simplex off a fresh slack basis.
+  Solution solve_cold();
+
+  /// Reoptimizes after set_bounds() calls. Uses the dual simplex from the
+  /// stored basis when one exists and stays numerically healthy; falls back
+  /// to solve_cold() otherwise (including on the first call).
+  Solution reoptimize();
+
+  /// True once a solve left behind a reusable (dual-feasible) basis.
+  bool has_basis() const { return basis_valid_; }
+
+  /// Replaces the per-solve pivot budget (branch-and-bound grows it when a
+  /// node LP runs out of pivots).
+  void set_iteration_limit(long limit) { options_.max_iterations = limit; }
+
+  /// True when the last solve gave up on numerics rather than on the pivot
+  /// budget; the caller should re-solve through the dense tableau oracle.
+  bool numerical_trouble() const { return numerics_failed_; }
+
+  /// Cumulative pivot count over the lifetime of the solver.
+  long total_iterations() const { return total_iterations_; }
+
+ private:
+  enum class VarState : std::uint8_t { kBasic, kAtLower, kAtUpper };
+
+  /// One product-form update. Off-pivot entries live in the shared
+  /// eta_index_/eta_value_ arena (one flat allocation instead of two small
+  /// vectors per pivot, and sequential memory during FTRAN/BTRAN sweeps).
+  struct Eta {
+    int pivot_row = 0;
+    int start = 0;             ///< first arena slot
+    int end = 0;               ///< one past the last arena slot
+    double pivot_value = 1.0;  ///< eta coefficient of the pivot row
+  };
+
+  // --- structure -----------------------------------------------------------
+  void build_columns(const Model& model);
+  int column_nnz(int var) const;
+  double column_dot(int var, const std::vector<double>& dense) const;
+
+  // --- factorization -------------------------------------------------------
+  bool refactorize();  ///< rebuilds the eta file from basis_; false = singular
+  void ftran(std::vector<double>& dense) const;  ///< dense := B^-1 dense
+  void btran(std::vector<double>& dense) const;  ///< dense := B^-T dense
+  void append_eta(int pivot_row, const std::vector<double>& alpha,
+                  const std::vector<int>& alpha_pattern);
+  void load_column(int var, std::vector<double>& dense,
+                   std::vector<int>& pattern) const;
+
+  // --- simplex -------------------------------------------------------------
+  void reset_to_slack_basis();
+  void reset_to_dual_crash();
+  Solution reoptimize_from_basis();
+  void compute_basic_values();
+  void compute_duals(std::vector<double>& y) const;
+  double reduced_cost(int var, const std::vector<double>& y) const;
+  bool price(const std::vector<double>& y, bool bland, int* entering,
+             double* violation) const;
+  /// One primal phase; returns false on iteration limit. `phase1` selects
+  /// the artificial-infeasibility objective.
+  bool primal_iterate(long budget, Solution& result);
+  /// Dual simplex until primal feasible; kOptimal / kInfeasible /
+  /// kIterationLimit via result.status; false = numerical trouble, caller
+  /// should cold start.
+  bool dual_iterate(long budget, Solution& result);
+  void evict_basic_artificials();
+  Solution finish_optimal();
+  Solution run_two_phase();
+
+  SolveOptions options_;
+
+  int n_ = 0;           ///< structural variables
+  int m_ = 0;           ///< rows
+  int total_ = 0;       ///< structural + slack + artificial columns
+  int first_artificial_ = 0;
+  std::vector<double> objective_;  ///< structural objective coefficients
+
+  // CSC copy of the structural matrix (merged duplicate terms).
+  std::vector<int> col_start_;
+  std::vector<int> row_index_;
+  std::vector<double> coeff_;
+  std::vector<double> rhs_;
+  std::vector<Sense> sense_;
+  std::vector<double> artificial_sign_;  ///< per-row sign, 0 = no artificial
+
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> x_;
+  std::vector<double> cost_;  ///< active phase costs
+  std::vector<VarState> state_;
+  std::vector<int> basis_;
+
+  std::vector<Eta> etas_;
+  std::vector<int> eta_index_;     ///< shared arena: off-pivot row indices
+  std::vector<double> eta_value_;  ///< shared arena: off-pivot coefficients
+  int factor_etas_ = 0;  ///< etas belonging to the factorization itself
+  bool basis_valid_ = false;
+  bool values_dirty_ = false;
+  bool numerics_failed_ = false;
+
+  long total_iterations_ = 0;
+  long iterations_ = 0;  ///< pivots spent in the current solve
+
+  // Scratch buffers reused across iterations.
+  mutable std::vector<double> work_;
+  mutable std::vector<double> work2_;
+  mutable std::vector<int> pattern_;
+  std::vector<double> duals_;  ///< y scratch for the iterate loops
+  std::vector<double> rho_;    ///< BTRAN row scratch for the dual simplex
+
+  /// One admissible column in the dual ratio test.
+  struct Breakpoint {
+    double ratio = 0.0;
+    double alpha = 0.0;  ///< entry of the BTRAN'd leaving row
+    int j = 0;
+  };
+  std::vector<Breakpoint> breakpoints_;  ///< BFRT scratch
+  std::vector<double> flip_acc_;         ///< accumulated bound flips
+};
+
+}  // namespace fpva::lp
+
+#endif  // FPVA_LP_REVISED_SIMPLEX_H

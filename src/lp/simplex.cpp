@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "lp/revised_simplex.h"
 
 namespace fpva::lp {
 
@@ -479,6 +480,13 @@ class SimplexSolver {
 }  // namespace
 
 Solution solve(const Model& model, const SolveOptions& options) {
+  if (options.algorithm == Algorithm::kRevised) {
+    RevisedSimplex revised(model, options);
+    Solution solution = revised.solve_cold();
+    if (!revised.numerical_trouble()) return solution;
+    common::log_warning(
+        "lp::solve: revised simplex gave up on numerics; retrying dense");
+  }
   SimplexSolver solver(model, options);
   return solver.run();
 }

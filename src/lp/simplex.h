@@ -20,9 +20,16 @@ enum class SolveStatus {
   kIterationLimit,  ///< pivot budget exhausted
 };
 
+/// Which engine lp::solve routes through.
+enum class Algorithm {
+  kRevised,       ///< revised simplex, factorized basis (revised_simplex.h)
+  kDenseTableau,  ///< legacy dense two-phase tableau (retained as oracle)
+};
+
 struct SolveOptions {
   long max_iterations = 200000;  ///< total pivot budget over both phases
   double tolerance = 1e-7;       ///< feasibility/optimality tolerance
+  Algorithm algorithm = Algorithm::kRevised;
 };
 
 struct Solution {
@@ -32,7 +39,10 @@ struct Solution {
   long iterations = 0;         ///< pivots performed
 };
 
-/// Solves `model` to optimality (minimization).
+/// Solves `model` to optimality (minimization). Dispatches on
+/// `options.algorithm`; the revised engine falls back to the dense tableau
+/// when it detects numerical trouble, so callers see at most one of
+/// kOptimal / kInfeasible / kIterationLimit either way.
 Solution solve(const Model& model, const SolveOptions& options = {});
 
 }  // namespace fpva::lp

@@ -176,5 +176,107 @@ TEST_P(IlpRandomKnapsackTest, MatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(RandomKnapsacks, IlpRandomKnapsackTest,
                          ::testing::Range(0, 25));
 
+/// The pre-PR configuration: dense-tableau cold start per node, pure
+/// most-fractional branching, no presolve/propagation/warm start. Retained
+/// as the differential oracle for the accelerated pipeline.
+Options legacy_options() {
+  Options options;
+  options.presolve = false;
+  options.node_propagation = false;
+  options.warm_start = false;
+  options.pseudocost_branching = false;
+  options.lp_algorithm = lp::Algorithm::kDenseTableau;
+  return options;
+}
+
+Model random_mip(common::Rng& rng) {
+  Model model;
+  const int n = 6 + static_cast<int>(rng.next_below(5));
+  std::vector<lp::Term> knap;
+  for (int i = 0; i < n; ++i) {
+    const int x = model.add_binary(-static_cast<double>(rng.next_in(1, 12)));
+    knap.push_back({x, static_cast<double>(rng.next_in(1, 8))});
+  }
+  model.add_constraint(std::move(knap), lp::Sense::kLessEqual,
+                       static_cast<double>(rng.next_in(6, 24)));
+  // A couple of covering rows to exercise >= and propagation.
+  for (int r = 0; r < 2; ++r) {
+    std::vector<lp::Term> cover;
+    for (int i = 0; i < n; ++i) {
+      if (rng.next_bool(0.4)) cover.push_back({i, 1.0});
+    }
+    if (cover.size() < 2) cover = {{0, 1.0}, {n - 1, 1.0}};
+    model.add_constraint(std::move(cover), lp::Sense::kGreaterEqual, 1.0);
+  }
+  return model;
+}
+
+class IlpDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// The accelerated pipeline (presolve + propagation + warm-started dual
+// simplex + pseudocosts) must reproduce the legacy solver's optima exactly.
+TEST_P(IlpDifferentialTest, AcceleratedMatchesLegacyOptimum) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  const Model model = random_mip(rng);
+  Options accelerated;
+  accelerated.objective_is_integral = true;
+  Options legacy = legacy_options();
+  legacy.objective_is_integral = true;
+  const Result fast = solve(model, accelerated);
+  const Result slow = solve(model, legacy);
+  ASSERT_EQ(fast.status, slow.status);
+  if (fast.status == ResultStatus::kOptimal) {
+    // Integral objectives: the optima must agree bit-for-bit.
+    EXPECT_EQ(fast.objective, slow.objective);
+    EXPECT_TRUE(model.is_feasible(fast.values, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMips, IlpDifferentialTest,
+                         ::testing::Range(0, 30));
+
+TEST(BranchAndBoundTest, DeterministicAcrossRuns) {
+  common::Rng rng(20170327);
+  const Model model = random_mip(rng);
+  Options options;
+  options.objective_is_integral = true;
+  const Result first = solve(model, options);
+  const Result second = solve(model, options);
+  ASSERT_EQ(first.status, second.status);
+  EXPECT_EQ(first.nodes, second.nodes);
+  EXPECT_EQ(first.lp_pivots, second.lp_pivots);
+  EXPECT_EQ(first.objective, second.objective);
+  ASSERT_EQ(first.values.size(), second.values.size());
+  for (std::size_t i = 0; i < first.values.size(); ++i) {
+    EXPECT_EQ(first.values[i], second.values[i]) << "value " << i;
+  }
+}
+
+TEST(BranchAndBoundTest, TinyPivotBudgetStillProvesOptimality) {
+  // A node LP that exhausts its pivot budget must be re-queued with a
+  // larger budget (not silently dropped), so the certificate survives.
+  Model model;
+  const double values[] = {10, 13, 7, 11, 9, 4};
+  const double weights[] = {5, 6, 4, 5, 3, 2};
+  std::vector<lp::Term> weight_terms;
+  for (int i = 0; i < 6; ++i) {
+    const int x = model.add_binary(-values[i]);
+    weight_terms.push_back({x, weights[i]});
+  }
+  model.add_constraint(std::move(weight_terms), lp::Sense::kLessEqual, 12.0);
+  Options options;
+  options.objective_is_integral = true;
+  options.lp_iteration_limit = 1;  // absurdly small: every node LP stalls
+  options.max_lp_retries = 10;
+  const Result result = solve(model, options);
+  Options reference;
+  reference.objective_is_integral = true;
+  const Result expected = solve(model, reference);
+  ASSERT_EQ(expected.status, ResultStatus::kOptimal);
+  ASSERT_EQ(result.status, ResultStatus::kOptimal)
+      << "iteration-limited node was dropped instead of re-queued";
+  EXPECT_EQ(result.objective, expected.objective);
+}
+
 }  // namespace
 }  // namespace fpva::ilp

@@ -1,0 +1,218 @@
+// Tests for the revised simplex engine (lp/revised_simplex.h): degeneracy
+// and anti-cycling, warm-start-vs-cold-start equivalence under randomized
+// bound changes, and differential agreement with the retained dense
+// tableau oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/model.h"
+#include "lp/revised_simplex.h"
+#include "lp/simplex.h"
+
+namespace fpva::lp {
+namespace {
+
+SolveOptions dense_options() {
+  SolveOptions options;
+  options.algorithm = Algorithm::kDenseTableau;
+  return options;
+}
+
+TEST(RevisedSimplexTest, MatchesDenseOnTransportation) {
+  Model model;
+  const int x11 = model.add_variable(0.0, 30.0, 1.0);
+  const int x12 = model.add_variable(0.0, 30.0, 4.0);
+  const int x21 = model.add_variable(0.0, 30.0, 2.0);
+  const int x22 = model.add_variable(0.0, 30.0, 1.0);
+  model.add_constraint({{x11, 1.0}, {x12, 1.0}}, Sense::kEqual, 10.0);
+  model.add_constraint({{x21, 1.0}, {x22, 1.0}}, Sense::kEqual, 20.0);
+  model.add_constraint({{x11, 1.0}, {x21, 1.0}}, Sense::kEqual, 15.0);
+  model.add_constraint({{x12, 1.0}, {x22, 1.0}}, Sense::kEqual, 15.0);
+  const Solution revised = solve(model);
+  const Solution dense = solve(model, dense_options());
+  ASSERT_EQ(revised.status, SolveStatus::kOptimal);
+  ASSERT_EQ(dense.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(revised.objective, dense.objective, 1e-6);
+  EXPECT_NEAR(revised.objective, 35.0, 1e-6);
+}
+
+// Beale's classic cycling example: Dantzig pricing cycles forever on this
+// LP without an anti-cycling rule. The solver must terminate at the known
+// optimum (z = -0.05 at x1 = 1/25, x3 = 1).
+TEST(RevisedSimplexTest, BealeCyclingExampleTerminates) {
+  Model model;
+  const int x1 = model.add_variable(0.0, 10.0, -0.75);
+  const int x2 = model.add_variable(0.0, 10.0, 150.0);
+  const int x3 = model.add_variable(0.0, 10.0, -0.02);
+  const int x4 = model.add_variable(0.0, 10.0, 6.0);
+  model.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                       Sense::kLessEqual, 0.0);
+  model.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                       Sense::kLessEqual, 0.0);
+  model.add_constraint({{x3, 1.0}}, Sense::kLessEqual, 1.0);
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -0.05, 1e-6);
+  EXPECT_LE(model.max_violation(solution.values), 1e-6);
+}
+
+// Many redundant constraints through one vertex: heavy primal degeneracy.
+TEST(RevisedSimplexTest, DegenerateVertexTerminates) {
+  Model model;
+  const int x = model.add_variable(0.0, 10.0, -1.0);
+  const int y = model.add_variable(0.0, 10.0, -1.0);
+  for (int k = 1; k <= 12; ++k) {
+    model.add_constraint({{x, static_cast<double>(k)}, {y, 1.0}},
+                         Sense::kLessEqual, static_cast<double>(k));
+  }
+  const Solution solution = solve(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -1.0, 1e-6);
+}
+
+TEST(RevisedSimplexTest, WarmStartAfterBoundChange) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6 -> min -(x+y), optimum -2.8.
+  Model model;
+  const int x = model.add_variable(0.0, 10.0, -1.0);
+  const int y = model.add_variable(0.0, 10.0, -1.0);
+  model.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::kLessEqual, 4.0);
+  model.add_constraint({{x, 3.0}, {y, 1.0}}, Sense::kLessEqual, 6.0);
+
+  RevisedSimplex solver(model);
+  const Solution first = solver.reoptimize();
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(first.objective, -2.8, 1e-6);
+  EXPECT_TRUE(solver.has_basis());
+
+  // Tighten x like a branch-and-bound "down" child: x <= 1.
+  solver.set_bounds(x, 0.0, 1.0);
+  const Solution warm = solver.reoptimize();
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  // New optimum: x = 1, y = 1.5 -> -2.5.
+  EXPECT_NEAR(warm.objective, -2.5, 1e-6);
+
+  // And back: relaxing to the original domain restores the old optimum.
+  solver.set_bounds(x, 0.0, 10.0);
+  const Solution relaxed = solver.reoptimize();
+  ASSERT_EQ(relaxed.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(relaxed.objective, -2.8, 1e-6);
+}
+
+TEST(RevisedSimplexTest, WarmStartDetectsInfeasibilityAndRecovers) {
+  Model model;
+  const int x = model.add_variable(0.0, 10.0, 1.0);
+  const int y = model.add_variable(0.0, 10.0, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 5.0);
+
+  RevisedSimplex solver(model);
+  ASSERT_EQ(solver.reoptimize().status, SolveStatus::kOptimal);
+
+  // x + y >= 5 cannot hold with both variables capped at 1.
+  solver.set_bounds(x, 0.0, 1.0);
+  solver.set_bounds(y, 0.0, 1.0);
+  EXPECT_EQ(solver.reoptimize().status, SolveStatus::kInfeasible);
+
+  // Relax y again: feasible, optimum x = 0 or 1 with x + y = 5.
+  solver.set_bounds(y, 0.0, 10.0);
+  const Solution recovered = solver.reoptimize();
+  ASSERT_EQ(recovered.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(recovered.objective, 5.0, 1e-6);
+}
+
+/// Builds a random bounded LP (shared by the differential sweeps below).
+Model random_model(common::Rng& rng) {
+  Model model;
+  const int vars = 3 + static_cast<int>(rng.next_below(6));
+  for (int j = 0; j < vars; ++j) {
+    const double lo = static_cast<double>(rng.next_in(-5, 0));
+    const double hi = lo + static_cast<double>(rng.next_in(0, 8));
+    model.add_variable(lo, hi, static_cast<double>(rng.next_in(-4, 4)));
+  }
+  const int rows = 2 + static_cast<int>(rng.next_below(5));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.next_bool(0.7)) {
+        terms.push_back({j, static_cast<double>(rng.next_in(-3, 3))});
+      }
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    const auto sense = static_cast<Sense>(rng.next_below(3));
+    model.add_constraint(std::move(terms), sense,
+                         static_cast<double>(rng.next_in(-6, 6)));
+  }
+  return model;
+}
+
+class RevisedVsDenseTest : public ::testing::TestWithParam<int> {};
+
+// Differential: both engines must agree on feasibility, and on the optimal
+// objective when feasible.
+TEST_P(RevisedVsDenseTest, AgreesWithDenseOracle) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  Model model = random_model(rng);
+  const Solution revised = solve(model);
+  const Solution dense = solve(model, dense_options());
+  ASSERT_NE(revised.status, SolveStatus::kIterationLimit);
+  ASSERT_NE(dense.status, SolveStatus::kIterationLimit);
+  EXPECT_EQ(revised.status, dense.status);
+  if (revised.status == SolveStatus::kOptimal &&
+      dense.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(revised.objective, dense.objective, 1e-5);
+    EXPECT_LE(model.max_violation(revised.values), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, RevisedVsDenseTest,
+                         ::testing::Range(0, 60));
+
+class WarmStartDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// The warm-started engine walks a random sequence of bound changes; after
+// every step its result must match a dense cold solve of the same model.
+TEST_P(WarmStartDifferentialTest, WarmEqualsColdOverBoundChanges) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 71);
+  Model model = random_model(rng);
+  const int vars = model.variable_count();
+  RevisedSimplex solver(model);
+
+  Model scratch = model;  // dense oracle sees the same bound trajectory
+  for (int step = 0; step < 12; ++step) {
+    const int var = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(vars)));
+    const double orig_lo = model.variable(var).lower;
+    const double orig_hi = model.variable(var).upper;
+    // Random sub-interval of the original domain (occasionally restore).
+    double lo = orig_lo;
+    double hi = orig_hi;
+    if (!rng.next_bool(0.25)) {
+      const double width = orig_hi - orig_lo;
+      const double a = orig_lo + width * 0.25 * rng.next_below(4);
+      const double b = orig_lo + width * 0.25 * rng.next_below(4);
+      lo = std::min(a, b);
+      hi = std::max(a, b);
+    }
+    solver.set_bounds(var, lo, hi);
+    scratch.set_bounds(var, lo, hi);
+
+    const Solution warm = solver.reoptimize();
+    const Solution cold = solve(scratch, dense_options());
+    ASSERT_NE(warm.status, SolveStatus::kIterationLimit);
+    ASSERT_EQ(warm.status, cold.status)
+        << "step " << step << " var " << var << " [" << lo << ", " << hi
+        << "]";
+    if (warm.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-5)
+          << "step " << step << " var " << var;
+      EXPECT_LE(scratch.max_violation(warm.values), 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWalks, WarmStartDifferentialTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace fpva::lp

@@ -1,0 +1,191 @@
+// Tests for the MILP presolve/propagation layer (ilp/presolve.h).
+#include <gtest/gtest.h>
+
+#include "ilp/branch_and_bound.h"
+#include "ilp/model.h"
+#include "ilp/presolve.h"
+
+namespace fpva::ilp {
+namespace {
+
+TEST(PropagatorTest, TightensIntegerBoundsFromSingleConstraint) {
+  Model model;
+  const int x = model.add_integer(0.0, 10.0, 0.0);
+  const int y = model.add_integer(0.0, 10.0, 0.0);
+  // 2x + 3y <= 7  =>  x <= 3, y <= 2.
+  model.add_constraint({{x, 2.0}, {y, 3.0}}, lp::Sense::kLessEqual, 7.0);
+  Propagator propagator(model);
+  std::vector<double> lower = {0.0, 0.0};
+  std::vector<double> upper = {10.0, 10.0};
+  ASSERT_TRUE(propagator.propagate(lower, upper, {}));
+  EXPECT_DOUBLE_EQ(upper[0], 3.0);
+  EXPECT_DOUBLE_EQ(upper[1], 2.0);
+}
+
+TEST(PropagatorTest, FixesImpliedBinaries) {
+  Model model;
+  const int a = model.add_binary(0.0);
+  const int b = model.add_binary(0.0);
+  // a + b >= 2 forces both to 1.
+  model.add_constraint({{a, 1.0}, {b, 1.0}}, lp::Sense::kGreaterEqual, 2.0);
+  Propagator propagator(model);
+  std::vector<double> lower = {0.0, 0.0};
+  std::vector<double> upper = {1.0, 1.0};
+  ASSERT_TRUE(propagator.propagate(lower, upper, {}));
+  EXPECT_DOUBLE_EQ(lower[0], 1.0);
+  EXPECT_DOUBLE_EQ(lower[1], 1.0);
+}
+
+TEST(PropagatorTest, DetectsInfeasibility) {
+  Model model;
+  const int a = model.add_binary(0.0);
+  const int b = model.add_binary(0.0);
+  model.add_constraint({{a, 1.0}, {b, 1.0}}, lp::Sense::kGreaterEqual, 3.0);
+  Propagator propagator(model);
+  std::vector<double> lower = {0.0, 0.0};
+  std::vector<double> upper = {1.0, 1.0};
+  EXPECT_FALSE(propagator.propagate(lower, upper, {}));
+}
+
+TEST(PropagatorTest, SeededPropagationCascades) {
+  Model model;
+  const int a = model.add_binary(0.0);
+  const int b = model.add_binary(0.0);
+  const int c = model.add_binary(0.0);
+  // b >= a, c >= b: fixing a to 1 cascades through both rows.
+  model.add_constraint({{b, 1.0}, {a, -1.0}}, lp::Sense::kGreaterEqual, 0.0);
+  model.add_constraint({{c, 1.0}, {b, -1.0}}, lp::Sense::kGreaterEqual, 0.0);
+  Propagator propagator(model);
+  std::vector<double> lower = {1.0, 0.0, 0.0};  // a branched to 1
+  std::vector<double> upper = {1.0, 1.0, 1.0};
+  ASSERT_TRUE(propagator.propagate(lower, upper, {a}));
+  EXPECT_DOUBLE_EQ(lower[1], 1.0);
+  EXPECT_DOUBLE_EQ(lower[2], 1.0);
+}
+
+TEST(PresolveTest, FixesAndSubstitutesVariables) {
+  Model model;
+  const int a = model.add_binary(2.0);
+  const int b = model.add_binary(3.0);
+  const int c = model.add_binary(5.0);
+  // a is forced to 1; the surviving model is over {b, c}.
+  model.add_constraint({{a, 1.0}}, lp::Sense::kGreaterEqual, 1.0);
+  model.add_constraint({{a, 1.0}, {b, 1.0}, {c, 1.0}},
+                       lp::Sense::kGreaterEqual, 2.0);
+  const Presolved pres = presolve(model);
+  ASSERT_FALSE(pres.infeasible);
+  ASSERT_FALSE(pres.is_identity);
+  EXPECT_EQ(pres.stats.variables_fixed, 1);
+  EXPECT_EQ(pres.reduced.variable_count(), 2);
+  EXPECT_DOUBLE_EQ(pres.objective_offset, 2.0);
+
+  // Restore maps a reduced point back to the original indices.
+  const std::vector<double> restored = pres.restore({1.0, 0.0});
+  ASSERT_EQ(restored.size(), 3u);
+  EXPECT_DOUBLE_EQ(restored[static_cast<std::size_t>(a)], 1.0);
+  EXPECT_DOUBLE_EQ(restored[static_cast<std::size_t>(b)], 1.0);
+  EXPECT_DOUBLE_EQ(restored[static_cast<std::size_t>(c)], 0.0);
+}
+
+TEST(PresolveTest, RemovesSingletonAndRedundantRows) {
+  Model model;
+  const int x = model.add_integer(0.0, 10.0, 1.0);
+  const int y = model.add_integer(0.0, 10.0, 1.0);
+  model.add_constraint({{x, 1.0}}, lp::Sense::kLessEqual, 4.0);  // singleton
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::kLessEqual,
+                       100.0);  // redundant
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::kGreaterEqual, 3.0);
+  const Presolved pres = presolve(model);
+  ASSERT_FALSE(pres.infeasible);
+  ASSERT_FALSE(pres.is_identity);
+  EXPECT_EQ(pres.stats.rows_removed, 2);
+  EXPECT_EQ(pres.reduced.constraint_count(), 1);
+  // The singleton row survives as a tightened bound.
+  EXPECT_DOUBLE_EQ(pres.reduced.lp().variable(0).upper, 4.0);
+}
+
+TEST(PresolveTest, DetectsRootInfeasibility) {
+  Model model;
+  const int x = model.add_integer(0.0, 1.0, 0.0);
+  model.add_constraint({{x, 3.0}}, lp::Sense::kGreaterEqual, 4.0);
+  model.add_constraint({{x, 3.0}}, lp::Sense::kLessEqual, 5.0);
+  const Presolved pres = presolve(model);
+  EXPECT_TRUE(pres.infeasible);
+}
+
+TEST(PresolveTest, IdentityOnTightModels) {
+  // A knapsack whose bounds cannot be tightened: presolve should hand the
+  // original model back instead of rebuilding it.
+  Model model;
+  std::vector<lp::Term> weight;
+  for (int i = 0; i < 6; ++i) {
+    weight.push_back({model.add_binary(-1.0), 2.0});
+  }
+  model.add_constraint(std::move(weight), lp::Sense::kLessEqual, 7.0);
+  const Presolved pres = presolve(model);
+  EXPECT_FALSE(pres.infeasible);
+  EXPECT_TRUE(pres.is_identity);
+  EXPECT_EQ(pres.reduced.variable_count(), 0);
+}
+
+TEST(PresolveTest, FullyFixedModelSolvesWithAndWithoutPresolve) {
+  // Constraints pin every variable; the reduced model has zero variables.
+  // Both code paths must still report the (trivially optimal) point.
+  Model model;
+  const int a = model.add_binary(2.0);
+  const int b = model.add_binary(-1.0);
+  model.add_constraint({{a, 1.0}}, lp::Sense::kGreaterEqual, 1.0);
+  model.add_constraint({{b, 1.0}}, lp::Sense::kLessEqual, 0.0);
+  for (const bool use_presolve : {true, false}) {
+    Options options;
+    options.presolve = use_presolve;
+    const Result result = solve(model, options);
+    ASSERT_EQ(result.status, ResultStatus::kOptimal)
+        << "presolve=" << use_presolve;
+    EXPECT_DOUBLE_EQ(result.objective, 2.0);
+    ASSERT_EQ(result.values.size(), 2u);
+    EXPECT_DOUBLE_EQ(result.values[static_cast<std::size_t>(a)], 1.0);
+    EXPECT_DOUBLE_EQ(result.values[static_cast<std::size_t>(b)], 0.0);
+  }
+}
+
+TEST(PresolveTest, ZeroVariableModelIsTriviallyOptimal) {
+  // Degenerate but reachable: presolve can hand the search an empty model
+  // (every variable fixed). An empty incumbent is still an incumbent.
+  Model model;
+  for (const bool use_presolve : {true, false}) {
+    Options options;
+    options.presolve = use_presolve;
+    const Result result = solve(model, options);
+    EXPECT_EQ(result.status, ResultStatus::kOptimal)
+        << "presolve=" << use_presolve;
+    EXPECT_DOUBLE_EQ(result.objective, 0.0);
+  }
+}
+
+TEST(PresolveTest, SolveThroughPresolveMatchesDirectSolve) {
+  // End to end: a model with fixings and redundant rows must produce the
+  // same optimum with and without the presolve layer.
+  Model model;
+  const int a = model.add_binary(-3.0);
+  const int b = model.add_binary(-2.0);
+  const int c = model.add_binary(-1.0);
+  model.add_constraint({{a, 1.0}}, lp::Sense::kGreaterEqual, 1.0);  // fix a
+  model.add_constraint({{a, 1.0}, {b, 1.0}, {c, 1.0}},
+                       lp::Sense::kLessEqual, 2.0);
+  Options with_presolve;
+  with_presolve.objective_is_integral = true;
+  Options without = with_presolve;
+  without.presolve = false;
+  const Result on = solve(model, with_presolve);
+  const Result off = solve(model, without);
+  ASSERT_EQ(on.status, ResultStatus::kOptimal);
+  ASSERT_EQ(off.status, ResultStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(on.objective, off.objective);
+  EXPECT_DOUBLE_EQ(on.objective, -5.0);  // a=1 + b=1
+  ASSERT_EQ(on.values.size(), 3u);
+  EXPECT_NEAR(on.values[static_cast<std::size_t>(a)], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fpva::ilp
