@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare fresh Google-Benchmark JSON against a
+committed baseline and fail on counter regressions.
+
+Wall-clock times are too noisy on shared CI runners to gate on, but the
+solver counters (nodes, pivots, cuts, budget) are deterministic for a fixed
+binary, so they make a reliable merge gate: a >25% increase in any named
+counter of any benchmark present in both files fails the job.
+
+Usage:
+  bench/compare_bench.py BASELINE.json FRESH.json \
+      [--threshold 0.25] [--counters nodes,pivots,budget] [--abs-slack 8]
+
+Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_COUNTERS = ["nodes", "pivots", "budget"]
+
+
+def load_benchmarks(path):
+    """name -> {counter: value} for every benchmark entry in the JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"compare_bench: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+    benchmarks = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        benchmarks[entry["name"]] = entry
+    return benchmarks
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative increase that counts as a regression")
+    parser.add_argument("--counters", default=",".join(DEFAULT_COUNTERS),
+                        help="comma-separated counters to gate on")
+    parser.add_argument("--min-counters", default="",
+                        help="counters that regress by DECREASING "
+                             "(e.g. detected fault counts)")
+    parser.add_argument("--exact-counters", default="",
+                        help="answer-quality counters where ANY increase "
+                             "fails, with no slack (e.g. budget)")
+    parser.add_argument("--exclude", default="",
+                        help="comma-separated substrings; benchmarks whose "
+                             "name contains one are reported but not gated "
+                             "(e.g. time-limited scaling probes whose "
+                             "counters depend on runner speed)")
+    parser.add_argument("--abs-slack", type=float, default=8.0,
+                        help="absolute headroom before the relative gate "
+                             "applies (ignores 1-node -> 2-node jitter)")
+    args = parser.parse_args()
+
+    counters = [c.strip() for c in args.counters.split(",") if c.strip()]
+    min_counters = [c.strip() for c in args.min_counters.split(",")
+                    if c.strip()]
+    exact_counters = [c.strip() for c in args.exact_counters.split(",")
+                      if c.strip()]
+    baseline = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+
+    shared = sorted(set(baseline) & set(fresh))
+    only_baseline = sorted(set(baseline) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(baseline))
+    if not shared:
+        print("compare_bench: no shared benchmarks between "
+              f"{args.baseline} and {args.fresh}", file=sys.stderr)
+        sys.exit(2)
+
+    excludes = [e.strip() for e in args.exclude.split(",") if e.strip()]
+    regressions = []
+    rows = []
+    for name in shared:
+        excluded = any(e in name for e in excludes)
+        for counter, mode in ([(c, "max") for c in counters] +
+                              [(c, "min") for c in min_counters] +
+                              [(c, "exact") for c in exact_counters]):
+            if counter not in baseline[name] or counter not in fresh[name]:
+                continue
+            base = float(baseline[name][counter])
+            new = float(fresh[name][counter])
+            if mode == "min":
+                regressed = new < base * (1.0 - args.threshold)
+            elif mode == "exact":
+                # Answer quality (e.g. the proven-minimal budget): any
+                # increase at all is a correctness regression.
+                regressed = new > base
+            else:
+                limit = max(base * (1.0 + args.threshold),
+                            base + args.abs_slack)
+                regressed = new > limit
+            status = "ok"
+            if regressed and excluded:
+                status = "excluded"
+            elif regressed:
+                status = "REGRESSION"
+                regressions.append((name, counter, base, new))
+            delta = "n/a" if base == 0 else f"{(new - base) / base:+.1%}"
+            rows.append((name, counter, base, new, delta, status))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'benchmark':<{width}}  {'counter':<8} {'base':>12} "
+          f"{'fresh':>12} {'delta':>8}  status")
+    for name, counter, base, new, delta, status in rows:
+        print(f"{name:<{width}}  {counter:<8} {base:>12.0f} {new:>12.0f} "
+              f"{delta:>8}  {status}")
+    for name in only_baseline:
+        print(f"note: {name} only in baseline (removed benchmark?)")
+    for name in only_fresh:
+        print(f"note: {name} only in fresh run (new benchmark)")
+
+    if regressions:
+        print(f"\ncompare_bench: {len(regressions)} counter regression(s) "
+              f"beyond {args.threshold:.0%}:", file=sys.stderr)
+        for name, counter, base, new in regressions:
+            print(f"  {name} {counter}: {base:.0f} -> {new:.0f}",
+                  file=sys.stderr)
+        sys.exit(1)
+    print(f"\ncompare_bench: no regressions across {len(shared)} shared "
+          f"benchmarks ({', '.join(counters)})")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -86,12 +86,20 @@ GeneratedTestSet generate_test_set(const grid::ValveArray& array,
   std::vector<grid::ValveId> path_uncoverable;
   if (options.path_engine == GeneratorOptions::PathEngine::kIlp &&
       array.valve_count() <= options.ilp_valve_limit) {
-    ilp::Options ilp_options;
+    ilp::Options ilp_options = options.ilp_options;
     ilp_options.time_limit_seconds = options.ilp_time_limit_seconds;
     auto ilp_paths = find_minimum_flow_paths(
         array, 1, std::max(2, array.valve_count()), ilp_options);
     if (ilp_paths.has_value()) {
       out.paths = std::move(ilp_paths->paths);
+      // A cover without an optimality certificate must not be reported as
+      // the minimal n_p by downstream coverage accounting.
+      out.ilp_certified = ilp_paths->proven_minimal;
+      if (!out.ilp_certified) {
+        common::log_warning(
+            "ILP path engine returned a cover without an optimality "
+            "certificate (solver limits); n_p is an upper bound only");
+      }
     } else {
       common::log_warning(
           "ILP path engine found no cover; falling back to the "

@@ -14,6 +14,7 @@
 #include "core/flow_path.h"
 #include "core/path_planner.h"
 #include "grid/array.h"
+#include "ilp/branch_and_bound.h"
 #include "sim/control_topology.h"
 #include "sim/coverage.h"
 #include "sim/simulator.h"
@@ -47,6 +48,10 @@ struct GeneratorOptions {
   /// constructive engine (the paper's own motivation for the hierarchy).
   int ilp_valve_limit = 60;
   double ilp_time_limit_seconds = 120.0;
+
+  /// Solver configuration forwarded to the ILP engine
+  /// (`ilp_time_limit_seconds` above overrides its time limit).
+  ilp::Options ilp_options;
 };
 
 /// Wall-clock cost and output size of one generation stage (a Table-I
@@ -78,6 +83,15 @@ struct GeneratedTestSet {
   /// Testable faults that remained undetected after repair (empty on all
   /// preset layouts).
   std::vector<sim::Fault> undetected;
+
+  /// False when the ILP path engine produced the cover without an
+  /// optimality certificate: the solver returned a feasible-but-unproven
+  /// incumbent (ilp::ResultStatus::kFeasible after a limit), or a smaller
+  /// budget was abandoned on limits instead of being proven infeasible.
+  /// The vectors are still valid test vectors; only the "n_p is minimal"
+  /// claim of the Table-I accounting is void. Always true when the
+  /// constructive engine produced the paths.
+  bool ilp_certified = true;
 
   int total_vectors() const { return static_cast<int>(vectors.size()); }
   double total_seconds() const {

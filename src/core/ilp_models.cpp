@@ -35,6 +35,21 @@ struct ChainSpec {
   int node_count = 0;
   std::vector<SiteSpec> sites;
   bool masking_exclusion = false;  ///< add constraint (9)
+  /// Replace the single p-ordering symmetry row with full orbit-based
+  /// lexicographic ordering: all chains form one orbit of the symmetric
+  /// group on chain indices, so every solution can be renumbered with
+  /// used chains first, sorted by their lowest crossed site. The rows
+  ///   v[m][s] <= sum_{t <= s} v[m-1][t]
+  /// admit exactly those representatives (chain m may cross site s only if
+  /// chain m-1 crosses some site no later than s) and cut the m! copies of
+  /// every cover out of the search tree.
+  bool orbit_symmetry = false;
+  /// Proven lower bound on the number of used chains (III-B-3 budget
+  /// escalation: when every budget below b is proven infeasible, the
+  /// budget-b model satisfies sum p >= b). Emitted as a row so the search
+  /// degenerates into pure feasibility instead of re-deriving the bound at
+  /// every node. 0 = no row.
+  int objective_floor = 0;
 };
 
 /// One extracted chain: ordered site indices and interior node sequence.
@@ -159,7 +174,33 @@ std::optional<std::vector<Chain>> solve_chain_model(
       // Symmetry breaking: used chains take the lowest indices.
       model.add_constraint({{p_base + m, 1.0}, {p_base + m - 1, -1.0}},
                            lp::Sense::kLessEqual, 0.0);
+      if (spec.orbit_symmetry) {
+        // Orbit-based lexicographic ordering rows (see ChainSpec), emitted
+        // over the cover (valve) sites only: chains are ordered by their
+        // lowest crossed cover site, and chains that cross none sort last
+        // with every row trivially satisfied. Restricting the prefix to
+        // cover sites keeps the rows ~4x sparser with the same orbit
+        // representatives.
+        std::vector<lp::Term> prefix;
+        for (int s = 0; s < site_count; ++s) {
+          if (!spec.sites[static_cast<std::size_t>(s)].needs_cover) continue;
+          prefix.push_back({v_var(m - 1, s), -1.0});
+          std::vector<lp::Term> ordering(prefix);
+          ordering.push_back({v_var(m, s), 1.0});
+          model.add_constraint(std::move(ordering), lp::Sense::kLessEqual,
+                               0.0);
+        }
+      }
     }
+  }
+  if (spec.objective_floor > 0) {
+    std::vector<lp::Term> floor_terms;
+    for (int m = 0; m < budget; ++m) {
+      floor_terms.push_back({p_base + m, 1.0});
+    }
+    model.add_constraint(std::move(floor_terms), lp::Sense::kGreaterEqual,
+                         static_cast<double>(
+                             std::min(spec.objective_floor, budget)));
   }
   // Constraint (2): every cover site is crossed by some chain.
   for (int s = 0; s < site_count; ++s) {
@@ -178,6 +219,12 @@ std::optional<std::vector<Chain>> solve_chain_model(
   // original variable space for chain extraction.
   ilp::Options options = ilp_options;
   options.objective_is_integral = true;
+  if (options.branching == ilp::Branching::kAuto) {
+    // The chain-major variable layout makes input-order dives construct
+    // one chain at a time; propagation then refutes dead prefixes without
+    // LP help. Callers can still force any rule explicitly.
+    options.branching = ilp::Branching::kInputOrder;
+  }
   const ilp::Presolved pres = ilp::presolve(model);
   ilp::Result result;
   if (pres.infeasible) {
@@ -274,10 +321,11 @@ std::optional<std::vector<Chain>> solve_chain_model(
 }  // namespace
 
 std::optional<IlpPathResult> solve_flow_path_model(
-    const grid::ValveArray& array, int max_paths,
-    const ilp::Options& options) {
+    const grid::ValveArray& array, int max_paths, const ilp::Options& options,
+    int proven_budget_floor, ilp::Result* failure_diagnostics) {
   // Nodes = fluid cells; sites = internal non-wall sites + port sites.
   ChainSpec spec;
+  spec.objective_floor = proven_budget_floor;
   spec.node_count = array.rows() * array.cols();
 
   std::vector<Site> site_of;  // model site index -> grid site
@@ -312,7 +360,10 @@ std::optional<IlpPathResult> solve_flow_path_model(
 
   IlpPathResult result;
   auto chains = solve_chain_model(spec, max_paths, options, &result.ilp);
-  if (!chains.has_value()) return std::nullopt;
+  if (!chains.has_value()) {
+    if (failure_diagnostics != nullptr) *failure_diagnostics = result.ilp;
+    return std::nullopt;
+  }
 
   for (const Chain& chain : *chains) {
     FlowPath path;
@@ -341,22 +392,65 @@ std::optional<IlpPathResult> solve_flow_path_model(
   return result;
 }
 
-std::optional<IlpPathResult> find_minimum_flow_paths(
-    const grid::ValveArray& array, int first_budget, int last_budget,
-    const ilp::Options& options) {
+namespace {
+
+/// Shared III-B-3 budget-escalation loop with optimality-certificate
+/// tracking. A budget-k model admits every cover of at most k chains
+/// (unused chains stay empty), so one proven-infeasible budget certifies
+/// that no smaller cover exists and the next model can pin its use
+/// indicators (objective floor). `solve_budget(budget, floor, &failure)`
+/// returns the engine result or nullopt with the failure diagnostics.
+template <typename ResultT, typename SolveBudget>
+std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
+                                        bool budget_floor_rows,
+                                        const char* kind,
+                                        SolveBudget&& solve_budget) {
+  int proven_floor = 0;
+  bool all_failures_proven = true;
   for (int budget = first_budget; budget <= last_budget; ++budget) {
-    auto result = solve_flow_path_model(array, budget, options);
-    if (result.has_value()) return result;
-    common::log_debug(common::cat("flow-path ILP infeasible with budget ",
-                                  budget, "; enlarging"));
+    ilp::Result failure;
+    const int floor =
+        budget_floor_rows && proven_floor == budget ? proven_floor : 0;
+    std::optional<ResultT> result = solve_budget(budget, floor, &failure);
+    if (result.has_value()) {
+      result->proven_minimal =
+          all_failures_proven &&
+          result->ilp.status == ilp::ResultStatus::kOptimal;
+      return result;
+    }
+    if (failure.status == ilp::ResultStatus::kInfeasible) {
+      proven_floor = budget + 1;
+      common::log_debug(common::cat(kind, " ILP proven infeasible with "
+                                          "budget ",
+                                    budget, "; enlarging"));
+    } else {
+      // Abandoned on node/time limits: no certificate for this budget, so
+      // whatever cover a larger budget finds cannot claim minimality.
+      all_failures_proven = false;
+      common::log_debug(common::cat(kind, " ILP abandoned on limits with "
+                                          "budget ",
+                                    budget, " (no certificate); enlarging"));
+    }
   }
   return std::nullopt;
 }
 
-std::optional<IlpCutResult> solve_cut_set_model(const grid::ValveArray& array,
-                                                int max_cuts,
-                                                bool masking_exclusion,
-                                                const ilp::Options& options) {
+}  // namespace
+
+std::optional<IlpPathResult> find_minimum_flow_paths(
+    const grid::ValveArray& array, int first_budget, int last_budget,
+    const ilp::Options& options) {
+  return escalate_budgets<IlpPathResult>(
+      first_budget, last_budget, options.budget_floor_rows, "flow-path",
+      [&](int budget, int floor, ilp::Result* failure) {
+        return solve_flow_path_model(array, budget, options, floor, failure);
+      });
+}
+
+std::optional<IlpCutResult> solve_cut_set_model(
+    const grid::ValveArray& array, int max_cuts, bool masking_exclusion,
+    const ilp::Options& options, int proven_budget_floor,
+    ilp::Result* failure_diagnostics) {
   // Nodes = junction posts; sites = crossable sites (valves cover, walls
   // free); terminals = boundary posts of the two arcs.
   int arc_count = 0;
@@ -370,6 +464,8 @@ std::optional<IlpCutResult> solve_cut_set_model(const grid::ValveArray& array,
 
   ChainSpec spec;
   spec.masking_exclusion = masking_exclusion;
+  spec.orbit_symmetry = options.orbit_symmetry_rows;
+  spec.objective_floor = proven_budget_floor;
   spec.node_count = (array.rows() + 1) * (array.cols() + 1);
 
   std::vector<Site> site_of;
@@ -419,7 +515,10 @@ std::optional<IlpCutResult> solve_cut_set_model(const grid::ValveArray& array,
 
   IlpCutResult result;
   auto chains = solve_chain_model(spec, max_cuts, options, &result.ilp);
-  if (!chains.has_value()) return std::nullopt;
+  if (!chains.has_value()) {
+    if (failure_diagnostics != nullptr) *failure_diagnostics = result.ilp;
+    return std::nullopt;
+  }
 
   for (const Chain& chain : *chains) {
     CutSet cut;
@@ -440,14 +539,12 @@ std::optional<IlpCutResult> solve_cut_set_model(const grid::ValveArray& array,
 std::optional<IlpCutResult> find_minimum_cut_sets(
     const grid::ValveArray& array, int first_budget, int last_budget,
     bool masking_exclusion, const ilp::Options& options) {
-  for (int budget = first_budget; budget <= last_budget; ++budget) {
-    auto result =
-        solve_cut_set_model(array, budget, masking_exclusion, options);
-    if (result.has_value()) return result;
-    common::log_debug(common::cat("cut-set ILP infeasible with budget ",
-                                  budget, "; enlarging"));
-  }
-  return std::nullopt;
+  return escalate_budgets<IlpCutResult>(
+      first_budget, last_budget, options.budget_floor_rows, "cut-set",
+      [&](int budget, int floor, ilp::Result* failure) {
+        return solve_cut_set_model(array, budget, masking_exclusion, options,
+                                   floor, failure);
+      });
 }
 
 }  // namespace fpva::core

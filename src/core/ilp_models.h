@@ -34,20 +34,35 @@ struct IlpPathResult {
   std::vector<FlowPath> paths;
   ilp::Result ilp;       ///< solver diagnostics of the final (feasible) run
   int path_budget = 0;   ///< the n_p that yielded feasibility
+  /// True when the budget is certified minimal: the final solve is proven
+  /// optimal AND every smaller tried budget was proven infeasible (rather
+  /// than abandoned on a node/time limit). False means the cover is valid
+  /// but carries no optimality certificate — downstream accounting must
+  /// not report it as the paper's minimum.
+  bool proven_minimal = true;
 };
 
 struct IlpCutResult {
   std::vector<CutSet> cuts;
   ilp::Result ilp;
   int cut_budget = 0;
+  bool proven_minimal = true;  ///< see IlpPathResult::proven_minimal
 };
 
 /// Solves the flow-path model with path budget `max_paths`; std::nullopt
 /// when infeasible (not all valves coverable with that many paths) or the
 /// solver hits its limits without an incumbent.
+///
+/// `proven_budget_floor` > 0 asserts the caller has proven that no cover
+/// with fewer than that many paths exists (III-B-3 escalation: budget
+/// floor-1 came back infeasible); the model then pins the use indicators,
+/// which turns the solve into pure feasibility search. On failure, the
+/// solver diagnostics land in `failure_diagnostics` (when non-null), so
+/// callers can distinguish proven infeasibility from abandoned limits.
 std::optional<IlpPathResult> solve_flow_path_model(
     const grid::ValveArray& array, int max_paths,
-    const ilp::Options& options = {});
+    const ilp::Options& options = {}, int proven_budget_floor = 0,
+    ilp::Result* failure_diagnostics = nullptr);
 
 /// III-B-3: tries budgets first..last until feasible.
 std::optional<IlpPathResult> find_minimum_flow_paths(
@@ -55,10 +70,12 @@ std::optional<IlpPathResult> find_minimum_flow_paths(
     const ilp::Options& options = {});
 
 /// Solves the dual cut-set model with cut budget `max_cuts`; constraint (9)
-/// is included when `masking_exclusion` is true.
+/// is included when `masking_exclusion` is true. `proven_budget_floor` and
+/// `failure_diagnostics` as in solve_flow_path_model.
 std::optional<IlpCutResult> solve_cut_set_model(
     const grid::ValveArray& array, int max_cuts, bool masking_exclusion,
-    const ilp::Options& options = {});
+    const ilp::Options& options = {}, int proven_budget_floor = 0,
+    ilp::Result* failure_diagnostics = nullptr);
 
 /// Tries cut budgets first..last until feasible.
 std::optional<IlpCutResult> find_minimum_cut_sets(

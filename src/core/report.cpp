@@ -95,7 +95,10 @@ std::string summarize(const grid::ValveArray& array,
       common::to_fixed(set.leak_stage.seconds, 2), " s); ",
       set.untestable.size(), " untestable valves, ",
       set.untestable_leaks.size(), " untestable leak pairs, ",
-      set.undetected.size(), " undetected faults");
+      set.undetected.size(), " undetected faults",
+      set.ilp_certified ? ""
+                        : "; ILP path cover NOT proven minimal (solver "
+                          "limits hit), n_p is an upper bound");
 }
 
 }  // namespace fpva::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -49,7 +51,10 @@ class Searcher {
     if (options_.warm_start) {
       solver_.emplace(model.lp(),
                       lp::SolveOptions{options.lp_iteration_limit, 1e-7,
-                                       lp::Algorithm::kRevised});
+                                       lp::Algorithm::kRevised,
+                                       options.devex_pricing
+                                           ? lp::Pricing::kDevex
+                                           : lp::Pricing::kDantzig});
     }
     root_propagated_ = root_propagated;
     if (shared_propagator != nullptr) {
@@ -75,6 +80,22 @@ class Searcher {
     common::Timer timer;
     Result result;
     const int n = model_.variable_count();
+
+    if (n == 0) {
+      // A model fully fixed upstream (empty column set after substitution)
+      // never enters the node loop: the empty point is the incumbent iff
+      // the constant rows hold, otherwise the model is proven infeasible.
+      if (model_.is_feasible({}, options_.integrality_tolerance)) {
+        result.status = ResultStatus::kOptimal;
+        result.objective = 0.0;
+        result.best_bound = 0.0;
+      } else {
+        result.status = ResultStatus::kInfeasible;
+        result.best_bound = kInfinity;
+      }
+      result.seconds = timer.seconds();
+      return result;
+    }
 
     std::vector<Node> stack;
     Node root;
@@ -289,6 +310,8 @@ class Searcher {
     lp_options.max_iterations = budget;
     lp_options.algorithm = options_.warm_start ? lp::Algorithm::kDenseTableau
                                                : options_.lp_algorithm;
+    lp_options.pricing = options_.devex_pricing ? lp::Pricing::kDevex
+                                                : lp::Pricing::kDantzig;
     return lp::solve(*lp_copy_, lp_options);
   }
 
@@ -350,30 +373,49 @@ class Searcher {
     return std::abs(model_.lp().variable(var).objective) + 1.0;
   }
 
+  /// The active branching rule (kAuto resolves per pseudocost_branching).
+  Branching branching() const {
+    if (options_.branching != Branching::kAuto) return options_.branching;
+    return options_.pseudocost_branching ? Branching::kPseudocost
+                                         : Branching::kMostFractional;
+  }
+
   /// Most promising fractional integer variable, or -1 when none is
-  /// fractional beyond tolerance.
+  /// fractional beyond tolerance. Under pseudocost branching, variables
+  /// that carry objective weight form a strictly preferred tier: deciding
+  /// them first turns budget/indicator subtrees into pure feasibility
+  /// problems that propagation can refute without enumerating the rest.
+  /// Under input-order branching the lowest fractional index wins
+  /// unconditionally (CP-style structured dives).
   int select_branch_variable(const std::vector<double>& values) const {
     const int n = model_.variable_count();
+    const Branching rule = branching();
     int best = -1;
     double best_score = 0.0;
+    bool best_weighted = false;
     for (int j = 0; j < n; ++j) {
       if (!integer_[static_cast<std::size_t>(j)]) continue;
       const double v = values[static_cast<std::size_t>(j)];
       const double frac = v - std::floor(v);
       const double distance = std::min(frac, 1.0 - frac);
       if (distance <= options_.integrality_tolerance) continue;
+      if (rule == Branching::kInputOrder) return j;
+      bool weighted = false;
       double score;
-      if (options_.pseudocost_branching) {
+      if (rule == Branching::kPseudocost) {
         // Product rule over the two estimated child degradations.
         const double down_gain = pseudocost(j, false) * frac;
         const double up_gain = pseudocost(j, true) * (1.0 - frac);
         score = std::max(down_gain, 1e-6) * std::max(up_gain, 1e-6);
+        weighted = model_.lp().variable(j).objective != 0.0;
       } else {
         score = distance;  // most-fractional
       }
-      if (best < 0 || score > best_score) {
+      if (best < 0 || (weighted && !best_weighted) ||
+          (weighted == best_weighted && score > best_score)) {
         best_score = score;
         best = j;
+        best_weighted = weighted;
       }
     }
     return best;
@@ -406,69 +448,353 @@ Result solve_without_presolve(const Model& model, const Options& options,
   return searcher.run();
 }
 
+// ------------------------------------------------------------ root cut stage
+
+/// LP value of a conflict-graph literal under the point `x`.
+double literal_value(int literal, const std::vector<double>& x) {
+  const double v = x[static_cast<std::size_t>(Lit::variable(literal))];
+  return Lit::positive(literal) ? v : 1.0 - v;
+}
+
+/// Adds `sum literals <= rhs_literals` to `model` in variable space:
+/// complemented literals contribute (1 - x), so each moves 1 to the rhs.
+void add_literal_row(Model& model, const std::vector<int>& literals,
+                     int rhs_literals) {
+  std::vector<lp::Term> terms;
+  terms.reserve(literals.size());
+  double rhs = static_cast<double>(rhs_literals);
+  for (const int literal : literals) {
+    if (Lit::positive(literal)) {
+      terms.push_back({Lit::variable(literal), 1.0});
+    } else {
+      terms.push_back({Lit::variable(literal), -1.0});
+      rhs -= 1.0;
+    }
+  }
+  model.add_constraint(std::move(terms), lp::Sense::kLessEqual, rhs);
+}
+
+/// One violated inequality found by a separation round.
+struct CandidateCut {
+  std::vector<int> literals;  ///< sorted
+  int rhs_literals = 1;       ///< 1 for cliques, |cover| - 1 for covers
+  double violation = 0.0;
+};
+
+/// Signature used to avoid re-adding a cut across rounds.
+std::vector<int> cut_signature(const CandidateCut& cut) {
+  std::vector<int> signature = cut.literals;
+  signature.push_back(cut.rhs_literals);
+  return signature;
+}
+
+/// Separates violated lifted (extended minimal) cover cuts from one
+/// normalized knapsack row under the fractional point `x`.
+void separate_covers(const std::vector<PackedTerm>& items, double rhs,
+                     const std::vector<double>& x,
+                     std::vector<CandidateCut>& out) {
+  double total = 0.0;
+  for (const PackedTerm& item : items) total += item.coefficient;
+  if (total <= rhs + 1e-9) return;  // no cover exists
+
+  // Greedy cover: most fractionally-loaded literals first.
+  std::vector<int> order(items.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double va = literal_value(items[static_cast<std::size_t>(a)].literal, x);
+    const double vb = literal_value(items[static_cast<std::size_t>(b)].literal, x);
+    if (va != vb) return va > vb;
+    return items[static_cast<std::size_t>(a)].literal <
+           items[static_cast<std::size_t>(b)].literal;
+  });
+  std::vector<char> in_cover(items.size(), 0);
+  double weight = 0.0;
+  for (const int i : order) {
+    if (weight > rhs + 1e-9) break;
+    in_cover[static_cast<std::size_t>(i)] = 1;
+    weight += items[static_cast<std::size_t>(i)].coefficient;
+  }
+  if (weight <= rhs + 1e-9) return;
+
+  // Minimalize: drop low-value members while the cover property survives
+  // (walk the greedy order backwards = ascending value).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto i = static_cast<std::size_t>(*it);
+    if (!in_cover[i]) continue;
+    if (weight - items[i].coefficient > rhs + 1e-9) {
+      in_cover[i] = 0;
+      weight -= items[i].coefficient;
+    }
+  }
+
+  CandidateCut cut;
+  double value_sum = 0.0;
+  double max_coefficient = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!in_cover[i]) continue;
+    cut.literals.push_back(items[i].literal);
+    value_sum += literal_value(items[i].literal, x);
+    max_coefficient = std::max(max_coefficient, items[i].coefficient);
+  }
+  cut.rhs_literals = static_cast<int>(cut.literals.size()) - 1;
+  if (cut.rhs_literals < 1) return;
+  cut.violation = value_sum - static_cast<double>(cut.rhs_literals);
+  if (cut.violation <= 1e-6) return;
+  // Extension (simple lifting): any item at least as heavy as every cover
+  // member joins with coefficient 1; the inequality stays valid for the
+  // minimal cover and only gains strength.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (in_cover[i]) continue;
+    if (items[i].coefficient >= max_coefficient - 1e-9) {
+      cut.literals.push_back(items[i].literal);
+      cut.violation += literal_value(items[i].literal, x);
+    }
+  }
+  std::sort(cut.literals.begin(), cut.literals.end());
+  out.push_back(std::move(cut));
+}
+
+/// Result of the root strengthening stage.
+struct RootStage {
+  Model model;  ///< strengthened copy; meaningful only when `changed`
+  bool infeasible = false;
+  bool changed = false;  ///< bounds tightened or cut rows appended
+  ProbeStats probe_stats;
+  int cliques = 0;
+  int cuts_added = 0;
+  int cut_rounds = 0;
+};
+
+/// Probing, clique-table construction, and the root cutting loop over
+/// `base`. The cut LPs re-solve from a fresh dual-crash basis each round
+/// (the revised engine cannot grow rows in place), which is cheap at root
+/// sizes; everything else about the loop matches the classic
+/// separate/re-solve scheme.
+RootStage run_root_stage(const Model& base, const Options& options,
+                         const common::Timer& timer) {
+  RootStage stage;
+  stage.model = base;
+  const int n = base.variable_count();
+  std::vector<double> lower(static_cast<std::size_t>(n));
+  std::vector<double> upper(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    lower[static_cast<std::size_t>(j)] = base.lp().variable(j).lower;
+    upper[static_cast<std::size_t>(j)] = base.lp().variable(j).upper;
+  }
+
+  Propagator propagator(base);
+  std::vector<std::pair<int, int>> implications;
+  if (options.probing) {
+    if (!probe_binaries(base, propagator, lower, upper,
+                        options.clique_cuts ? &implications : nullptr,
+                        &stage.probe_stats)) {
+      stage.infeasible = true;
+      return stage;
+    }
+    for (int j = 0; j < n; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      const lp::Variable& var = base.lp().variable(j);
+      if (lower[js] > var.lower || upper[js] < var.upper) {
+        stage.model.mutable_lp().set_bounds(j, lower[js], upper[js]);
+        stage.changed = true;
+      }
+    }
+  }
+  if (!options.clique_cuts) return stage;
+
+  const CliqueTable table =
+      build_clique_table(stage.model, lower, upper, implications);
+  stage.cliques = static_cast<int>(table.cliques.size());
+
+  // Knapsack-shaped rows for cover separation (original rows only; cuts
+  // added below never become separation sources themselves).
+  std::vector<std::vector<PackedTerm>> knapsacks;
+  std::vector<double> knapsack_rhs;
+  std::vector<PackedTerm> items;
+  for (int i = 0; i < stage.model.constraint_count(); ++i) {
+    const lp::Constraint& row = stage.model.lp().constraint(i);
+    if (row.sense != lp::Sense::kLessEqual) continue;
+    double rhs = 0.0;
+    if (!normalize_packing_row(stage.model, row.terms, row.rhs, lower, upper,
+                               &items, &rhs)) {
+      continue;
+    }
+    if (rhs <= 1e-9 || items.size() < 2) continue;
+    knapsacks.push_back(items);
+    knapsack_rhs.push_back(rhs);
+  }
+
+  if (table.cliques.empty() && knapsacks.empty()) return stage;
+
+  lp::SolveOptions lp_options;
+  lp_options.max_iterations = options.lp_iteration_limit;
+  lp_options.pricing = options.devex_pricing ? lp::Pricing::kDevex
+                                             : lp::Pricing::kDantzig;
+  std::set<std::vector<int>> added;
+  std::vector<CandidateCut> candidates;
+  for (int round = 0; round < options.max_cut_rounds; ++round) {
+    if (timer.seconds() > options.time_limit_seconds * 0.5) break;
+    const lp::Solution relaxation = lp::solve(stage.model.lp(), lp_options);
+    if (relaxation.status != lp::SolveStatus::kOptimal) break;
+
+    candidates.clear();
+    for (const Clique& clique : table.cliques) {
+      if (clique.materialized) continue;  // identical row already present
+      double value_sum = 0.0;
+      for (const int literal : clique.literals) {
+        value_sum += literal_value(literal, relaxation.values);
+      }
+      if (value_sum <= 1.0 + 1e-6) continue;
+      CandidateCut cut;
+      cut.literals = clique.literals;
+      cut.rhs_literals = 1;
+      cut.violation = value_sum - 1.0;
+      candidates.push_back(std::move(cut));
+    }
+    for (std::size_t k = 0; k < knapsacks.size(); ++k) {
+      separate_covers(knapsacks[k], knapsack_rhs[k], relaxation.values,
+                      candidates);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CandidateCut& a, const CandidateCut& b) {
+                if (a.violation != b.violation) {
+                  return a.violation > b.violation;
+                }
+                if (a.literals != b.literals) return a.literals < b.literals;
+                return a.rhs_literals < b.rhs_literals;
+              });
+    int taken = 0;
+    for (const CandidateCut& cut : candidates) {
+      if (taken >= options.max_cuts_per_round) break;
+      if (!added.insert(cut_signature(cut)).second) continue;
+      add_literal_row(stage.model, cut.literals, cut.rhs_literals);
+      ++taken;
+    }
+    if (taken == 0) break;
+    stage.cuts_added += taken;
+    ++stage.cut_rounds;
+    stage.changed = true;
+  }
+  return stage;
+}
+
 }  // namespace
 
+Options legacy_solver_options() {
+  Options options;
+  options.presolve = false;
+  options.node_propagation = false;
+  options.warm_start = false;
+  options.pseudocost_branching = false;
+  options.branching = Branching::kMostFractional;
+  options.lp_algorithm = lp::Algorithm::kDenseTableau;
+  options.devex_pricing = false;
+  options.probing = false;
+  options.clique_cuts = false;
+  options.orbit_symmetry_rows = false;
+  options.budget_floor_rows = false;
+  return options;
+}
+
 Result solve(const Model& model, const Options& options) {
-  if (!options.presolve) {
-    return solve_without_presolve(model, options);
-  }
-
   common::Timer timer;
-  const Propagator root_propagator(model);
-  Presolved pres = presolve(model, root_propagator);
-  if (pres.is_identity) {
-    Options inner = options;
-    inner.presolve = false;
-    return solve_without_presolve(model, inner, &root_propagator,
-                                  /*root_propagated=*/true);
-  }
-  Result result;
-  result.presolve_stats = pres.stats;
-  if (pres.infeasible) {
-    result.status = ResultStatus::kInfeasible;
-    result.best_bound = kInfinity;
-    result.seconds = timer.seconds();
-    return result;
-  }
-  if (pres.reduced.variable_count() == 0) {
-    // Presolve fixed everything; the fixed point is feasible by
-    // construction (every row was verified during substitution).
-    result.status = ResultStatus::kOptimal;
-    result.values = pres.fixed_values;
-    result.objective = model.lp().objective_value(result.values);
-    result.best_bound = result.objective;
-    result.nodes = 0;
-    result.seconds = timer.seconds();
-    return result;
+
+  // Stage 1: classic root presolve — bound tightening, implied fixings,
+  // row removal, substitution of fixed variables.
+  std::optional<Propagator> root_propagator;
+  std::optional<Presolved> pres;
+  const Model* working = &model;
+  bool identity = true;  // working model shares the original variable space
+  if (options.presolve) {
+    root_propagator.emplace(model);
+    pres = presolve(model, *root_propagator);
+    if (pres->infeasible) {
+      Result result;
+      result.presolve_stats = pres->stats;
+      result.status = ResultStatus::kInfeasible;
+      result.best_bound = kInfinity;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    if (!pres->is_identity) {
+      identity = false;
+      working = &pres->reduced;
+    }
   }
 
+  // Stage 2: root strengthening — probing over the binaries, clique table,
+  // and the clique/cover cutting loop. Runs in the working variable space,
+  // so the stage-3 search and the stage-1 postsolve are oblivious to it.
+  std::optional<RootStage> stage;
+  bool root_propagated = options.presolve;  // stage 1 reached the fixpoint
+  if ((options.probing || options.clique_cuts) &&
+      working->variable_count() > 0) {
+    stage.emplace(run_root_stage(*working, options, timer));
+    if (stage->infeasible) {
+      Result result;
+      if (pres.has_value()) result.presolve_stats = pres->stats;
+      result.probe_stats = stage->probe_stats;
+      result.status = ResultStatus::kInfeasible;
+      result.best_bound = kInfinity;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    if (stage->changed) {
+      working = &stage->model;
+      root_propagated = false;  // cut rows have not been swept yet
+    }
+  }
+
+  // Stage 3: branch-and-bound on the working model.
   Options inner = options;
   inner.presolve = false;
-  if (inner.objective_is_integral) {
+  // The search budget is whatever the root stages left of the time limit;
+  // the searcher restarts its own timer, so deduct the elapsed time here.
+  inner.time_limit_seconds =
+      std::max(0.0, options.time_limit_seconds - timer.seconds());
+  if (inner.objective_is_integral && pres.has_value()) {
     // The reduced objective is shifted by the fixed contribution; the
     // integral-spacing argument only survives an integral shift.
-    const double offset = pres.objective_offset;
+    const double offset = pres->objective_offset;
     if (std::abs(offset - std::round(offset)) > 1e-9) {
       inner.objective_is_integral = false;
     }
   }
-  // The reduced model's bounds are already at the propagation fixpoint.
-  Result reduced_result = solve_without_presolve(
-      pres.reduced, inner, nullptr, /*root_propagated=*/true);
+  const Propagator* shared =
+      root_propagated && working == &model ? &*root_propagator : nullptr;
+  Result searched = solve_without_presolve(*working, inner, shared,
+                                           root_propagated);
 
-  result.status = reduced_result.status;
-  result.nodes = reduced_result.nodes;
-  result.lp_pivots = reduced_result.lp_pivots;
-  result.nodes_pruned_by_propagation =
-      reduced_result.nodes_pruned_by_propagation;
-  if (!reduced_result.values.empty()) {
-    result.values = pres.restore(reduced_result.values);
-    result.objective = model.lp().objective_value(result.values);
+  Result result;
+  result.status = searched.status;
+  result.nodes = searched.nodes;
+  result.lp_pivots = searched.lp_pivots;
+  result.nodes_pruned_by_propagation = searched.nodes_pruned_by_propagation;
+  if (pres.has_value()) result.presolve_stats = pres->stats;
+  if (stage.has_value()) {
+    result.probe_stats = stage->probe_stats;
+    result.cliques = stage->cliques;
+    result.cuts_added = stage->cuts_added;
+    result.cut_rounds = stage->cut_rounds;
   }
-  if (std::isfinite(reduced_result.best_bound)) {
-    result.best_bound = reduced_result.best_bound + pres.objective_offset;
+  if (identity) {
+    result.objective = searched.objective;
+    result.values = std::move(searched.values);
+    result.best_bound = searched.best_bound;
   } else {
-    result.best_bound = reduced_result.best_bound;
+    // Gate the postsolve on status, not on the values being non-empty: a
+    // fully-fixed model legitimately returns the empty incumbent, and
+    // restore() reconstructs the point from the fixed values.
+    if (searched.status == ResultStatus::kOptimal ||
+        searched.status == ResultStatus::kFeasible) {
+      result.values = pres->restore(searched.values);
+      result.objective = model.lp().objective_value(result.values);
+    }
+    if (std::isfinite(searched.best_bound)) {
+      result.best_bound = searched.best_bound + pres->objective_offset;
+    } else {
+      result.best_bound = searched.best_bound;
+    }
   }
   result.seconds = timer.seconds();
   return result;

@@ -32,6 +32,19 @@ enum class ResultStatus {
   kUnknown,     ///< limits hit before any incumbent was found
 };
 
+/// Branch-variable selection rule.
+enum class Branching {
+  /// Defer to the model emitter: core/ilp_models picks kInputOrder for the
+  /// chain models (whose chain-major variable layout turns the DFS dive
+  /// into sequential chain construction that propagation prunes CP-style);
+  /// plain ilp::solve callers resolve to kPseudocost or kMostFractional
+  /// per `pseudocost_branching`.
+  kAuto,
+  kPseudocost,      ///< product rule over pseudocost estimates
+  kMostFractional,  ///< the pre-PR selection rule
+  kInputOrder,      ///< first fractional variable in index order
+};
+
 struct Options {
   double time_limit_seconds = 120.0;
   long max_nodes = 2'000'000;
@@ -50,13 +63,39 @@ struct Options {
   /// Off = every node LP cold-starts through lp::solve.
   bool warm_start = true;
   /// Pseudocost branching (initialized from objective coefficients);
-  /// off = pure most-fractional selection.
+  /// off = pure most-fractional selection. Consulted when `branching` is
+  /// kAuto and no model emitter overrode it.
   bool pseudocost_branching = true;
+  Branching branching = Branching::kAuto;
   /// Re-queue a node whose LP hit the pivot budget this many times with a
   /// 4x larger budget before declaring the dual bound lost.
   int max_lp_retries = 3;
   /// LP engine used when warm_start is off (and for differential oracles).
   lp::Algorithm lp_algorithm = lp::Algorithm::kRevised;
+
+  /// Devex reference-framework pricing in the revised simplex (node LPs and
+  /// root cut LPs); off = Dantzig, the PR-2 behavior.
+  bool devex_pricing = true;
+  /// Root probing: branch every binary both ways through the propagator,
+  /// keep union bounds/fixings and the discovered conflict edges.
+  bool probing = true;
+  /// Root cutting loop separating violated clique cuts (from the conflict
+  /// graph) and lifted cover cuts (from knapsack-shaped rows), re-solving
+  /// the LP between rounds.
+  bool clique_cuts = true;
+  int max_cut_rounds = 8;       ///< separation rounds at the root
+  int max_cuts_per_round = 200; ///< most-violated cuts kept per round
+  /// Full orbit-based lexicographic ordering rows instead of the single
+  /// p-ordering row. Read by core/ilp_models when it builds the cut-set
+  /// model (a model-construction switch, not a solver switch); carried here
+  /// so every mechanism of the accelerated pipeline A/Bs through one
+  /// options struct.
+  bool orbit_symmetry_rows = true;
+  /// During III-B-3 budget escalation, pin the chain models' use
+  /// indicators once every smaller budget is proven infeasible (the
+  /// optimum is then exactly the budget), turning the final solve into a
+  /// pure feasibility dive. Read by core/ilp_models' find_minimum_*.
+  bool budget_floor_rows = true;
 };
 
 struct Result {
@@ -69,7 +108,20 @@ struct Result {
   long lp_pivots = 0;                ///< simplex pivots summed over all nodes
   long nodes_pruned_by_propagation = 0;  ///< pruned before any LP was solved
   PresolveStats presolve_stats;      ///< root reduction summary
+  ProbeStats probe_stats;            ///< root probing summary
+  int cliques = 0;                   ///< conflict-graph cliques tabled
+  int cuts_added = 0;                ///< clique + cover cuts kept at the root
+  int cut_rounds = 0;                ///< separation rounds that added cuts
 };
+
+/// The pre-PR-2 configuration: dense-tableau cold start per node, pure
+/// most-fractional branching, and every later acceleration (presolve,
+/// propagation, warm start, devex, probing, clique cuts, orbit/floor rows,
+/// input-order chain branching) switched off. This is the differential
+/// oracle for the accelerated pipeline — benches and tests share this one
+/// definition so a future switch (defaulting on) cannot silently leak into
+/// the "all-off" side. Keep it in sync with every new Options field.
+Options legacy_solver_options();
 
 /// Minimizes `model`. The model is copied internally; bounds are tightened
 /// per node on the copy.

@@ -1,7 +1,9 @@
 #include "ilp/presolve.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -21,6 +23,11 @@ void round_integer_bounds(bool is_integer, double& lo, double& hi) {
   lo = std::ceil(lo - kIntTol);
   hi = std::floor(hi + kIntTol);
 }
+
+constexpr int kMaxCliques = 4096;  ///< table cap after dominance filtering
+/// Above this many conflict-bitset bytes, extension/dominance is skipped
+/// (the raw cliques are still returned).
+constexpr std::size_t kMaxAdjacencyBytes = 64u << 20;
 
 }  // namespace
 
@@ -255,6 +262,331 @@ bool Propagator::any_droppable_row(const std::vector<double>& lower,
     if (upper_redundant && lower_redundant) return true;
   }
   return false;
+}
+
+// ------------------------------------------------------------------- probing
+
+bool probe_binaries(const Model& model, const Propagator& propagator,
+                    std::vector<double>& lower, std::vector<double>& upper,
+                    std::vector<std::pair<int, int>>* implications,
+                    ProbeStats* stats, int max_probes) {
+  const int n = model.variable_count();
+  common::check(lower.size() == static_cast<std::size_t>(n) &&
+                    upper.size() == static_cast<std::size_t>(n),
+                "probe_binaries: wrong arity");
+  // Reach the master fixpoint first, so every branch deduction below is
+  // attributable to the probe itself.
+  if (!propagator.propagate(lower, upper, {})) return false;
+
+  const auto is_unfixed_binary = [&](int k) {
+    const auto ks = static_cast<std::size_t>(k);
+    return model.is_integer(k) && lower[ks] > -kIntTol &&
+           upper[ks] < 1.0 + kIntTol && upper[ks] - lower[ks] > 0.5;
+  };
+
+  std::vector<double> lo0, hi0, lo1, hi1;
+  std::vector<int> seed(1, 0);
+  int probes = 0;
+  for (int j = 0; j < n; ++j) {
+    if (probes >= max_probes) break;
+    if (!is_unfixed_binary(j)) continue;
+    ++probes;
+    if (stats != nullptr) ++stats->probed;
+    seed[0] = j;
+    lo0 = lower;
+    hi0 = upper;
+    hi0[static_cast<std::size_t>(j)] = 0.0;  // branch x_j = 0
+    const bool feasible0 = propagator.propagate(lo0, hi0, seed);
+    lo1 = lower;
+    hi1 = upper;
+    lo1[static_cast<std::size_t>(j)] = 1.0;  // branch x_j = 1
+    const bool feasible1 = propagator.propagate(lo1, hi1, seed);
+    if (!feasible0 && !feasible1) return false;
+    if (!feasible0 || !feasible1) {
+      // One branch is impossible, so every feasible point lies in the
+      // surviving branch: adopt its whole propagated fixpoint.
+      if (feasible0) {
+        lower = lo0;
+        upper = hi0;
+      } else {
+        lower = lo1;
+        upper = hi1;
+      }
+      if (stats != nullptr) ++stats->fixings;
+      continue;
+    }
+    // Both branches live: keep what holds in their union, and record the
+    // binary implications each branch forces as conflict edges.
+    for (int k = 0; k < n; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      if (k != j && implications != nullptr && is_unfixed_binary(k)) {
+        if (hi0[ks] < 0.5) {  // x_j = 0 forces x_k = 0
+          implications->push_back(
+              {Lit::make(j, false), Lit::make(k, true)});
+          if (stats != nullptr) ++stats->implications;
+        }
+        if (lo0[ks] > 0.5) {  // x_j = 0 forces x_k = 1
+          implications->push_back(
+              {Lit::make(j, false), Lit::make(k, false)});
+          if (stats != nullptr) ++stats->implications;
+        }
+        if (hi1[ks] < 0.5) {  // x_j = 1 forces x_k = 0
+          implications->push_back({Lit::make(j, true), Lit::make(k, true)});
+          if (stats != nullptr) ++stats->implications;
+        }
+        if (lo1[ks] > 0.5) {  // x_j = 1 forces x_k = 1
+          implications->push_back({Lit::make(j, true), Lit::make(k, false)});
+          if (stats != nullptr) ++stats->implications;
+        }
+      }
+      const double union_lo = std::min(lo0[ks], lo1[ks]);
+      const double union_hi = std::max(hi0[ks], hi1[ks]);
+      if (union_lo > lower[ks] + kImprove) {
+        lower[ks] = union_lo;
+        if (stats != nullptr) ++stats->tightenings;
+      }
+      if (union_hi < upper[ks] - kImprove) {
+        upper[ks] = union_hi;
+        if (stats != nullptr) ++stats->tightenings;
+      }
+    }
+  }
+  // Union tightenings can cascade through rows the probes never seeded.
+  return propagator.propagate(lower, upper, {});
+}
+
+// --------------------------------------------------------------- clique table
+
+bool normalize_packing_row(const Model& model,
+                           const std::vector<lp::Term>& terms, double rhs,
+                           const std::vector<double>& lower,
+                           const std::vector<double>& upper,
+                           std::vector<PackedTerm>* items, double* rhs_out) {
+  std::vector<lp::Term> merged(terms);
+  std::sort(merged.begin(), merged.end(),
+            [](const lp::Term& a, const lp::Term& b) {
+              return a.variable < b.variable;
+            });
+  std::size_t out = 0;
+  for (std::size_t t = 0; t < merged.size(); ++t) {
+    if (out > 0 && merged[out - 1].variable == merged[t].variable) {
+      merged[out - 1].coefficient += merged[t].coefficient;
+    } else {
+      merged[out++] = merged[t];
+    }
+  }
+  merged.resize(out);
+
+  items->clear();
+  for (const lp::Term& term : merged) {
+    if (term.coefficient == 0.0) continue;
+    const auto v = static_cast<std::size_t>(term.variable);
+    if (upper[v] - lower[v] <= kImprove) {
+      rhs -= term.coefficient * lower[v];
+      continue;
+    }
+    const bool binary = model.is_integer(term.variable) &&
+                        lower[v] > -kIntTol && upper[v] < 1.0 + kIntTol;
+    if (!binary) return false;
+    if (term.coefficient > 0.0) {
+      items->push_back({Lit::make(term.variable, true), term.coefficient});
+    } else {
+      // a*x = a - a*(1-x): the complemented literal gets -a > 0 and the
+      // constant a crosses to the right-hand side.
+      items->push_back({Lit::make(term.variable, false), -term.coefficient});
+      rhs -= term.coefficient;
+    }
+  }
+  *rhs_out = rhs;
+  return items->size() >= 2;
+}
+
+namespace {
+
+/// Emits the cliques of one normalized packing row: the maximal prefix
+/// clique of the coefficient-sorted items, plus one clique per tail item
+/// against the prefix members it conflicts with.
+void extract_row_cliques(std::vector<PackedTerm>& items, double rhs,
+                         std::vector<Clique>& out) {
+  std::sort(items.begin(), items.end(),
+            [](const PackedTerm& a, const PackedTerm& b) {
+              if (a.coefficient != b.coefficient) {
+                return a.coefficient > b.coefficient;
+              }
+              return a.literal < b.literal;
+            });
+  // Largest k such that every pair inside the prefix overruns the rhs;
+  // the two smallest prefix coefficients witness all pairs.
+  std::size_t k = 0;
+  for (std::size_t c = items.size(); c >= 2; --c) {
+    if (items[c - 2].coefficient + items[c - 1].coefficient > rhs + kFeasTol) {
+      k = c;
+      break;
+    }
+  }
+  if (k < 2) return;
+  Clique prefix;
+  prefix.literals.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    prefix.literals.push_back(items[i].literal);
+  }
+  // The clique coincides with the row itself only when it spans every item
+  // with one shared coefficient equal to the rhs (sum lit <= 1 scaled).
+  prefix.materialized =
+      k == items.size() &&
+      std::abs(items.front().coefficient - items.back().coefficient) <=
+          kFeasTol &&
+      std::abs(rhs - items.front().coefficient) <= kFeasTol;
+  out.push_back(std::move(prefix));
+  for (std::size_t j = k; j < items.size(); ++j) {
+    Clique tail;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (items[i].coefficient + items[j].coefficient > rhs + kFeasTol) {
+        tail.literals.push_back(items[i].literal);
+      }
+    }
+    if (tail.literals.empty()) continue;
+    tail.literals.push_back(items[j].literal);
+    out.push_back(std::move(tail));
+  }
+}
+
+}  // namespace
+
+CliqueTable build_clique_table(
+    const Model& model, const std::vector<double>& lower,
+    const std::vector<double>& upper,
+    const std::vector<std::pair<int, int>>& extra_edges) {
+  CliqueTable table;
+  const int n = model.variable_count();
+  std::vector<Clique> raw;
+
+  // Row extraction: each sense contributes its <= reading(s).
+  std::vector<lp::Term> negated;
+  std::vector<PackedTerm> items;
+  for (int i = 0; i < model.constraint_count(); ++i) {
+    const lp::Constraint& row = model.lp().constraint(i);
+    double packed_rhs = 0.0;
+    if (row.sense != lp::Sense::kGreaterEqual &&
+        normalize_packing_row(model, row.terms, row.rhs, lower, upper, &items,
+                              &packed_rhs)) {
+      extract_row_cliques(items, packed_rhs, raw);
+    }
+    if (row.sense != lp::Sense::kLessEqual) {
+      negated.assign(row.terms.begin(), row.terms.end());
+      for (lp::Term& term : negated) term.coefficient = -term.coefficient;
+      if (normalize_packing_row(model, negated, -row.rhs, lower, upper,
+                                &items, &packed_rhs)) {
+        extract_row_cliques(items, packed_rhs, raw);
+      }
+    }
+  }
+  for (const auto& [a, b] : extra_edges) {
+    if (a == b) continue;
+    Clique edge;
+    edge.literals = {std::min(a, b), std::max(a, b)};
+    raw.push_back(std::move(edge));
+  }
+  if (raw.empty()) return table;
+  for (Clique& clique : raw) {
+    std::sort(clique.literals.begin(), clique.literals.end());
+    clique.literals.erase(
+        std::unique(clique.literals.begin(), clique.literals.end()),
+        clique.literals.end());
+  }
+
+  // Conflict-graph bitsets over literals, for extension and dominance.
+  const std::size_t n_lit = 2 * static_cast<std::size_t>(n);
+  const std::size_t words = (n_lit + 63) / 64;
+  const bool merge = n_lit * words * 8 <= kMaxAdjacencyBytes;
+  if (merge) {
+    std::vector<std::uint64_t> adjacency(n_lit * words, 0);
+    const auto connect = [&](int a, int b) {
+      adjacency[static_cast<std::size_t>(a) * words +
+                static_cast<std::size_t>(b) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(b) % 64);
+    };
+    for (const Clique& clique : raw) {
+      for (std::size_t x = 0; x < clique.literals.size(); ++x) {
+        for (std::size_t y = x + 1; y < clique.literals.size(); ++y) {
+          connect(clique.literals[x], clique.literals[y]);
+          connect(clique.literals[y], clique.literals[x]);
+        }
+      }
+    }
+    // Greedy extension: absorb every literal in conflict with the whole
+    // clique (lowest literal first; deterministic).
+    std::vector<std::uint64_t> candidates(words);
+    for (Clique& clique : raw) {
+      std::fill(candidates.begin(), candidates.end(), ~std::uint64_t{0});
+      for (const int lit : clique.literals) {
+        const std::uint64_t* adj_row =
+            adjacency.data() + static_cast<std::size_t>(lit) * words;
+        for (std::size_t w = 0; w < words; ++w) candidates[w] &= adj_row[w];
+      }
+      bool extended = false;
+      for (std::size_t w = 0; w < words; ++w) {
+        while (candidates[w] != 0) {
+          const int lit = static_cast<int>(
+              w * 64 + static_cast<std::size_t>(std::countr_zero(
+                           candidates[w])));
+          if (static_cast<std::size_t>(lit) >= n_lit) {
+            candidates[w] = 0;
+            break;
+          }
+          clique.literals.push_back(lit);
+          extended = true;
+          const std::uint64_t* adj_row =
+              adjacency.data() + static_cast<std::size_t>(lit) * words;
+          for (std::size_t w2 = 0; w2 < words; ++w2) {
+            candidates[w2] &= adj_row[w2];
+          }
+        }
+      }
+      if (extended) {
+        clique.materialized = false;  // now strictly stronger than the row
+        std::sort(clique.literals.begin(), clique.literals.end());
+      }
+    }
+  }
+
+  // Dominance: drop duplicates and cliques contained in a larger clique.
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const Clique& a, const Clique& b) {
+                     if (a.literals.size() != b.literals.size()) {
+                       return a.literals.size() > b.literals.size();
+                     }
+                     return a.literals < b.literals;
+                   });
+  std::vector<std::vector<std::uint64_t>> kept_bits;
+  std::vector<std::uint64_t> bits(words);
+  for (Clique& clique : raw) {
+    if (static_cast<int>(table.cliques.size()) >= kMaxCliques) break;
+    std::fill(bits.begin(), bits.end(), 0);
+    for (const int lit : clique.literals) {
+      bits[static_cast<std::size_t>(lit) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(lit) % 64);
+    }
+    bool dominated = false;
+    for (std::size_t k = 0; k < kept_bits.size() && !dominated; ++k) {
+      if (table.cliques[k].literals.size() < clique.literals.size()) break;
+      dominated = true;
+      for (std::size_t w = 0; w < words; ++w) {
+        if ((bits[w] & ~kept_bits[k][w]) != 0) {
+          dominated = false;
+          break;
+        }
+      }
+      if (dominated && table.cliques[k].literals == clique.literals) {
+        // Exact duplicate: remember when any copy mirrors a model row.
+        table.cliques[k].materialized |= clique.materialized;
+      }
+    }
+    if (dominated) continue;
+    kept_bits.push_back(bits);
+    table.cliques.push_back(std::move(clique));
+  }
+  return table;
 }
 
 // ------------------------------------------------------------------ presolve

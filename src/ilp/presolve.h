@@ -14,12 +14,21 @@
 //    propagates a node's bound changes through the rows they touch and
 //    reports subtree infeasibility before any LP is paid for.
 //
-// All reasoning is over one constraint at a time (no clique/probing), which
-// keeps every deduction sound for the paper's path/cut models and cheap
-// enough to run at every node.
+//  * probe_binaries() / build_clique_table(): root-only strengthening.
+//    Probing branches every binary both ways through the Propagator and
+//    keeps what holds in both branches (fixings, union bounds) plus the
+//    implications each branch forces (the conflict graph). The clique table
+//    collects set-packing structure — "at most one of these literals" —
+//    from the rows themselves and from probing, then merges and dominates
+//    cliques so branch-and-bound can separate them as cutting planes.
+//
+// The per-node Propagator stays single-constraint: every deduction remains
+// sound and cheap enough to run at every node; the quadratic-ish probing
+// and clique work runs once at the root.
 #ifndef FPVA_ILP_PRESOLVE_H
 #define FPVA_ILP_PRESOLVE_H
 
+#include <utility>
 #include <vector>
 
 #include "ilp/model.h"
@@ -27,6 +36,75 @@
 namespace fpva::ilp {
 
 class Propagator;
+
+/// Conflict-graph literal: variable `var` asserted to 1 (positive) or to 0
+/// (complemented). Encoded as 2*var (+1 when complemented) so literals pack
+/// into flat arrays.
+struct Lit {
+  static int make(int var, bool positive) { return 2 * var + (positive ? 0 : 1); }
+  static int variable(int literal) { return literal >> 1; }
+  static bool positive(int literal) { return (literal & 1) == 0; }
+  static int negate(int literal) { return literal ^ 1; }
+};
+
+/// One set-packing clique: at most one of `literals` can be true in any
+/// integer-feasible point. In inequality form:
+///   sum_{positive} x  +  sum_{complemented} (1 - x)  <=  1.
+struct Clique {
+  std::vector<int> literals;  ///< sorted, >= 2 entries, distinct variables
+  /// True when an identical row already exists in the model, so separating
+  /// this clique as a cut can never add anything.
+  bool materialized = false;
+};
+
+struct CliqueTable {
+  std::vector<Clique> cliques;
+};
+
+struct ProbeStats {
+  int probed = 0;        ///< binaries probed in both directions
+  int fixings = 0;       ///< variables fixed (one branch infeasible)
+  int implications = 0;  ///< conflict edges discovered
+  int tightenings = 0;   ///< non-trivial union-bound improvements
+};
+
+/// Probes every unfixed binary of `model`: branches it to 0 and to 1,
+/// propagates each branch, and keeps everything valid in both branches.
+/// Tightens `lower`/`upper` in place; appends discovered conflict edges to
+/// `implications` (when non-null) as literal pairs that cannot both be
+/// true. Returns false when the model is proven infeasible. Deterministic.
+bool probe_binaries(const Model& model, const Propagator& propagator,
+                    std::vector<double>& lower, std::vector<double>& upper,
+                    std::vector<std::pair<int, int>>* implications,
+                    ProbeStats* stats, int max_probes = 4000);
+
+/// Builds the clique table of `model` under the given bounds: extracts
+/// set-packing cliques from rows whose variables are all binary (negative
+/// coefficients handled by complementing), adds the 2-literal cliques in
+/// `extra_edges` (e.g. from probing), greedily extends each clique against
+/// the conflict graph, and drops duplicates and dominated (subset) cliques.
+CliqueTable build_clique_table(
+    const Model& model, const std::vector<double>& lower,
+    const std::vector<double>& upper,
+    const std::vector<std::pair<int, int>>& extra_edges = {});
+
+/// One positive-coefficient literal term of a normalized packing row.
+struct PackedTerm {
+  int literal = 0;
+  double coefficient = 0.0;
+};
+
+/// Rewrites a row `sum terms <= rhs` as `sum coefficient * literal <= rhs'`
+/// with every coefficient positive: duplicate terms are merged, variables
+/// fixed under the bounds fold into the rhs, and binary variables with
+/// negative coefficients are complemented. Returns false (leaving the
+/// outputs unspecified) when an unfixed non-binary variable blocks the
+/// rewrite or fewer than two literals remain.
+bool normalize_packing_row(const Model& model,
+                           const std::vector<lp::Term>& terms, double rhs,
+                           const std::vector<double>& lower,
+                           const std::vector<double>& upper,
+                           std::vector<PackedTerm>* items, double* rhs_out);
 
 struct PresolveStats {
   int bounds_tightened = 0;  ///< individual bound improvements

@@ -16,6 +16,8 @@ constexpr double kPivotEpsilon = 1e-9;
 constexpr double kWeakPivot = 1e-7;   ///< below this, prefer a fresh factor
 constexpr double kDropEpsilon = 1e-12;
 constexpr int kRefactorInterval = 64;
+/// A devex weight past this threshold restarts the reference framework.
+constexpr double kDevexReset = 1e8;
 
 }  // namespace
 
@@ -63,6 +65,9 @@ RevisedSimplex::RevisedSimplex(const Model& model, SolveOptions options)
   work_.assign(static_cast<std::size_t>(m_), 0.0);
   work2_.assign(static_cast<std::size_t>(m_), 0.0);
   pattern_.reserve(static_cast<std::size_t>(m_));
+  alpha_row_.assign(static_cast<std::size_t>(total_), 0.0);
+  alpha_touched_.assign(static_cast<std::size_t>(total_), 0);
+  alpha_cols_.reserve(static_cast<std::size_t>(total_));
 }
 
 void RevisedSimplex::build_columns(const Model& model) {
@@ -107,6 +112,23 @@ void RevisedSimplex::build_columns(const Model& model) {
       const int slot = fill[static_cast<std::size_t>(term.variable)]++;
       row_index_[static_cast<std::size_t>(slot)] = i;
       coeff_[static_cast<std::size_t>(slot)] = term.coefficient;
+    }
+  }
+  // CSR transpose for row-wise dual pricing (alpha = one row of B^-1 A).
+  row_start_.assign(static_cast<std::size_t>(m_) + 1, 0);
+  for (int i = 0; i < m_; ++i) {
+    row_start_[static_cast<std::size_t>(i) + 1] =
+        row_start_[static_cast<std::size_t>(i)] +
+        static_cast<int>(merged[static_cast<std::size_t>(i)].size());
+  }
+  row_col_.resize(static_cast<std::size_t>(total_nnz));
+  row_coeff_.resize(static_cast<std::size_t>(total_nnz));
+  std::vector<int> row_fill = row_start_;
+  for (int i = 0; i < m_; ++i) {
+    for (const Term& term : merged[static_cast<std::size_t>(i)]) {
+      const int slot = row_fill[static_cast<std::size_t>(i)]++;
+      row_col_[static_cast<std::size_t>(slot)] = term.variable;
+      row_coeff_[static_cast<std::size_t>(slot)] = term.coefficient;
     }
   }
 }
@@ -338,6 +360,125 @@ double RevisedSimplex::reduced_cost(int var,
   return cost_[static_cast<std::size_t>(var)] - column_dot(var, y);
 }
 
+/// Recomputes the dual reduced costs exactly. Called when the dual simplex
+/// starts and at every refactorization; between those points reduced_d_ is
+/// updated incrementally per pivot (one multiply per touched column instead
+/// of a BTRAN plus a full pricing dot pass per iteration).
+void RevisedSimplex::refresh_reduced_costs() {
+  std::vector<double>& y = duals_;
+  compute_duals(y);
+  reduced_d_.assign(static_cast<std::size_t>(total_), 0.0);
+  for (int j = 0; j < total_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (state_[js] == VarState::kBasic) continue;
+    reduced_d_[js] = cost_[js] - column_dot(j, y);
+  }
+}
+
+// -------------------------------------------------------------------- devex
+
+void RevisedSimplex::reset_primal_devex() {
+  devex_weight_.assign(static_cast<std::size_t>(total_), 1.0);
+}
+
+void RevisedSimplex::update_primal_devex(int entering, int pivot_row,
+                                         double pivot_value) {
+  // Devex (Harris '73): the entering column's reference weight, mapped
+  // through the pivot row of the *pre-pivot* B^-1, bounds the weights of
+  // every nonbasic column from below. Columns outside the gathered pivot
+  // row have alpha exactly zero and keep their weight.
+  std::vector<double>& rho = devex_rho_;
+  rho.assign(static_cast<std::size_t>(m_), 0.0);
+  rho[static_cast<std::size_t>(pivot_row)] = 1.0;
+  btran(rho);
+  gather_pivot_row(rho);
+  const auto q = static_cast<std::size_t>(entering);
+  const double w_q = devex_weight_[q];
+  const double inv2 = 1.0 / (pivot_value * pivot_value);
+  double w_max = 0.0;
+  for (const int j : alpha_cols_) {
+    const auto js = static_cast<std::size_t>(j);
+    if (j == entering || state_[js] == VarState::kBasic) continue;
+    if (upper_[js] - lower_[js] <= 0.0) continue;  // fixed: never priced
+    const double a = alpha_row_[js];
+    if (a == 0.0) continue;
+    const double candidate = a * a * inv2 * w_q;
+    if (candidate > devex_weight_[js]) devex_weight_[js] = candidate;
+    w_max = std::max(w_max, devex_weight_[js]);
+  }
+  const auto leaving = static_cast<std::size_t>(
+      basis_[static_cast<std::size_t>(pivot_row)]);
+  devex_weight_[leaving] = std::max(w_q * inv2, 1.0);
+  if (w_max > kDevexReset) reset_primal_devex();
+}
+
+void RevisedSimplex::gather_pivot_row(const std::vector<double>& rho) const {
+  for (const int j : alpha_cols_) {
+    alpha_row_[static_cast<std::size_t>(j)] = 0.0;
+    alpha_touched_[static_cast<std::size_t>(j)] = 0;
+  }
+  alpha_cols_.clear();
+  for (int i = 0; i < m_; ++i) {
+    const double r = rho[static_cast<std::size_t>(i)];
+    if (r == 0.0) continue;
+    for (int k = row_start_[static_cast<std::size_t>(i)];
+         k < row_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto j = static_cast<std::size_t>(
+          row_col_[static_cast<std::size_t>(k)]);
+      if (!alpha_touched_[j]) {
+        alpha_touched_[j] = 1;
+        alpha_cols_.push_back(static_cast<int>(j));
+      }
+      alpha_row_[j] += r * row_coeff_[static_cast<std::size_t>(k)];
+    }
+    const auto slack = static_cast<std::size_t>(n_ + i);
+    if (!alpha_touched_[slack]) {
+      alpha_touched_[slack] = 1;
+      alpha_cols_.push_back(n_ + i);
+    }
+    alpha_row_[slack] += r;  // slack column is the unit vector e_i
+  }
+}
+
+void RevisedSimplex::reset_dual_devex() {
+  dual_weight_.assign(static_cast<std::size_t>(m_), 1.0);
+}
+
+void RevisedSimplex::update_dual_devex(int pivot_row, double pivot_value,
+                                       const std::vector<double>& alpha,
+                                       const std::vector<int>& pattern) {
+  // Row-space devex: dual_weight_[i] tracks ||e_i^T B^-1||^2 within the
+  // reference framework. After the pivot, row i picks up -alpha_i/alpha_r
+  // times the old pivot row; the update needs only the FTRAN'd entering
+  // column, so it is O(nnz(alpha)).
+  const auto r = static_cast<std::size_t>(pivot_row);
+  const double w_r = dual_weight_[r];
+  const double inv2 = 1.0 / (pivot_value * pivot_value);
+  double w_max = 0.0;
+  for (const int i : pattern) {
+    if (i == pivot_row) continue;
+    const double a = alpha[static_cast<std::size_t>(i)];
+    const double candidate = a * a * inv2 * w_r;
+    auto& w = dual_weight_[static_cast<std::size_t>(i)];
+    if (candidate > w) w = candidate;
+    w_max = std::max(w_max, w);
+  }
+  dual_weight_[r] = std::max(w_r * inv2, 1.0);
+  if (w_max > kDevexReset) reset_dual_devex();
+}
+
+void RevisedSimplex::fill_primal_point(Solution& result) const {
+  result.values.resize(static_cast<std::size_t>(n_));
+  double objective = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const double v = std::min(std::max(x_[js], lower_[js]), upper_[js]);
+    result.values[js] = v;
+    objective += objective_[js] * v;
+  }
+  result.objective = objective;
+}
+
 // ------------------------------------------------------------------- primal
 
 void RevisedSimplex::reset_to_slack_basis() {
@@ -412,6 +553,8 @@ bool RevisedSimplex::price(const std::vector<double>& y, bool bland,
                            int* entering, double* violation) const {
   int best = -1;
   double best_violation = options_.tolerance;
+  double best_score = 0.0;
+  const bool use_devex = devex() && !bland;
   const auto consider = [&](int j, double d) {
     const auto js = static_cast<std::size_t>(j);
     double v = 0.0;
@@ -427,7 +570,12 @@ bool RevisedSimplex::price(const std::vector<double>& y, bool bland,
       best_violation = v;
       return true;  // Bland: first violating index wins
     }
-    if (v > best_violation) {
+    // Dantzig scores by the raw violation; devex divides by the reference
+    // weight (a running lower bound on ||B^-1 a_j||^2), approximating
+    // steepest edge without its exact-norm recurrences.
+    const double score = use_devex ? v * v / devex_weight_[js] : v;
+    if (best < 0 ? v > best_violation : score > best_score) {
+      best_score = score;
       best_violation = v;
       best = j;
     }
@@ -472,6 +620,7 @@ bool RevisedSimplex::primal_iterate(long budget, Solution& result) {
   std::vector<double>& y = duals_;
   std::vector<double>& alpha = work_;
   std::vector<int>& pattern = pattern_;
+  if (devex()) reset_primal_devex();  // fresh reference framework per phase
   while (true) {
     if (iterations_ >= budget) {
       result.status = SolveStatus::kIterationLimit;
@@ -594,6 +743,10 @@ bool RevisedSimplex::primal_iterate(long budget, Solution& result) {
     }
     x_[q] += direction * t;
 
+    // Devex update prices against the pre-pivot basis inverse: it must run
+    // before the eta is appended and before basis_/state_ change.
+    if (devex()) update_primal_devex(entering, leaving_row, pivot_value);
+
     const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
     const auto ls = static_cast<std::size_t>(leaving);
     const double rate = direction * pivot_value;
@@ -634,11 +787,12 @@ bool RevisedSimplex::primal_iterate(long budget, Solution& result) {
 bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
   int consecutive_degenerate = 0;
   const int bland_threshold = 2 * (m_ + total_) + 20;
-  std::vector<double>& y = duals_;
   std::vector<double>& alpha = work_;
   std::vector<int>& pattern = pattern_;
   std::vector<double>& rho = rho_;
   rho.assign(static_cast<std::size_t>(m_), 0.0);
+  if (devex()) reset_dual_devex();  // fresh row framework per dual run
+  refresh_reduced_costs();
   while (true) {
     if (iterations_ >= budget) {
       result.status = SolveStatus::kIterationLimit;
@@ -648,6 +802,7 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
     if (values_dirty_) compute_basic_values();
 
     const bool bland = consecutive_degenerate > bland_threshold;
+    const bool use_devex = devex() && !bland;
     if (consecutive_degenerate > 8 * bland_threshold + 1000) {
       // Degenerate stalling despite Bland's rule: give up on the warm basis
       // and let the caller cold start.
@@ -655,10 +810,12 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
       return false;
     }
 
-    // Leaving row: the basic variable most outside its bounds (under
+    // Leaving row: the basic variable most outside its bounds — raw
+    // violation under Dantzig, violation^2 / row weight under devex (under
     // Bland's anti-cycling rule: the lowest-index violated basic).
     int leaving_row = -1;
     double worst = options_.tolerance;
+    double worst_score = 0.0;
     bool below = false;
     for (int i = 0; i < m_; ++i) {
       const int basic = basis_[static_cast<std::size_t>(i)];
@@ -667,10 +824,19 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
       const double over = x_[bs] - upper_[bs];
       const double violation = std::max(under, over);
       if (violation <= options_.tolerance) continue;
-      const bool take =
-          bland ? (leaving_row < 0 ||
-                   basic < basis_[static_cast<std::size_t>(leaving_row)])
-                : violation > worst;
+      bool take;
+      if (bland) {
+        take = leaving_row < 0 ||
+               basic < basis_[static_cast<std::size_t>(leaving_row)];
+      } else {
+        const double score =
+            use_devex
+                ? violation * violation /
+                      dual_weight_[static_cast<std::size_t>(i)]
+                : violation;
+        take = leaving_row < 0 ? violation > worst : score > worst_score;
+        if (take) worst_score = score;
+      }
       if (take) {
         worst = violation;
         leaving_row = i;
@@ -691,44 +857,34 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
     std::fill(rho.begin(), rho.end(), 0.0);
     rho[static_cast<std::size_t>(leaving_row)] = 1.0;
     btran(rho);
-    compute_duals(y);
+
+    // Gather alpha = e_r^T B^-1 A row-wise over the nonzero rho entries
+    // (rho is sparse right after a refactorization, so this typically
+    // touches a small slice of the matrix instead of every column).
+    // Artificial columns are always fixed by the time the dual runs.
+    gather_pivot_row(rho);
+    std::vector<double>& alpha_row = alpha_row_;
+    std::vector<int>& alpha_cols = alpha_cols_;
 
     // Collect every admissible breakpoint for the bound-flipping ratio
-    // test (BFRT): one inlined pass over structural (CSC) and slack (unit)
-    // columns; artificial columns are always fixed by the time the dual
-    // runs.
+    // test (BFRT); reduced costs come from the incrementally-maintained
+    // reduced_d_ instead of a per-iteration BTRAN.
     std::vector<Breakpoint>& cand = breakpoints_;
     cand.clear();
-    const auto consider = [&](int j, double a) {
+    for (const int j : alpha_cols) {
       const auto js = static_cast<std::size_t>(j);
-      if (std::abs(a) <= kPivotEpsilon) return;
+      if (state_[js] == VarState::kBasic) continue;
+      if (upper_[js] - lower_[js] <= 0.0) continue;  // fixed
+      const double a = alpha_row[js];
+      if (std::abs(a) <= kPivotEpsilon) continue;
       const bool at_lower = state_[js] == VarState::kAtLower;
       // Moving j off its bound must push the leaving basic toward `target`.
       const bool admissible = below ? (at_lower ? a < 0.0 : a > 0.0)
                                     : (at_lower ? a > 0.0 : a < 0.0);
-      if (!admissible) return;
-      const double d = cost_[js] - column_dot(j, y);
+      if (!admissible) continue;
+      const double d = reduced_d_[js];
       const double ratio = std::max(at_lower ? d : -d, 0.0) / std::abs(a);
       cand.push_back({ratio, a, j});
-    };
-    for (int j = 0; j < n_; ++j) {
-      const auto js = static_cast<std::size_t>(j);
-      if (state_[js] == VarState::kBasic) continue;
-      if (upper_[js] - lower_[js] <= 0.0) continue;  // fixed
-      double a = 0.0;
-      for (int k = col_start_[js]; k < col_start_[js + 1]; ++k) {
-        a += coeff_[static_cast<std::size_t>(k)] *
-             rho[static_cast<std::size_t>(
-                 row_index_[static_cast<std::size_t>(k)])];
-      }
-      consider(j, a);
-    }
-    for (int i = 0; i < m_; ++i) {
-      const int j = n_ + i;
-      const auto js = static_cast<std::size_t>(j);
-      if (state_[js] == VarState::kBasic) continue;
-      if (upper_[js] - lower_[js] <= 0.0) continue;  // fixed
-      consider(j, rho[static_cast<std::size_t>(i)]);
     }
     if (cand.empty()) {
       // No column can repair the violated row: primal infeasible.
@@ -813,6 +969,7 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
           numerics_failed_ = true;
           return false;
         }
+        refresh_reduced_costs();
         continue;
       }
       numerics_failed_ = true;
@@ -851,6 +1008,10 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
       }
     }
 
+    // The dual devex update needs the FTRAN'd entering column against the
+    // pre-pivot basis: run it before the eta is appended.
+    if (devex()) update_dual_devex(leaving_row, pivot_value, alpha, pattern);
+
     const auto q = static_cast<std::size_t>(entering);
     const double delta_q = (x_[ls] - target) / pivot_value;
     for (const int i : pattern) {
@@ -861,6 +1022,17 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
     }
     x_[q] += delta_q;
     x_[ls] = target;
+    // Incremental reduced-cost update over the gathered pivot row:
+    // d_j -= theta * alpha_j; the leaving variable picks up -theta (its
+    // alpha is 1 by construction) and the entering column zeroes out.
+    const double theta = reduced_d_[q] / pivot_value;
+    for (const int j : alpha_cols) {
+      const auto js = static_cast<std::size_t>(j);
+      if (state_[js] == VarState::kBasic) continue;  // stays zero
+      reduced_d_[js] -= theta * alpha_row[js];
+    }
+    reduced_d_[q] = 0.0;
+    reduced_d_[ls] = -theta;
     state_[ls] = below ? VarState::kAtLower : VarState::kAtUpper;
     state_[q] = VarState::kBasic;
     basis_[static_cast<std::size_t>(leaving_row)] = entering;
@@ -881,6 +1053,7 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
         return false;
       }
       compute_basic_values();
+      refresh_reduced_costs();  // drop the incremental-update drift
     }
   }
 }
@@ -928,15 +1101,7 @@ void RevisedSimplex::evict_basic_artificials() {
 Solution RevisedSimplex::finish_optimal() {
   Solution result;
   result.status = SolveStatus::kOptimal;
-  result.values.resize(static_cast<std::size_t>(n_));
-  double objective = 0.0;
-  for (int j = 0; j < n_; ++j) {
-    const auto js = static_cast<std::size_t>(j);
-    const double v = std::min(std::max(x_[js], lower_[js]), upper_[js]);
-    result.values[js] = v;
-    objective += objective_[js] * v;
-  }
-  result.objective = objective;
+  fill_primal_point(result);
   result.iterations = iterations_;
   basis_valid_ = true;
   return result;
@@ -991,7 +1156,15 @@ Solution RevisedSimplex::run_two_phase() {
   for (int j = 0; j < n_; ++j) {
     cost_[static_cast<std::size_t>(j)] = objective_[static_cast<std::size_t>(j)];
   }
-  if (!primal_iterate(options_.max_iterations, result)) return result;
+  if (!primal_iterate(options_.max_iterations, result)) {
+    // Phase 2 keeps primal feasibility, so even a budget-truncated solve
+    // reports the current point — with the objective computed from
+    // objective_, never from the active cost_ vector. (values_dirty_ means
+    // the budget died before the basic values were refreshed; no point to
+    // report then.)
+    if (!numerics_failed_ && !values_dirty_) fill_primal_point(result);
+    return result;
+  }
   return finish_optimal();
 }
 
@@ -1098,7 +1271,13 @@ Solution RevisedSimplex::reoptimize_from_basis() {
     cost_[static_cast<std::size_t>(j)] = objective_[static_cast<std::size_t>(j)];
   }
   if (!primal_iterate(options_.max_iterations, result)) {
-    if (!numerics_failed_) basis_valid_ = false;  // pivot budget exhausted
+    if (!numerics_failed_) {
+      basis_valid_ = false;  // pivot budget exhausted
+      // The polish iterates stay primal feasible, so the truncated solve
+      // still reports a usable point. The objective comes from objective_;
+      // the leaned cost_ perturbation never reaches the caller.
+      if (!values_dirty_) fill_primal_point(result);
+    }
     return result;
   }
   return finish_optimal();

@@ -96,6 +96,23 @@ class RevisedSimplex {
   double reduced_cost(int var, const std::vector<double>& y) const;
   bool price(const std::vector<double>& y, bool bland, int* entering,
              double* violation) const;
+  /// Fills `result` with the current (bound-clamped) structural point and
+  /// its objective computed from `objective_` — never from the active
+  /// phase/perturbed `cost_` vector.
+  void fill_primal_point(Solution& result) const;
+  // --- devex ---------------------------------------------------------------
+  bool devex() const { return options_.pricing == Pricing::kDevex; }
+  void reset_primal_devex();  ///< new reference framework (weights := 1)
+  /// Updates the primal reference weights after pivoting `entering` into
+  /// `pivot_row` (the eta of the pivot must not be appended yet: the update
+  /// prices the leaving row against the pre-pivot basis inverse).
+  void update_primal_devex(int entering, int pivot_row, double pivot_value);
+  void reset_dual_devex();  ///< new dual reference framework (weights := 1)
+  /// Same for the dual row weights; `alpha`/`pattern` hold the FTRAN'd
+  /// entering column against the pre-pivot basis.
+  void update_dual_devex(int pivot_row, double pivot_value,
+                         const std::vector<double>& alpha,
+                         const std::vector<int>& pattern);
   /// One primal phase; returns false on iteration limit. `phase1` selects
   /// the artificial-infeasibility objective.
   bool primal_iterate(long budget, Solution& result);
@@ -119,6 +136,10 @@ class RevisedSimplex {
   std::vector<int> col_start_;
   std::vector<int> row_index_;
   std::vector<double> coeff_;
+  // CSR transpose of the same matrix, for row-wise dual pricing.
+  std::vector<int> row_start_;
+  std::vector<int> row_col_;
+  std::vector<double> row_coeff_;
   std::vector<double> rhs_;
   std::vector<Sense> sense_;
   std::vector<double> artificial_sign_;  ///< per-row sign, 0 = no artificial
@@ -156,6 +177,24 @@ class RevisedSimplex {
   };
   std::vector<Breakpoint> breakpoints_;  ///< BFRT scratch
   std::vector<double> flip_acc_;         ///< accumulated bound flips
+
+  // Devex reference-framework weights (all 1.0 at a framework reset).
+  std::vector<double> devex_weight_;  ///< per-column, primal pricing
+  std::vector<double> dual_weight_;   ///< per-row, dual leaving choice
+  mutable std::vector<double> devex_rho_;  ///< BTRAN row scratch (primal)
+
+  /// Incrementally-updated reduced costs for the dual simplex (exact at
+  /// every refactorization; see refresh_reduced_costs).
+  std::vector<double> reduced_d_;
+  void refresh_reduced_costs();
+  // Scratch for the row-wise pricing pass: alpha = rho^T A gathered over
+  // the nonzero rows of the BTRAN'd vector rho (see gather_pivot_row).
+  mutable std::vector<double> alpha_row_;
+  mutable std::vector<int> alpha_cols_;
+  mutable std::vector<char> alpha_touched_;
+  /// Fills alpha_row_/alpha_cols_ with rho^T [A | I] over the columns that
+  /// intersect a nonzero entry of `rho` (all others are exactly zero).
+  void gather_pivot_row(const std::vector<double>& rho) const;
 };
 
 }  // namespace fpva::lp

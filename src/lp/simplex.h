@@ -26,10 +26,18 @@ enum class Algorithm {
   kDenseTableau,  ///< legacy dense two-phase tableau (retained as oracle)
 };
 
+/// Entering/leaving-candidate selection rule of the revised simplex. The
+/// dense tableau always prices with Dantzig and ignores this option.
+enum class Pricing {
+  kDantzig,  ///< most-violated reduced cost (differential-testing oracle)
+  kDevex,    ///< devex reference-framework weights (primal and dual)
+};
+
 struct SolveOptions {
   long max_iterations = 200000;  ///< total pivot budget over both phases
   double tolerance = 1e-7;       ///< feasibility/optimality tolerance
   Algorithm algorithm = Algorithm::kRevised;
+  Pricing pricing = Pricing::kDevex;
 };
 
 struct Solution {

@@ -177,17 +177,11 @@ INSTANTIATE_TEST_SUITE_P(RandomKnapsacks, IlpRandomKnapsackTest,
                          ::testing::Range(0, 25));
 
 /// The pre-PR configuration: dense-tableau cold start per node, pure
-/// most-fractional branching, no presolve/propagation/warm start. Retained
-/// as the differential oracle for the accelerated pipeline.
-Options legacy_options() {
-  Options options;
-  options.presolve = false;
-  options.node_propagation = false;
-  options.warm_start = false;
-  options.pseudocost_branching = false;
-  options.lp_algorithm = lp::Algorithm::kDenseTableau;
-  return options;
-}
+/// most-fractional branching, no presolve/propagation/warm start, and all
+/// PR-3 mechanisms (devex, probing, clique cuts, input-order chain
+/// branching) off. Retained as the differential oracle for the
+/// accelerated pipeline.
+Options legacy_options() { return legacy_solver_options(); }
 
 Model random_mip(common::Rng& rng) {
   Model model;
@@ -234,6 +228,88 @@ TEST_P(IlpDifferentialTest, AcceleratedMatchesLegacyOptimum) {
 
 INSTANTIATE_TEST_SUITE_P(RandomMips, IlpDifferentialTest,
                          ::testing::Range(0, 30));
+
+class IlpSwitchMatrixTest : public ::testing::TestWithParam<int> {};
+
+// Every combination of the PR-3 mechanisms (devex pricing, probing, clique
+// cuts, input-order branching) must reproduce the legacy optimum on random
+// MIPs: the switches trade speed, never answers.
+TEST_P(IlpSwitchMatrixTest, AllSwitchCombinationsMatchLegacy) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 271828 + 17);
+  const Model model = random_mip(rng);
+  Options legacy = legacy_options();
+  legacy.objective_is_integral = true;
+  const Result reference = solve(model, legacy);
+  for (int mask = 0; mask < 16; ++mask) {
+    Options options;
+    options.objective_is_integral = true;
+    options.devex_pricing = (mask & 1) != 0;
+    options.probing = (mask & 2) != 0;
+    options.clique_cuts = (mask & 4) != 0;
+    options.branching = (mask & 8) != 0 ? Branching::kInputOrder
+                                        : Branching::kAuto;
+    const Result result = solve(model, options);
+    ASSERT_EQ(result.status, reference.status) << "mask " << mask;
+    if (reference.status == ResultStatus::kOptimal) {
+      EXPECT_EQ(result.objective, reference.objective) << "mask " << mask;
+      EXPECT_TRUE(model.is_feasible(result.values, 1e-6)) << "mask " << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMips, IlpSwitchMatrixTest,
+                         ::testing::Range(0, 8));
+
+TEST(BranchAndBoundTest, FullyFixedModelSkipsNodeLoop) {
+  // Presolve substitutes every variable away; the result must come back
+  // optimal with the postsolved incumbent and zero nodes — the search must
+  // not enter the node loop on an empty column set.
+  Model model;
+  const int a = model.add_binary(3.0);
+  const int b = model.add_binary(-2.0);
+  model.add_constraint({{a, 1.0}}, lp::Sense::kGreaterEqual, 1.0);
+  model.add_constraint({{b, 1.0}}, lp::Sense::kLessEqual, 0.0);
+  const Result result = solve(model);
+  ASSERT_EQ(result.status, ResultStatus::kOptimal);
+  EXPECT_EQ(result.nodes, 0);
+  EXPECT_DOUBLE_EQ(result.objective, 3.0);
+  ASSERT_EQ(result.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.values[static_cast<std::size_t>(a)], 1.0);
+  EXPECT_DOUBLE_EQ(result.values[static_cast<std::size_t>(b)], 0.0);
+}
+
+TEST(BranchAndBoundTest, ZeroVariableModelWithInfeasibleConstantRow) {
+  // An empty column set with a violated constant row must be proven
+  // infeasible without entering the node loop — with and without presolve.
+  Model model;
+  model.add_constraint({}, lp::Sense::kGreaterEqual, 1.0);
+  for (const bool use_presolve : {true, false}) {
+    Options options;
+    options.presolve = use_presolve;
+    const Result result = solve(model, options);
+    EXPECT_EQ(result.status, ResultStatus::kInfeasible)
+        << "presolve=" << use_presolve;
+    EXPECT_EQ(result.nodes, 0) << "presolve=" << use_presolve;
+  }
+}
+
+TEST(BranchAndBoundTest, InfeasibleAfterPropagationReportsInfeasible) {
+  // Propagation (not the LP) proves infeasibility: x + y >= 2 with both
+  // capped at 0 after the singleton rows tighten.
+  Model model;
+  const int x = model.add_binary(1.0);
+  const int y = model.add_binary(1.0);
+  model.add_constraint({{x, 1.0}}, lp::Sense::kLessEqual, 0.0);
+  model.add_constraint({{y, 1.0}}, lp::Sense::kLessEqual, 0.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::kGreaterEqual, 2.0);
+  for (const bool use_presolve : {true, false}) {
+    Options options;
+    options.presolve = use_presolve;
+    const Result result = solve(model, options);
+    EXPECT_EQ(result.status, ResultStatus::kInfeasible)
+        << "presolve=" << use_presolve;
+  }
+}
 
 TEST(BranchAndBoundTest, DeterministicAcrossRuns) {
   common::Rng rng(20170327);

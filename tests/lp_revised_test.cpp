@@ -20,6 +20,19 @@ SolveOptions dense_options() {
   return options;
 }
 
+SolveOptions revised_options(Pricing pricing) {
+  SolveOptions options;
+  options.algorithm = Algorithm::kRevised;
+  options.pricing = pricing;
+  return options;
+}
+
+/// Sweep parameter: low bit selects the pricing rule, the rest seeds the
+/// RNG, so every differential case runs under both Dantzig and devex.
+Pricing pricing_of(int param) {
+  return param % 2 == 0 ? Pricing::kDantzig : Pricing::kDevex;
+}
+
 TEST(RevisedSimplexTest, MatchesDenseOnTransportation) {
   Model model;
   const int x11 = model.add_variable(0.0, 30.0, 1.0);
@@ -149,11 +162,11 @@ Model random_model(common::Rng& rng) {
 class RevisedVsDenseTest : public ::testing::TestWithParam<int> {};
 
 // Differential: both engines must agree on feasibility, and on the optimal
-// objective when feasible.
+// objective when feasible — under both pricing rules.
 TEST_P(RevisedVsDenseTest, AgreesWithDenseOracle) {
-  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  common::Rng rng(static_cast<std::uint64_t>(GetParam() / 2) * 7919 + 13);
   Model model = random_model(rng);
-  const Solution revised = solve(model);
+  const Solution revised = solve(model, revised_options(pricing_of(GetParam())));
   const Solution dense = solve(model, dense_options());
   ASSERT_NE(revised.status, SolveStatus::kIterationLimit);
   ASSERT_NE(dense.status, SolveStatus::kIterationLimit);
@@ -166,17 +179,18 @@ TEST_P(RevisedVsDenseTest, AgreesWithDenseOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomLps, RevisedVsDenseTest,
-                         ::testing::Range(0, 60));
+                         ::testing::Range(0, 120));
 
 class WarmStartDifferentialTest : public ::testing::TestWithParam<int> {};
 
 // The warm-started engine walks a random sequence of bound changes; after
-// every step its result must match a dense cold solve of the same model.
+// every step its result must match a dense cold solve of the same model —
+// under both pricing rules.
 TEST_P(WarmStartDifferentialTest, WarmEqualsColdOverBoundChanges) {
-  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 71);
+  common::Rng rng(static_cast<std::uint64_t>(GetParam() / 2) * 104729 + 71);
   Model model = random_model(rng);
   const int vars = model.variable_count();
-  RevisedSimplex solver(model);
+  RevisedSimplex solver(model, revised_options(pricing_of(GetParam())));
 
   Model scratch = model;  // dense oracle sees the same bound trajectory
   for (int step = 0; step < 12; ++step) {
@@ -212,7 +226,81 @@ TEST_P(WarmStartDifferentialTest, WarmEqualsColdOverBoundChanges) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomWalks, WarmStartDifferentialTest,
-                         ::testing::Range(0, 40));
+                         ::testing::Range(0, 80));
+
+// Regression for the perturbed-cost path: the dual reoptimize runs on
+// leaned (anti-degeneracy) costs, and the exact-cost primal polish may hit
+// the pivot budget. Whatever the truncation point, any reported objective
+// must be computed from the true objective vector — the perturbation must
+// never leak into result.objective — and once a retry loop (mirroring the
+// branch-and-bound budget escalation) reaches optimality, the objective
+// must bit-match the dense tableau oracle.
+TEST(RevisedSimplexTest, TinyPolishBudgetNeverLeaksPerturbedCosts) {
+  // Integral data with +-1 coefficients and a bound-defined unique optimum
+  // (x = 5, y = 3, objective -8): every iterate stays on exact dyadic
+  // values, so bitwise comparison against the dense oracle is meaningful.
+  Model model;
+  const int x = model.add_variable(0.0, 5.0, -1.0);
+  const int y = model.add_variable(0.0, 5.0, -1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 8.0);
+  // Redundant rows through the optimum keep the polish degenerate.
+  model.add_constraint({{x, 1.0}}, Sense::kLessEqual, 5.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 9.0);
+  const Solution dense = solve(model, dense_options());
+  ASSERT_EQ(dense.status, SolveStatus::kOptimal);
+
+  for (const Pricing pricing : {Pricing::kDantzig, Pricing::kDevex}) {
+    SolveOptions options = revised_options(pricing);
+    options.max_iterations = 1;  // absurdly small: every phase truncates
+    RevisedSimplex solver(model, options);
+    Solution solution;
+    bool reached_optimal = false;
+    for (long budget = 1; budget <= 1024 && !reached_optimal; budget *= 2) {
+      solver.set_iteration_limit(budget);
+      solution = solver.reoptimize();
+      ASSERT_FALSE(solver.numerical_trouble());
+      if (solution.status == SolveStatus::kIterationLimit &&
+          !solution.values.empty()) {
+        // A truncated-but-feasible report must price its own point with
+        // the exact objective vector.
+        EXPECT_EQ(solution.objective, model.objective_value(solution.values));
+        EXPECT_LE(model.max_violation(solution.values), 1e-6);
+      }
+      reached_optimal = solution.status == SolveStatus::kOptimal;
+    }
+    ASSERT_TRUE(reached_optimal);
+    EXPECT_EQ(solution.objective, dense.objective)
+        << "objective must bit-match the dense tableau";
+  }
+}
+
+// A budget-truncated warm reoptimize after bound changes must also report
+// exact-cost objectives (this is the exact call pattern of the node LPs).
+TEST(RevisedSimplexTest, TruncatedReoptimizeReportsExactObjective) {
+  Model model;
+  const int x = model.add_variable(0.0, 4.0, -1.0);
+  const int y = model.add_variable(0.0, 4.0, -2.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 6.0);
+  RevisedSimplex solver(model);
+  ASSERT_EQ(solver.reoptimize().status, SolveStatus::kOptimal);
+
+  Model scratch = model;
+  solver.set_bounds(y, 0.0, 3.0);
+  scratch.set_bounds(y, 0.0, 3.0);
+  for (long budget = 1; budget <= 1024; budget *= 2) {
+    solver.set_iteration_limit(budget);
+    const Solution warm = solver.reoptimize();
+    if (warm.status == SolveStatus::kIterationLimit && !warm.values.empty()) {
+      EXPECT_EQ(warm.objective, scratch.objective_value(warm.values));
+    }
+    if (warm.status == SolveStatus::kOptimal) {
+      const Solution cold = solve(scratch, dense_options());
+      EXPECT_EQ(warm.objective, cold.objective);
+      return;
+    }
+  }
+  FAIL() << "warm reoptimize never reached optimality";
+}
 
 }  // namespace
 }  // namespace fpva::lp

@@ -187,5 +187,170 @@ TEST(PresolveTest, SolveThroughPresolveMatchesDirectSolve) {
   EXPECT_NEAR(on.values[static_cast<std::size_t>(a)], 1.0, 1e-9);
 }
 
+// ----------------------------------------------------------------- probing
+
+TEST(ProbingTest, UnionTighteningFixesWhatNoSingleRowCan) {
+  // z <= x and z <= 1 - x: each row alone leaves z free, but both probe
+  // branches force z = 0, so the union fixes it.
+  Model model;
+  const int x = model.add_binary(0.0);
+  const int z = model.add_binary(0.0);
+  model.add_constraint({{z, 1.0}, {x, -1.0}}, lp::Sense::kLessEqual, 0.0);
+  model.add_constraint({{z, 1.0}, {x, 1.0}}, lp::Sense::kLessEqual, 1.0);
+  Propagator propagator(model);
+  std::vector<double> lower = {0.0, 0.0};
+  std::vector<double> upper = {1.0, 1.0};
+  ProbeStats stats;
+  ASSERT_TRUE(
+      probe_binaries(model, propagator, lower, upper, nullptr, &stats));
+  EXPECT_DOUBLE_EQ(upper[static_cast<std::size_t>(z)], 0.0);
+  EXPECT_GE(stats.tightenings, 1);
+  EXPECT_GE(stats.probed, 1);
+}
+
+TEST(ProbingTest, BothBranchesInfeasibleProvesModelInfeasible) {
+  // a = b (two inequality rows) plus a + b = 1: no binary assignment works,
+  // but no single constraint detects it — probing must.
+  Model model;
+  const int a = model.add_binary(0.0);
+  const int b = model.add_binary(0.0);
+  model.add_constraint({{a, 1.0}, {b, -1.0}}, lp::Sense::kLessEqual, 0.0);
+  model.add_constraint({{b, 1.0}, {a, -1.0}}, lp::Sense::kLessEqual, 0.0);
+  model.add_constraint({{a, 1.0}, {b, 1.0}}, lp::Sense::kEqual, 1.0);
+  Propagator propagator(model);
+  std::vector<double> lower = {0.0, 0.0};
+  std::vector<double> upper = {1.0, 1.0};
+  EXPECT_FALSE(
+      probe_binaries(model, propagator, lower, upper, nullptr, nullptr));
+}
+
+TEST(ProbingTest, RecordsImplicationEdges) {
+  Model model;
+  const int x = model.add_binary(0.0);
+  const int y = model.add_binary(0.0);
+  const int free = model.add_binary(0.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::kLessEqual, 1.0);
+  model.add_constraint({{free, 1.0}, {x, 1.0}, {y, 1.0}},
+                       lp::Sense::kLessEqual, 2.0);
+  Propagator propagator(model);
+  std::vector<double> lower = {0.0, 0.0, 0.0};
+  std::vector<double> upper = {1.0, 1.0, 1.0};
+  std::vector<std::pair<int, int>> implications;
+  ProbeStats stats;
+  ASSERT_TRUE(
+      probe_binaries(model, propagator, lower, upper, &implications, &stats));
+  // x = 1 forces y = 0: the edge {x=1, y=1} must be in the list.
+  const std::pair<int, int> expected{Lit::make(x, true), Lit::make(y, true)};
+  bool found = false;
+  for (const auto& edge : implications) {
+    found |= edge == expected;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(stats.fixings, 0);
+}
+
+// -------------------------------------------------------------- clique table
+
+TEST(CliqueTableTest, ExtractsPackingRowAsMaterializedClique) {
+  Model model;
+  const int a = model.add_binary(0.0);
+  const int b = model.add_binary(0.0);
+  const int c = model.add_binary(0.0);
+  model.add_constraint({{a, 1.0}, {b, 1.0}, {c, 1.0}}, lp::Sense::kLessEqual,
+                       1.0);
+  const std::vector<double> lower = {0.0, 0.0, 0.0};
+  const std::vector<double> upper = {1.0, 1.0, 1.0};
+  const CliqueTable table = build_clique_table(model, lower, upper);
+  ASSERT_EQ(table.cliques.size(), 1u);
+  EXPECT_EQ(table.cliques[0].literals.size(), 3u);
+  // Identical to the source row: separation must skip it.
+  EXPECT_TRUE(table.cliques[0].materialized);
+}
+
+TEST(CliqueTableTest, BigMIndicatorRowYieldsComplementCliques) {
+  // v1 + v2 - 10 p <= 0 complements to 10 p' + v1 + v2 <= 10: each v
+  // conflicts with p' (= "p is 0") but not with the other v.
+  Model model;
+  const int v1 = model.add_binary(0.0);
+  const int v2 = model.add_binary(0.0);
+  const int p = model.add_binary(1.0);
+  model.add_constraint({{v1, 1.0}, {v2, 1.0}, {p, -10.0}},
+                       lp::Sense::kLessEqual, 0.0);
+  const std::vector<double> lower = {0.0, 0.0, 0.0};
+  const std::vector<double> upper = {1.0, 1.0, 1.0};
+  const CliqueTable table = build_clique_table(model, lower, upper);
+  ASSERT_EQ(table.cliques.size(), 2u);
+  for (const Clique& clique : table.cliques) {
+    ASSERT_EQ(clique.literals.size(), 2u);
+    EXPECT_FALSE(clique.materialized);  // strictly stronger than the row
+    // Every clique pairs some v=1 with p=0.
+    EXPECT_TRUE(clique.literals[1] == Lit::make(p, false));
+    EXPECT_TRUE(Lit::positive(clique.literals[0]));
+  }
+}
+
+TEST(CliqueTableTest, MergesPairwiseConflictsAndDropsDominated) {
+  // The three edges a-b, a-c, b-c merge into the triangle {a, b, c}; the
+  // pair cliques are then dominated and dropped.
+  Model model;
+  const int a = model.add_binary(0.0);
+  const int b = model.add_binary(0.0);
+  const int c = model.add_binary(0.0);
+  model.add_constraint({{a, 1.0}, {b, 1.0}}, lp::Sense::kLessEqual, 1.0);
+  model.add_constraint({{a, 1.0}, {c, 1.0}}, lp::Sense::kLessEqual, 1.0);
+  model.add_constraint({{b, 1.0}, {c, 1.0}}, lp::Sense::kLessEqual, 1.0);
+  const std::vector<double> lower = {0.0, 0.0, 0.0};
+  const std::vector<double> upper = {1.0, 1.0, 1.0};
+  const CliqueTable table = build_clique_table(model, lower, upper);
+  ASSERT_EQ(table.cliques.size(), 1u);
+  EXPECT_EQ(table.cliques[0].literals,
+            (std::vector<int>{Lit::make(a, true), Lit::make(b, true),
+                              Lit::make(c, true)}));
+}
+
+TEST(CliqueTableTest, ChainEqualityYieldsSiteNodeImplications) {
+  // The chaining row v1 + v2 - 2c = 0 of the paper's models: its <=
+  // reading complements c and produces the v <= c implications.
+  Model model;
+  const int v1 = model.add_binary(0.0);
+  const int v2 = model.add_binary(0.0);
+  const int c = model.add_binary(0.0);
+  model.add_constraint({{v1, 1.0}, {v2, 1.0}, {c, -2.0}}, lp::Sense::kEqual,
+                       0.0);
+  const std::vector<double> lower = {0.0, 0.0, 0.0};
+  const std::vector<double> upper = {1.0, 1.0, 1.0};
+  const CliqueTable table = build_clique_table(model, lower, upper);
+  // {v1, c=0} and {v2, c=0}: v can only be crossed on an active node.
+  int implication_cliques = 0;
+  for (const Clique& clique : table.cliques) {
+    if (clique.literals.size() == 2 &&
+        clique.literals[1] == Lit::make(c, false)) {
+      ++implication_cliques;
+    }
+  }
+  EXPECT_EQ(implication_cliques, 2);
+}
+
+TEST(NormalizePackingRowTest, ComplementsAndFoldsFixedVariables) {
+  Model model;
+  const int a = model.add_binary(0.0);
+  const int b = model.add_binary(0.0);
+  const int fixed = model.add_binary(0.0);
+  const std::vector<lp::Term> terms = {{a, 2.0}, {b, -3.0}, {fixed, 1.0}};
+  const std::vector<double> lower = {0.0, 0.0, 1.0};
+  const std::vector<double> upper = {1.0, 1.0, 1.0};
+  std::vector<PackedTerm> items;
+  double rhs = 0.0;
+  ASSERT_TRUE(
+      normalize_packing_row(model, terms, 4.0, lower, upper, &items, &rhs));
+  // 2a - 3b + fixed(=1) <= 4  ->  2a + 3(1-b) <= 4 - 1 + 3 = 6.
+  EXPECT_DOUBLE_EQ(rhs, 6.0);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].literal, Lit::make(a, true));
+  EXPECT_DOUBLE_EQ(items[0].coefficient, 2.0);
+  EXPECT_EQ(items[1].literal, Lit::make(b, false));
+  EXPECT_DOUBLE_EQ(items[1].coefficient, 3.0);
+}
+
 }  // namespace
 }  // namespace fpva::ilp

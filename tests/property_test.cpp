@@ -8,9 +8,11 @@
 #include "common/rng.h"
 #include "core/cut_planner.h"
 #include "core/generator.h"
+#include "core/ilp_models.h"
 #include "grid/builder.h"
 #include "grid/presets.h"
 #include "grid/serialize.h"
+#include "sim/coverage.h"
 #include "sim/simulator.h"
 
 namespace fpva {
@@ -224,6 +226,132 @@ TEST(VectorShapeProperty, OpenAndClosedCounts) {
       // Even a long, winding cut leaves most of the array open.
       EXPECT_GE(open, 1) << vector.label;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver-option-set equivalence: the accelerated ILP pipeline (devex,
+// probing, clique cuts, orbit rows, input-order branching) and the legacy
+// pipeline may produce different vector sets, but the behavioral fault
+// coverage audited through sim/ must be identical.
+
+/// The pre-PR-2 solver configuration (one shared definition in ilp/).
+ilp::Options legacy_ilp_options() { return ilp::legacy_solver_options(); }
+
+/// Audited coverage signature of `vectors` over `universe`: the sorted
+/// undetected-fault names (plus the detected count). Two vector sets with
+/// equal signatures have identical behavioral fault coverage.
+std::vector<std::string> coverage_signature(
+    const grid::ValveArray& array, const std::vector<sim::TestVector>& vectors,
+    const std::vector<sim::Fault>& universe) {
+  const sim::Simulator simulator(array);
+  const auto report = sim::single_fault_coverage(simulator, vectors, universe);
+  std::vector<std::string> signature;
+  for (const sim::Fault& fault : report.undetected) {
+    signature.push_back(to_string(fault));
+  }
+  std::sort(signature.begin(), signature.end());
+  signature.push_back("detected=" + std::to_string(report.detected_faults));
+  return signature;
+}
+
+// Flow-path and cut-set ILP generators, legacy vs accelerated option sets,
+// on small full arrays and one irregular array: identical budgets and
+// identical audited fault coverage.
+TEST(SolverEquivalenceProperty, IlpGeneratorsCoverIdenticallyUnderBothPipelines) {
+  std::vector<grid::ValveArray> arrays;
+  arrays.push_back(grid::full_array(2, 2));
+#ifdef NDEBUG
+  // The legacy (dense cold-start) pipeline needs ~1 s on a full 3x3 in
+  // Release; debug/sanitizer builds skip it to stay inside the CI budget.
+  arrays.push_back(grid::full_array(3, 3));
+#endif
+  // One irregular array: channels punch through the regular structure.
+  arrays.push_back(grid::LayoutBuilder(3, 3)
+                       .channel(Site{1, 2})
+                       .channel(Site{3, 4})
+                       .default_ports()
+                       .build());
+  for (const grid::ValveArray& array : arrays) {
+    // Flow paths: the two pipelines may pick different (equally minimal)
+    // covers whose behavioral detection differs, but the budget and the
+    // structural cover — every valve crossed by some path — must agree.
+    const auto accel_paths = core::find_minimum_flow_paths(array, 1, 6);
+    const auto legacy_paths =
+        core::find_minimum_flow_paths(array, 1, 6, legacy_ilp_options());
+    ASSERT_EQ(accel_paths.has_value(), legacy_paths.has_value());
+    if (accel_paths.has_value()) {
+      EXPECT_EQ(accel_paths->path_budget, legacy_paths->path_budget);
+      EXPECT_TRUE(accel_paths->proven_minimal);
+      const auto covered_valves = [&](const core::IlpPathResult& result) {
+        std::vector<bool> mask(
+            static_cast<std::size_t>(array.valve_count()), false);
+        for (const core::FlowPath& path : result.paths) {
+          for (const grid::ValveId v : path_valves(array, path)) {
+            mask[static_cast<std::size_t>(v)] = true;
+          }
+        }
+        return mask;
+      };
+      EXPECT_EQ(covered_valves(*accel_paths), covered_valves(*legacy_paths));
+    }
+
+    // Cut sets (2x2-sized models only: the legacy pipeline needs minutes
+    // on anything larger, which is the point of this PR).
+    if (array.valve_count() <= 4) {
+      const auto accel_cuts = core::find_minimum_cut_sets(array, 1, 4, true);
+      const auto legacy_cuts =
+          core::find_minimum_cut_sets(array, 1, 4, true, legacy_ilp_options());
+      ASSERT_EQ(accel_cuts.has_value(), legacy_cuts.has_value());
+      if (accel_cuts.has_value()) {
+        EXPECT_EQ(accel_cuts->cut_budget, legacy_cuts->cut_budget);
+        const auto covered_valves = [&](const core::IlpCutResult& result) {
+          std::vector<bool> mask(
+              static_cast<std::size_t>(array.valve_count()), false);
+          for (const core::CutSet& cut : result.cuts) {
+            for (const grid::ValveId v : cut_valves(array, cut)) {
+              mask[static_cast<std::size_t>(v)] = true;
+            }
+          }
+          return mask;
+        };
+        EXPECT_EQ(covered_valves(*accel_cuts), covered_valves(*legacy_cuts));
+      }
+    }
+  }
+}
+
+// End-to-end generator on every Table-I preset: the accelerated ILP
+// pipeline and the legacy option set must audit to identical fault
+// coverage. The 5x5 preset exercises the ILP path engine (39 valves fits
+// the limit); the legacy configuration routes through the constructive
+// engine (valve limit 0) because its dense cold-start ILP needs minutes on
+// the 5x5 preset — which is exactly the regression this PR removes. The
+// repair loop makes audited coverage invariant across engines, so the
+// comparison stays meaningful.
+TEST(SolverEquivalenceProperty, TableOnePresetsCoverIdenticallyUnderBothPipelines) {
+  for (const int n : grid::table1_sizes()) {
+#ifndef NDEBUG
+    if (n > 15) continue;  // keep sanitizer/debug runs inside the budget
+#endif
+    const auto array = grid::table1_array(n);
+    core::GeneratorOptions accelerated;
+    accelerated.path_engine = core::GeneratorOptions::PathEngine::kIlp;
+    core::GeneratorOptions legacy = accelerated;
+    legacy.ilp_options = legacy_ilp_options();
+    legacy.ilp_valve_limit = 0;
+    const auto accel_set = core::generate_test_set(array, accelerated);
+    const auto legacy_set = core::generate_test_set(array, legacy);
+
+    std::vector<sim::Fault> universe;
+    for (grid::ValveId v = 0; v < array.valve_count(); ++v) {
+      universe.push_back(sim::stuck_at_0(v));
+      universe.push_back(sim::stuck_at_1(v));
+    }
+    EXPECT_EQ(coverage_signature(array, accel_set.vectors, universe),
+              coverage_signature(array, legacy_set.vectors, universe))
+        << "preset " << n << "x" << n;
+    EXPECT_TRUE(accel_set.ilp_certified) << "preset " << n;
   }
 }
 
