@@ -130,6 +130,9 @@ void run_flow_path(benchmark::State& state, const ilp::Options& base,
   long pivots = 0;
   long cuts = 0;
   int budget = 0;
+  long refactors = 0;
+  long updates = 0;
+  long warm_rows = 0;
   for (auto _ : state) {
     const auto result = core::find_minimum_flow_paths(array, 1, 8, base);
     if (!result.has_value()) {
@@ -140,6 +143,9 @@ void run_flow_path(benchmark::State& state, const ilp::Options& base,
     pivots = result->ilp.lp_pivots;
     cuts = result->ilp.cuts_added;
     budget = result->path_budget;
+    refactors = result->ilp.lp_refactorizations;
+    updates = result->ilp.lp_basis_updates;
+    warm_rows = result->ilp.warm_cut_rows;
     benchmark::DoNotOptimize(result->path_budget);
     if (crosscheck) {
       // The ILP optimum can never exceed the constructive engine's count.
@@ -156,6 +162,9 @@ void run_flow_path(benchmark::State& state, const ilp::Options& base,
   state.counters["pivots"] = static_cast<double>(pivots);
   state.counters["cuts"] = static_cast<double>(cuts);
   state.counters["budget"] = static_cast<double>(budget);
+  state.counters["refactors"] = static_cast<double>(refactors);
+  state.counters["updates"] = static_cast<double>(updates);
+  state.counters["warmrows"] = static_cast<double>(warm_rows);
 }
 
 void BM_FlowPathIlp(benchmark::State& state) {
@@ -187,6 +196,9 @@ void run_cut_set(benchmark::State& state, const ilp::Options& base) {
   long cuts = 0;
   int budget = 0;
   bool proven = false;
+  long refactors = 0;
+  long updates = 0;
+  long warm_rows = 0;
   for (auto _ : state) {
     const auto result = core::find_minimum_cut_sets(array, 1, 8, true, base);
     if (!result.has_value()) {
@@ -198,6 +210,9 @@ void run_cut_set(benchmark::State& state, const ilp::Options& base) {
     cuts = result->ilp.cuts_added;
     budget = result->cut_budget;
     proven = result->proven_minimal;
+    refactors = result->ilp.lp_refactorizations;
+    updates = result->ilp.lp_basis_updates;
+    warm_rows = result->ilp.warm_cut_rows;
     benchmark::DoNotOptimize(result->cut_budget);
   }
   state.counters["nodes"] = static_cast<double>(nodes);
@@ -205,6 +220,9 @@ void run_cut_set(benchmark::State& state, const ilp::Options& base) {
   state.counters["cuts"] = static_cast<double>(cuts);
   state.counters["budget"] = static_cast<double>(budget);
   state.counters["proven"] = proven ? 1.0 : 0.0;
+  state.counters["refactors"] = static_cast<double>(refactors);
+  state.counters["updates"] = static_cast<double>(updates);
+  state.counters["warmrows"] = static_cast<double>(warm_rows);
 }
 
 void BM_CutSetIlp(benchmark::State& state) {

@@ -33,7 +33,12 @@ def load_benchmarks(path):
     for entry in data.get("benchmarks", []):
         if entry.get("run_type") == "aggregate":
             continue
-        benchmarks[entry["name"]] = entry
+        name = entry.get("name")
+        if name is None:
+            print(f"compare_bench: {path} has a benchmark entry without a "
+                  "'name' field; skipping it", file=sys.stderr)
+            continue
+        benchmarks[name] = entry
     return benchmarks
 
 
@@ -79,13 +84,26 @@ def main():
 
     excludes = [e.strip() for e in args.exclude.split(",") if e.strip()]
     regressions = []
+    missing = []
     rows = []
     for name in shared:
         excluded = any(e in name for e in excludes)
         for counter, mode in ([(c, "max") for c in counters] +
                               [(c, "min") for c in min_counters] +
                               [(c, "exact") for c in exact_counters]):
-            if counter not in baseline[name] or counter not in fresh[name]:
+            if counter not in baseline[name]:
+                # The baseline never recorded this counter for this bench
+                # (e.g. a gate list shared across bench binaries); nothing
+                # to compare against.
+                continue
+            if counter not in fresh[name]:
+                # The committed baseline gates this counter but the fresh
+                # run no longer emits it — a silent skip here would quietly
+                # disable the regression gate (seen after bench renames and
+                # counter refactors), so report it and fail.
+                missing.append((name, counter))
+                rows.append((name, counter, float(baseline[name][counter]),
+                             None, "n/a", "MISSING"))
                 continue
             base = float(baseline[name][counter])
             new = float(fresh[name][counter])
@@ -112,19 +130,34 @@ def main():
     print(f"{'benchmark':<{width}}  {'counter':<8} {'base':>12} "
           f"{'fresh':>12} {'delta':>8}  status")
     for name, counter, base, new, delta, status in rows:
-        print(f"{name:<{width}}  {counter:<8} {base:>12.0f} {new:>12.0f} "
-              f"{delta:>8}  {status}")
+        fresh_cell = "---" if new is None else f"{new:.0f}"
+        print(f"{name:<{width}}  {counter:<8} {base:>12.0f} "
+              f"{fresh_cell:>12} {delta:>8}  {status}")
     for name in only_baseline:
         print(f"note: {name} only in baseline (removed benchmark?)")
     for name in only_fresh:
         print(f"note: {name} only in fresh run (new benchmark)")
 
+    # Print every diagnostic before exiting, so one CI run surfaces both a
+    # dropped counter and an unrelated regression instead of two round
+    # trips.
+    if missing:
+        print(f"\ncompare_bench: {len(missing)} gated counter(s) present in "
+              f"{args.baseline} but absent from {args.fresh}:",
+              file=sys.stderr)
+        for name, counter in missing:
+            print(f"  {name}: counter '{counter}' missing from the fresh "
+                  "run (renamed bench or dropped counter? update the "
+                  "committed baseline or the gate list)", file=sys.stderr)
     if regressions:
         print(f"\ncompare_bench: {len(regressions)} counter regression(s) "
               f"beyond {args.threshold:.0%}:", file=sys.stderr)
         for name, counter, base, new in regressions:
             print(f"  {name} {counter}: {base:.0f} -> {new:.0f}",
                   file=sys.stderr)
+    if missing:
+        sys.exit(2)
+    if regressions:
         sys.exit(1)
     print(f"\ncompare_bench: no regressions across {len(shared)} shared "
           f"benchmarks ({', '.join(counters)})")

@@ -33,19 +33,25 @@ namespace fpva::core {
 struct IlpPathResult {
   std::vector<FlowPath> paths;
   ilp::Result ilp;       ///< solver diagnostics of the final (feasible) run
-  int path_budget = 0;   ///< the n_p that yielded feasibility
-  /// True when the budget is certified minimal: the final solve is proven
-  /// optimal AND every smaller tried budget was proven infeasible (rather
-  /// than abandoned on a node/time limit). False means the cover is valid
-  /// but carries no optimality certificate — downstream accounting must
-  /// not report it as the paper's minimum.
+  /// Number of paths actually used (== paths.size()). This can be smaller
+  /// than the escalation budget that yielded feasibility: the unpinned
+  /// objective minimizes used chains, so when a smaller budget's
+  /// refutation was abandoned on limits the larger model may still find
+  /// the smaller cover.
+  int path_budget = 0;
+  /// True when the budget is certified minimal — either every smaller
+  /// budget was proven infeasible and the final (pinned) solve is proven
+  /// optimal, or the final solve ran unpinned and its proven optimum
+  /// certifies the minimum by itself. False means the cover is valid but
+  /// carries no optimality certificate — downstream accounting must not
+  /// report it as the paper's minimum.
   bool proven_minimal = true;
 };
 
 struct IlpCutResult {
   std::vector<CutSet> cuts;
   ilp::Result ilp;
-  int cut_budget = 0;
+  int cut_budget = 0;          ///< cuts actually used; see path_budget
   bool proven_minimal = true;  ///< see IlpPathResult::proven_minimal
 };
 

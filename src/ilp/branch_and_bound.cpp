@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <set>
 #include <utility>
@@ -20,6 +21,10 @@ namespace fpva::ilp {
 namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
+/// Cut-and-branch caps: rows appended to the live basis over the whole
+/// tree, and per separation call, so node LPs stay small.
+constexpr long kMaxDepthCutRows = 200;
+constexpr long kMaxDepthCutsPerNode = 20;
 
 /// One bound change relative to the parent node.
 struct BoundDelta {
@@ -41,20 +46,212 @@ struct Node {
   bool branch_up = false;    ///< branched toward ceil (vs floor)
 };
 
+// ---------------------------------------------------------- cut separation
+
+/// LP value of a conflict-graph literal under the point `x`.
+double literal_value(int literal, const std::vector<double>& x) {
+  const double v = x[static_cast<std::size_t>(Lit::variable(literal))];
+  return Lit::positive(literal) ? v : 1.0 - v;
+}
+
+/// Builds the variable-space terms and rhs of `sum literals <=
+/// rhs_literals`: complemented literals contribute (1 - x), so each moves
+/// 1 to the rhs. Returns the rhs.
+double literal_row(const std::vector<int>& literals, int rhs_literals,
+                   std::vector<lp::Term>* terms) {
+  terms->clear();
+  terms->reserve(literals.size());
+  double rhs = static_cast<double>(rhs_literals);
+  for (const int literal : literals) {
+    if (Lit::positive(literal)) {
+      terms->push_back({Lit::variable(literal), 1.0});
+    } else {
+      terms->push_back({Lit::variable(literal), -1.0});
+      rhs -= 1.0;
+    }
+  }
+  return rhs;
+}
+
+/// One violated inequality found by a separation round.
+struct CandidateCut {
+  std::vector<int> literals;  ///< sorted
+  int rhs_literals = 1;       ///< 1 for cliques, |cover| - 1 for covers
+  double violation = 0.0;
+};
+
+/// Signature used to avoid re-adding a cut across rounds.
+std::vector<int> cut_signature(const CandidateCut& cut) {
+  std::vector<int> signature = cut.literals;
+  signature.push_back(cut.rhs_literals);
+  return signature;
+}
+
+/// Separates violated lifted (extended minimal) cover cuts from one
+/// normalized knapsack row under the fractional point `x`.
+void separate_covers(const std::vector<PackedTerm>& items, double rhs,
+                     const std::vector<double>& x,
+                     std::vector<CandidateCut>& out) {
+  double total = 0.0;
+  for (const PackedTerm& item : items) total += item.coefficient;
+  if (total <= rhs + 1e-9) return;  // no cover exists
+
+  // Greedy cover: most fractionally-loaded literals first.
+  std::vector<int> order(items.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double va = literal_value(items[static_cast<std::size_t>(a)].literal, x);
+    const double vb = literal_value(items[static_cast<std::size_t>(b)].literal, x);
+    if (va != vb) return va > vb;
+    return items[static_cast<std::size_t>(a)].literal <
+           items[static_cast<std::size_t>(b)].literal;
+  });
+  std::vector<char> in_cover(items.size(), 0);
+  double weight = 0.0;
+  for (const int i : order) {
+    if (weight > rhs + 1e-9) break;
+    in_cover[static_cast<std::size_t>(i)] = 1;
+    weight += items[static_cast<std::size_t>(i)].coefficient;
+  }
+  if (weight <= rhs + 1e-9) return;
+
+  // Minimalize: drop low-value members while the cover property survives
+  // (walk the greedy order backwards = ascending value).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto i = static_cast<std::size_t>(*it);
+    if (!in_cover[i]) continue;
+    if (weight - items[i].coefficient > rhs + 1e-9) {
+      in_cover[i] = 0;
+      weight -= items[i].coefficient;
+    }
+  }
+
+  CandidateCut cut;
+  double value_sum = 0.0;
+  double max_coefficient = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!in_cover[i]) continue;
+    cut.literals.push_back(items[i].literal);
+    value_sum += literal_value(items[i].literal, x);
+    max_coefficient = std::max(max_coefficient, items[i].coefficient);
+  }
+  cut.rhs_literals = static_cast<int>(cut.literals.size()) - 1;
+  if (cut.rhs_literals < 1) return;
+  cut.violation = value_sum - static_cast<double>(cut.rhs_literals);
+  if (cut.violation <= 1e-6) return;
+  // Extension (simple lifting): any item at least as heavy as every cover
+  // member joins with coefficient 1; the inequality stays valid for the
+  // minimal cover and only gains strength.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (in_cover[i]) continue;
+    if (items[i].coefficient >= max_coefficient - 1e-9) {
+      cut.literals.push_back(items[i].literal);
+      cut.violation += literal_value(items[i].literal, x);
+    }
+  }
+  std::sort(cut.literals.begin(), cut.literals.end());
+  out.push_back(std::move(cut));
+}
+
+/// Separation state shared by the root cutting loop and cut-and-branch at
+/// depth: the clique table, the normalized knapsack rows (original rows
+/// only — cuts never become separation sources), and the signatures of
+/// every cut already added, so a cut enters the model at most once over
+/// the whole solve. Cliques and knapsacks are built from root bounds, so
+/// every cut separated from them is globally valid no matter which node's
+/// fractional point exposed it.
+class CutSeparator {
+ public:
+  CutSeparator(const Model& model, const std::vector<double>& lower,
+               const std::vector<double>& upper,
+               const std::vector<std::pair<int, int>>& implications)
+      : table_(build_clique_table(model, lower, upper, implications)) {
+    std::vector<PackedTerm> items;
+    for (int i = 0; i < model.constraint_count(); ++i) {
+      const lp::Constraint& row = model.lp().constraint(i);
+      if (row.sense != lp::Sense::kLessEqual) continue;
+      double rhs = 0.0;
+      if (!normalize_packing_row(model, row.terms, row.rhs, lower, upper,
+                                 &items, &rhs)) {
+        continue;
+      }
+      if (rhs <= 1e-9 || items.size() < 2) continue;
+      knapsacks_.push_back(items);
+      knapsack_rhs_.push_back(rhs);
+    }
+  }
+
+  int clique_count() const { return static_cast<int>(table_.cliques.size()); }
+  bool empty() const { return table_.cliques.empty() && knapsacks_.empty(); }
+
+  /// Collects the most violated cuts under `x` that were not added before
+  /// (at most `max_cuts`), recording their signatures as added.
+  void separate(const std::vector<double>& x, int max_cuts,
+                std::vector<CandidateCut>* out) {
+    out->clear();
+    candidates_.clear();
+    for (const Clique& clique : table_.cliques) {
+      if (clique.materialized) continue;  // identical row already present
+      double value_sum = 0.0;
+      for (const int literal : clique.literals) {
+        value_sum += literal_value(literal, x);
+      }
+      if (value_sum <= 1.0 + 1e-6) continue;
+      CandidateCut cut;
+      cut.literals = clique.literals;
+      cut.rhs_literals = 1;
+      cut.violation = value_sum - 1.0;
+      candidates_.push_back(std::move(cut));
+    }
+    for (std::size_t k = 0; k < knapsacks_.size(); ++k) {
+      separate_covers(knapsacks_[k], knapsack_rhs_[k], x, candidates_);
+    }
+    std::sort(candidates_.begin(), candidates_.end(),
+              [](const CandidateCut& a, const CandidateCut& b) {
+                if (a.violation != b.violation) {
+                  return a.violation > b.violation;
+                }
+                if (a.literals != b.literals) return a.literals < b.literals;
+                return a.rhs_literals < b.rhs_literals;
+              });
+    for (CandidateCut& cut : candidates_) {
+      if (static_cast<int>(out->size()) >= max_cuts) break;
+      if (!added_.insert(cut_signature(cut)).second) continue;
+      out->push_back(std::move(cut));
+    }
+  }
+
+ private:
+  CliqueTable table_;
+  std::vector<std::vector<PackedTerm>> knapsacks_;
+  std::vector<double> knapsack_rhs_;
+  std::set<std::vector<int>> added_;
+  std::vector<CandidateCut> candidates_;
+};
+
 class Searcher {
  public:
   /// `shared_propagator` (optional) reuses a Propagator already built over
-  /// this exact model, e.g. by the root presolve.
+  /// this exact model, e.g. by the root presolve. `separator` (optional)
+  /// enables cut-and-branch: globally-valid cuts separated at shallow tree
+  /// nodes are appended to the live basis of the shared warm solver.
   Searcher(const Model& model, const Options& options,
-           const Propagator* shared_propagator, bool root_propagated)
+           const Propagator* shared_propagator, bool root_propagated,
+           CutSeparator* separator)
       : model_(model), options_(options) {
     if (options_.warm_start) {
-      solver_.emplace(model.lp(),
-                      lp::SolveOptions{options.lp_iteration_limit, 1e-7,
-                                       lp::Algorithm::kRevised,
-                                       options.devex_pricing
-                                           ? lp::Pricing::kDevex
-                                           : lp::Pricing::kDantzig});
+      lp::SolveOptions lp_options;
+      lp_options.max_iterations = options.lp_iteration_limit;
+      lp_options.algorithm = lp::Algorithm::kRevised;
+      lp_options.pricing = options.devex_pricing ? lp::Pricing::kDevex
+                                                 : lp::Pricing::kDantzig;
+      lp_options.factorization = options.lp_factorization;
+      solver_.emplace(model.lp(), lp_options);
+      if (separator != nullptr && options.cut_depth > 0 &&
+          options.warm_row_addition &&
+          options.lp_factorization == lp::Factorization::kForrestTomlin) {
+        separator_ = separator;
+      }
     }
     root_propagated_ = root_propagated;
     if (shared_propagator != nullptr) {
@@ -146,11 +343,10 @@ class Searcher {
         }
       }
 
-      const lp::Solution relaxation = solve_node_lp(node.lp_budget);
+      if (use_basis_stack()) prepare_basis(node);
+      lp::Solution relaxation = solve_node_lp(node.lp_budget);
       result.lp_pivots += relaxation.iterations;
-      if (relaxation.status == lp::SolveStatus::kInfeasible) {
-        continue;
-      }
+      if (use_basis_stack()) last_solved_path_ = node.path;
       if (relaxation.status == lp::SolveStatus::kIterationLimit) {
         if (node.retries < options_.max_lp_retries) {
           // Re-queue with a larger pivot budget; the subtree — and with it
@@ -168,12 +364,26 @@ class Searcher {
         bound_lost = true;
         continue;
       }
+      // Cut-and-branch: at shallow depths, separate globally-valid cuts
+      // from this node's fractional point and append them to the live
+      // basis — they tighten every LP solved for the rest of the search.
+      if (separator_ != nullptr && relaxation.status == lp::SolveStatus::kOptimal &&
+          node.depth <= options_.cut_depth &&
+          depth_cut_rows_ < kMaxDepthCutRows) {
+        relaxation = apply_depth_cuts(node, std::move(relaxation), result);
+      }
+      if (relaxation.status == lp::SolveStatus::kInfeasible) {
+        continue;
+      }
       const double raw_bound = relaxation.objective;
       update_pseudocost(node, raw_bound);
       const double bound = strengthen(raw_bound);
       if (bound >= prune_threshold(incumbent_objective)) {
         exhausted_bound = std::min(exhausted_bound, bound);
         continue;
+      }
+      if (use_basis_stack() && relaxation.status == lp::SolveStatus::kOptimal) {
+        maybe_push_snapshot(node);
       }
 
       // Rounding heuristic: snap integers to nearest and test feasibility.
@@ -248,6 +458,13 @@ class Searcher {
     }
 
     result.seconds = timer.seconds();
+    if (solver_.has_value()) {
+      result.lp_refactorizations = solver_->refactorizations();
+      result.lp_basis_updates = solver_->basis_updates();
+      result.warm_cut_rows = solver_->warm_rows_added();
+    }
+    result.basis_restores = basis_restores_;
+    result.cuts_at_depth = static_cast<int>(depth_cut_rows_);
     if (have_incumbent) {
       result.objective = incumbent_objective;
       result.values = std::move(incumbent);
@@ -269,6 +486,101 @@ class Searcher {
   }
 
  private:
+  /// One basis-stack checkpoint: the basis left behind by an ancestor
+  /// node, keyed by that ancestor's bound-delta path.
+  struct SavedBasis {
+    std::vector<BoundDelta> path;
+    lp::BasisSnapshot snapshot;
+  };
+
+  static bool delta_equal(const BoundDelta& a, const BoundDelta& b) {
+    return a.var == b.var && a.lower == b.lower && a.upper == b.upper;
+  }
+
+  static std::size_t shared_prefix(const std::vector<BoundDelta>& a,
+                                   const std::vector<BoundDelta>& b) {
+    std::size_t k = 0;
+    while (k < a.size() && k < b.size() && delta_equal(a[k], b[k])) ++k;
+    return k;
+  }
+
+  bool use_basis_stack() const {
+    return options_.basis_stack_depth > 0 && solver_.has_value();
+  }
+
+  /// Prunes checkpoints that are not ancestors of `node`, then decides
+  /// whether continuing from the live basis or restoring the deepest
+  /// ancestor checkpoint promises the shorter dual repair.
+  void prepare_basis(const Node& node) {
+    while (!basis_stack_.empty()) {
+      const SavedBasis& top = basis_stack_.back();
+      if (top.snapshot.rows == solver_->row_count() &&
+          top.path.size() <= node.path.size() &&
+          shared_prefix(top.path, node.path) == top.path.size()) {
+        break;
+      }
+      basis_stack_.pop_back();
+    }
+    if (basis_stack_.empty()) return;
+    const SavedBasis& top = basis_stack_.back();
+    const std::size_t shared = shared_prefix(last_solved_path_, node.path);
+    const std::size_t jump = last_solved_path_.size() - shared;
+    // A restore costs one refactorization; it pays off only after a real
+    // backtrack jump, and only when the checkpoint sits at least as deep
+    // as the divergence point (otherwise the live basis is closer).
+    constexpr std::size_t kRestoreJump = 4;
+    if (solver_->has_basis() &&
+        (jump < kRestoreJump || top.path.size() < shared)) {
+      return;
+    }
+    if (solver_->restore_basis(top.snapshot)) ++basis_restores_;
+  }
+
+  /// Saves the current (optimal) basis as a checkpoint for `node` when it
+  /// is shallow enough. prepare_basis() guarantees every stacked entry is
+  /// an ancestor of the node being processed, so pushing keeps nesting.
+  void maybe_push_snapshot(const Node& node) {
+    if (node.depth > options_.basis_stack_depth) return;
+    if (!solver_->has_basis()) return;
+    if (!basis_stack_.empty() &&
+        basis_stack_.back().path.size() >= node.path.size()) {
+      return;  // budget retry of the same node: checkpoint already taken
+    }
+    basis_stack_.push_back({node.path, solver_->snapshot_basis()});
+  }
+
+  /// Cut-and-branch separation rounds at a shallow node: append the
+  /// violated globally-valid cuts to the live basis and reoptimize. The
+  /// returned relaxation is the (tighter) final one; an infeasible
+  /// re-solve proves the node infeasible because every appended row is
+  /// valid for the full integer model.
+  lp::Solution apply_depth_cuts(const Node& node, lp::Solution relaxation,
+                                Result& result) {
+    std::vector<CandidateCut> cuts;
+    std::vector<lp::Term> terms;
+    for (int round = 0; round < 2; ++round) {
+      if (relaxation.status != lp::SolveStatus::kOptimal) break;
+      if (depth_cut_rows_ >= kMaxDepthCutRows) break;
+      const int budget = static_cast<int>(
+          std::min<long>(kMaxDepthCutsPerNode,
+                         kMaxDepthCutRows - depth_cut_rows_));
+      separator_->separate(relaxation.values, budget, &cuts);
+      if (cuts.empty()) break;
+      basis_stack_.clear();  // checkpoints pin the previous row count
+      for (const CandidateCut& cut : cuts) {
+        const double rhs = literal_row(cut.literals, cut.rhs_literals,
+                                       &terms);
+        solver_->add_row(terms, lp::Sense::kLessEqual, rhs);
+      }
+      depth_cut_rows_ += static_cast<long>(cuts.size());
+      lp::Solution tightened = solve_node_lp(node.lp_budget);
+      result.lp_pivots += tightened.iterations;
+      if (tightened.status == lp::SolveStatus::kIterationLimit) break;
+      relaxation = std::move(tightened);
+    }
+    return relaxation;
+  }
+
   /// Rebuilds cur_lower_/cur_upper_ for `node`: root bounds with the node's
   /// delta chain applied (later deltas win, matching the dive order).
   void apply_path(const Node& node) {
@@ -312,6 +624,7 @@ class Searcher {
                                                : options_.lp_algorithm;
     lp_options.pricing = options_.devex_pricing ? lp::Pricing::kDevex
                                                 : lp::Pricing::kDantzig;
+    lp_options.factorization = options_.lp_factorization;
     return lp::solve(*lp_copy_, lp_options);
   }
 
@@ -434,6 +747,11 @@ class Searcher {
   std::vector<double> rounded_;  ///< rounding-heuristic scratch
 
   bool root_propagated_ = false;  ///< presolve already swept the root
+  CutSeparator* separator_ = nullptr;  ///< non-null => cut-and-branch on
+  std::vector<SavedBasis> basis_stack_;
+  std::vector<BoundDelta> last_solved_path_;
+  long basis_restores_ = 0;
+  long depth_cut_rows_ = 0;
   std::vector<char> integer_;  ///< cached integrality mask
   std::vector<double> root_lower_, root_upper_;
   std::vector<double> cur_lower_, cur_upper_;  ///< this node's bounds
@@ -443,116 +761,14 @@ class Searcher {
 
 Result solve_without_presolve(const Model& model, const Options& options,
                               const Propagator* shared_propagator = nullptr,
-                              bool root_propagated = false) {
-  Searcher searcher(model, options, shared_propagator, root_propagated);
+                              bool root_propagated = false,
+                              CutSeparator* separator = nullptr) {
+  Searcher searcher(model, options, shared_propagator, root_propagated,
+                    separator);
   return searcher.run();
 }
 
 // ------------------------------------------------------------ root cut stage
-
-/// LP value of a conflict-graph literal under the point `x`.
-double literal_value(int literal, const std::vector<double>& x) {
-  const double v = x[static_cast<std::size_t>(Lit::variable(literal))];
-  return Lit::positive(literal) ? v : 1.0 - v;
-}
-
-/// Adds `sum literals <= rhs_literals` to `model` in variable space:
-/// complemented literals contribute (1 - x), so each moves 1 to the rhs.
-void add_literal_row(Model& model, const std::vector<int>& literals,
-                     int rhs_literals) {
-  std::vector<lp::Term> terms;
-  terms.reserve(literals.size());
-  double rhs = static_cast<double>(rhs_literals);
-  for (const int literal : literals) {
-    if (Lit::positive(literal)) {
-      terms.push_back({Lit::variable(literal), 1.0});
-    } else {
-      terms.push_back({Lit::variable(literal), -1.0});
-      rhs -= 1.0;
-    }
-  }
-  model.add_constraint(std::move(terms), lp::Sense::kLessEqual, rhs);
-}
-
-/// One violated inequality found by a separation round.
-struct CandidateCut {
-  std::vector<int> literals;  ///< sorted
-  int rhs_literals = 1;       ///< 1 for cliques, |cover| - 1 for covers
-  double violation = 0.0;
-};
-
-/// Signature used to avoid re-adding a cut across rounds.
-std::vector<int> cut_signature(const CandidateCut& cut) {
-  std::vector<int> signature = cut.literals;
-  signature.push_back(cut.rhs_literals);
-  return signature;
-}
-
-/// Separates violated lifted (extended minimal) cover cuts from one
-/// normalized knapsack row under the fractional point `x`.
-void separate_covers(const std::vector<PackedTerm>& items, double rhs,
-                     const std::vector<double>& x,
-                     std::vector<CandidateCut>& out) {
-  double total = 0.0;
-  for (const PackedTerm& item : items) total += item.coefficient;
-  if (total <= rhs + 1e-9) return;  // no cover exists
-
-  // Greedy cover: most fractionally-loaded literals first.
-  std::vector<int> order(items.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    const double va = literal_value(items[static_cast<std::size_t>(a)].literal, x);
-    const double vb = literal_value(items[static_cast<std::size_t>(b)].literal, x);
-    if (va != vb) return va > vb;
-    return items[static_cast<std::size_t>(a)].literal <
-           items[static_cast<std::size_t>(b)].literal;
-  });
-  std::vector<char> in_cover(items.size(), 0);
-  double weight = 0.0;
-  for (const int i : order) {
-    if (weight > rhs + 1e-9) break;
-    in_cover[static_cast<std::size_t>(i)] = 1;
-    weight += items[static_cast<std::size_t>(i)].coefficient;
-  }
-  if (weight <= rhs + 1e-9) return;
-
-  // Minimalize: drop low-value members while the cover property survives
-  // (walk the greedy order backwards = ascending value).
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const auto i = static_cast<std::size_t>(*it);
-    if (!in_cover[i]) continue;
-    if (weight - items[i].coefficient > rhs + 1e-9) {
-      in_cover[i] = 0;
-      weight -= items[i].coefficient;
-    }
-  }
-
-  CandidateCut cut;
-  double value_sum = 0.0;
-  double max_coefficient = 0.0;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!in_cover[i]) continue;
-    cut.literals.push_back(items[i].literal);
-    value_sum += literal_value(items[i].literal, x);
-    max_coefficient = std::max(max_coefficient, items[i].coefficient);
-  }
-  cut.rhs_literals = static_cast<int>(cut.literals.size()) - 1;
-  if (cut.rhs_literals < 1) return;
-  cut.violation = value_sum - static_cast<double>(cut.rhs_literals);
-  if (cut.violation <= 1e-6) return;
-  // Extension (simple lifting): any item at least as heavy as every cover
-  // member joins with coefficient 1; the inequality stays valid for the
-  // minimal cover and only gains strength.
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (in_cover[i]) continue;
-    if (items[i].coefficient >= max_coefficient - 1e-9) {
-      cut.literals.push_back(items[i].literal);
-      cut.violation += literal_value(items[i].literal, x);
-    }
-  }
-  std::sort(cut.literals.begin(), cut.literals.end());
-  out.push_back(std::move(cut));
-}
 
 /// Result of the root strengthening stage.
 struct RootStage {
@@ -563,13 +779,22 @@ struct RootStage {
   int cliques = 0;
   int cuts_added = 0;
   int cut_rounds = 0;
+  long lp_refactorizations = 0;
+  long lp_basis_updates = 0;
+  long warm_cut_rows = 0;
+  /// Kept alive for cut-and-branch at depth (shares the added-cut
+  /// signatures with the root loop). Null when separation has nothing to
+  /// work with.
+  std::unique_ptr<CutSeparator> separator;
 };
 
 /// Probing, clique-table construction, and the root cutting loop over
-/// `base`. The cut LPs re-solve from a fresh dual-crash basis each round
-/// (the revised engine cannot grow rows in place), which is cheap at root
-/// sizes; everything else about the loop matches the classic
-/// separate/re-solve scheme.
+/// `base`. With warm_row_addition (and the Forrest-Tomlin factorization)
+/// the cut LP keeps one factorized basis across rounds: each kept cut is
+/// appended to the live basis — its slack enters the basis — and the next
+/// round's reoptimize() repairs primal feasibility with a few dual pivots
+/// instead of re-crashing from scratch. The eta-oracle configuration keeps
+/// the original cold re-solve per round.
 RootStage run_root_stage(const Model& base, const Options& options,
                          const common::Timer& timer) {
   RootStage stage;
@@ -602,78 +827,66 @@ RootStage run_root_stage(const Model& base, const Options& options,
   }
   if (!options.clique_cuts) return stage;
 
-  const CliqueTable table =
-      build_clique_table(stage.model, lower, upper, implications);
-  stage.cliques = static_cast<int>(table.cliques.size());
-
-  // Knapsack-shaped rows for cover separation (original rows only; cuts
-  // added below never become separation sources themselves).
-  std::vector<std::vector<PackedTerm>> knapsacks;
-  std::vector<double> knapsack_rhs;
-  std::vector<PackedTerm> items;
-  for (int i = 0; i < stage.model.constraint_count(); ++i) {
-    const lp::Constraint& row = stage.model.lp().constraint(i);
-    if (row.sense != lp::Sense::kLessEqual) continue;
-    double rhs = 0.0;
-    if (!normalize_packing_row(stage.model, row.terms, row.rhs, lower, upper,
-                               &items, &rhs)) {
-      continue;
-    }
-    if (rhs <= 1e-9 || items.size() < 2) continue;
-    knapsacks.push_back(items);
-    knapsack_rhs.push_back(rhs);
+  stage.separator = std::make_unique<CutSeparator>(stage.model, lower, upper,
+                                                   implications);
+  stage.cliques = stage.separator->clique_count();
+  if (stage.separator->empty()) {
+    stage.separator.reset();
+    return stage;
   }
-
-  if (table.cliques.empty() && knapsacks.empty()) return stage;
 
   lp::SolveOptions lp_options;
   lp_options.max_iterations = options.lp_iteration_limit;
   lp_options.pricing = options.devex_pricing ? lp::Pricing::kDevex
                                              : lp::Pricing::kDantzig;
-  std::set<std::vector<int>> added;
-  std::vector<CandidateCut> candidates;
+  lp_options.factorization = options.lp_factorization;
+  const bool warm =
+      options.warm_row_addition &&
+      options.lp_factorization == lp::Factorization::kForrestTomlin;
+  std::optional<lp::RevisedSimplex> warm_solver;
+  if (warm) warm_solver.emplace(stage.model.lp(), lp_options);
+
+  std::vector<CandidateCut> cuts;
+  std::vector<lp::Term> terms;
   for (int round = 0; round < options.max_cut_rounds; ++round) {
     if (timer.seconds() > options.time_limit_seconds * 0.5) break;
-    const lp::Solution relaxation = lp::solve(stage.model.lp(), lp_options);
+    lp::Solution relaxation;
+    if (warm_solver.has_value()) {
+      relaxation = round == 0 ? warm_solver->solve_cold()
+                              : warm_solver->reoptimize();
+      if (warm_solver->numerical_trouble()) {
+        // Fall back to the cold path for the rest of the loop.
+        stage.lp_refactorizations += warm_solver->refactorizations();
+        stage.lp_basis_updates += warm_solver->basis_updates();
+        stage.warm_cut_rows += warm_solver->warm_rows_added();
+        warm_solver.reset();
+        relaxation = lp::solve(stage.model.lp(), lp_options);
+      }
+    } else {
+      relaxation = lp::solve(stage.model.lp(), lp_options);
+    }
     if (relaxation.status != lp::SolveStatus::kOptimal) break;
 
-    candidates.clear();
-    for (const Clique& clique : table.cliques) {
-      if (clique.materialized) continue;  // identical row already present
-      double value_sum = 0.0;
-      for (const int literal : clique.literals) {
-        value_sum += literal_value(literal, relaxation.values);
+    stage.separator->separate(relaxation.values, options.max_cuts_per_round,
+                              &cuts);
+    if (cuts.empty()) break;
+    for (const CandidateCut& cut : cuts) {
+      const double rhs = literal_row(cut.literals, cut.rhs_literals, &terms);
+      if (warm_solver.has_value()) {
+        warm_solver->add_row(terms, lp::Sense::kLessEqual, rhs);
       }
-      if (value_sum <= 1.0 + 1e-6) continue;
-      CandidateCut cut;
-      cut.literals = clique.literals;
-      cut.rhs_literals = 1;
-      cut.violation = value_sum - 1.0;
-      candidates.push_back(std::move(cut));
+      stage.model.add_constraint(std::move(terms), lp::Sense::kLessEqual,
+                                 rhs);
+      terms.clear();
     }
-    for (std::size_t k = 0; k < knapsacks.size(); ++k) {
-      separate_covers(knapsacks[k], knapsack_rhs[k], relaxation.values,
-                      candidates);
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const CandidateCut& a, const CandidateCut& b) {
-                if (a.violation != b.violation) {
-                  return a.violation > b.violation;
-                }
-                if (a.literals != b.literals) return a.literals < b.literals;
-                return a.rhs_literals < b.rhs_literals;
-              });
-    int taken = 0;
-    for (const CandidateCut& cut : candidates) {
-      if (taken >= options.max_cuts_per_round) break;
-      if (!added.insert(cut_signature(cut)).second) continue;
-      add_literal_row(stage.model, cut.literals, cut.rhs_literals);
-      ++taken;
-    }
-    if (taken == 0) break;
-    stage.cuts_added += taken;
+    stage.cuts_added += static_cast<int>(cuts.size());
     ++stage.cut_rounds;
     stage.changed = true;
+  }
+  if (warm_solver.has_value()) {
+    stage.lp_refactorizations += warm_solver->refactorizations();
+    stage.lp_basis_updates += warm_solver->basis_updates();
+    stage.warm_cut_rows += warm_solver->warm_rows_added();
   }
   return stage;
 }
@@ -688,11 +901,15 @@ Options legacy_solver_options() {
   options.pseudocost_branching = false;
   options.branching = Branching::kMostFractional;
   options.lp_algorithm = lp::Algorithm::kDenseTableau;
+  options.lp_factorization = lp::Factorization::kEta;
   options.devex_pricing = false;
   options.probing = false;
   options.clique_cuts = false;
   options.orbit_symmetry_rows = false;
   options.budget_floor_rows = false;
+  options.warm_row_addition = false;
+  options.basis_stack_depth = 0;
+  options.cut_depth = 0;
   return options;
 }
 
@@ -762,20 +979,30 @@ Result solve(const Model& model, const Options& options) {
   }
   const Propagator* shared =
       root_propagated && working == &model ? &*root_propagator : nullptr;
+  CutSeparator* separator =
+      stage.has_value() ? stage->separator.get() : nullptr;
   Result searched = solve_without_presolve(*working, inner, shared,
-                                           root_propagated);
+                                           root_propagated, separator);
 
   Result result;
   result.status = searched.status;
   result.nodes = searched.nodes;
   result.lp_pivots = searched.lp_pivots;
   result.nodes_pruned_by_propagation = searched.nodes_pruned_by_propagation;
+  result.lp_refactorizations = searched.lp_refactorizations;
+  result.lp_basis_updates = searched.lp_basis_updates;
+  result.warm_cut_rows = searched.warm_cut_rows;
+  result.basis_restores = searched.basis_restores;
+  result.cuts_at_depth = searched.cuts_at_depth;
   if (pres.has_value()) result.presolve_stats = pres->stats;
   if (stage.has_value()) {
     result.probe_stats = stage->probe_stats;
     result.cliques = stage->cliques;
     result.cuts_added = stage->cuts_added;
     result.cut_rounds = stage->cut_rounds;
+    result.lp_refactorizations += stage->lp_refactorizations;
+    result.lp_basis_updates += stage->lp_basis_updates;
+    result.warm_cut_rows += stage->warm_cut_rows;
   }
   if (identity) {
     result.objective = searched.objective;

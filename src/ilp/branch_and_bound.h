@@ -72,6 +72,28 @@ struct Options {
   int max_lp_retries = 3;
   /// LP engine used when warm_start is off (and for differential oracles).
   lp::Algorithm lp_algorithm = lp::Algorithm::kRevised;
+  /// Basis factorization of every revised-simplex solve (node LPs and cut
+  /// LPs): Forrest-Tomlin LU by default, the product-form eta file as the
+  /// PR-2/PR-3 differential oracle.
+  lp::Factorization lp_factorization = lp::Factorization::kForrestTomlin;
+  /// Root cutting loop appends cut rows to the live factorized basis (the
+  /// cut's slack enters the basis, dual pivots repair feasibility) instead
+  /// of re-crashing the LP from scratch every separation round. Requires
+  /// the Forrest-Tomlin factorization; ignored under the eta oracle.
+  bool warm_row_addition = true;
+  /// Keep basis checkpoints for nodes at depth <= this and restore the
+  /// nearest ancestor checkpoint after a backtrack jump, instead of dual-
+  /// repairing the warm basis across two unrelated subtrees. 0 disables.
+  int basis_stack_depth = 12;
+  /// Separate globally-valid clique/cover cuts at tree nodes of depth <=
+  /// cut_depth and append them to the live basis (cut-and-branch). The
+  /// rows strengthen every later node LP; feasibility checks and
+  /// propagation keep using the original rows. 0 disables. Requires
+  /// warm_start + warm_row_addition + clique_cuts. Off by default: on the
+  /// paper's cut-set models the in-tree cuts perturb the input-order dives
+  /// enough to grow the tree (measured 3-6x on 5x5) — the switch exists
+  /// for A/B runs and for models where the tree is bound-limited.
+  int cut_depth = 0;
 
   /// Devex reference-framework pricing in the revised simplex (node LPs and
   /// root cut LPs); off = Dantzig, the PR-2 behavior.
@@ -83,7 +105,10 @@ struct Options {
   /// graph) and lifted cover cuts (from knapsack-shaped rows), re-solving
   /// the LP between rounds.
   bool clique_cuts = true;
-  int max_cut_rounds = 8;       ///< separation rounds at the root
+  /// Separation rounds at the root. Warm row addition made extra rounds
+  /// nearly free (the loop stops early once separation dries up), so the
+  /// cap is generous.
+  int max_cut_rounds = 16;
   int max_cuts_per_round = 200; ///< most-violated cuts kept per round
   /// Full orbit-based lexicographic ordering rows instead of the single
   /// p-ordering row. Read by core/ilp_models when it builds the cut-set
@@ -112,6 +137,11 @@ struct Result {
   int cliques = 0;                   ///< conflict-graph cliques tabled
   int cuts_added = 0;                ///< clique + cover cuts kept at the root
   int cut_rounds = 0;                ///< separation rounds that added cuts
+  long lp_refactorizations = 0;      ///< basis factorizations built
+  long lp_basis_updates = 0;         ///< Forrest-Tomlin column updates
+  long warm_cut_rows = 0;            ///< cut rows appended to a live basis
+  long basis_restores = 0;           ///< basis-stack checkpoint restores
+  int cuts_at_depth = 0;             ///< cut-and-branch rows added in-tree
 };
 
 /// The pre-PR-2 configuration: dense-tableau cold start per node, pure

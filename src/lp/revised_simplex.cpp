@@ -23,6 +23,10 @@ constexpr double kDevexReset = 1e8;
 
 RevisedSimplex::RevisedSimplex(const Model& model, SolveOptions options)
     : options_(options) {
+  LuFactorization::Options lu_options;
+  lu_options.max_updates = options_.refactor_update_limit;
+  lu_options.fill_ratio = options_.refactor_fill_ratio;
+  lu_ = LuFactorization(lu_options);
   n_ = model.variable_count();
   m_ = model.constraint_count();
   first_artificial_ = n_ + m_;
@@ -212,6 +216,175 @@ double RevisedSimplex::upper_bound(int variable) const {
   return upper_[static_cast<std::size_t>(variable)];
 }
 
+void RevisedSimplex::rebuild_csc() {
+  const auto total_nnz = row_col_.size();
+  col_start_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::size_t k = 0; k < total_nnz; ++k) {
+    ++col_start_[static_cast<std::size_t>(row_col_[k]) + 1];
+  }
+  for (int j = 0; j < n_; ++j) {
+    col_start_[static_cast<std::size_t>(j) + 1] +=
+        col_start_[static_cast<std::size_t>(j)];
+  }
+  row_index_.resize(total_nnz);
+  coeff_.resize(total_nnz);
+  std::vector<int> fill = col_start_;
+  for (int i = 0; i < m_; ++i) {
+    for (int k = row_start_[static_cast<std::size_t>(i)];
+         k < row_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int slot = fill[static_cast<std::size_t>(
+          row_col_[static_cast<std::size_t>(k)])]++;
+      row_index_[static_cast<std::size_t>(slot)] = i;
+      coeff_[static_cast<std::size_t>(slot)] =
+          row_coeff_[static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+void RevisedSimplex::add_row(const std::vector<Term>& terms, Sense sense,
+                             double rhs) {
+  std::vector<Term> merged;
+  merged.reserve(terms.size());
+  for (const Term& term : terms) {
+    common::check(term.variable >= 0 && term.variable < n_,
+                  "RevisedSimplex::add_row: variable out of range");
+    bool found = false;
+    for (Term& existing : merged) {
+      if (existing.variable == term.variable) {
+        existing.coefficient += term.coefficient;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(term);
+  }
+
+  // The new slack slot is spliced in right after the existing slacks, so
+  // the artificial block shifts up by one; basis references follow.
+  const int new_slack = n_ + m_;
+  double slack_lower = 0.0, slack_upper = 0.0;
+  switch (sense) {
+    case Sense::kLessEqual:
+      slack_lower = 0.0;
+      slack_upper = kInf;
+      break;
+    case Sense::kGreaterEqual:
+      slack_lower = -kInf;
+      slack_upper = 0.0;
+      break;
+    case Sense::kEqual:
+      slack_lower = 0.0;
+      slack_upper = 0.0;
+      break;
+  }
+  const auto insert_at = static_cast<std::ptrdiff_t>(first_artificial_);
+  lower_.insert(lower_.begin() + insert_at, slack_lower);
+  upper_.insert(upper_.begin() + insert_at, slack_upper);
+  x_.insert(x_.begin() + insert_at, 0.0);
+  cost_.insert(cost_.begin() + insert_at, 0.0);
+  state_.insert(state_.begin() + insert_at, VarState::kBasic);
+  // New artificial, fixed at zero until a cold two-phase start opens it.
+  lower_.push_back(0.0);
+  upper_.push_back(0.0);
+  x_.push_back(0.0);
+  cost_.push_back(0.0);
+  state_.push_back(VarState::kAtLower);
+  for (int& basic : basis_) {
+    if (basic >= first_artificial_) ++basic;
+  }
+  first_artificial_ += 1;
+  total_ += 2;
+
+  rhs_.push_back(rhs);
+  sense_.push_back(sense);
+  artificial_sign_.push_back(1.0);
+  for (const Term& term : merged) {
+    row_col_.push_back(term.variable);
+    row_coeff_.push_back(term.coefficient);
+  }
+  row_start_.push_back(static_cast<int>(row_col_.size()));
+  m_ += 1;
+  // The CSC mirror and the scratch sizes are refreshed once per batch of
+  // appended rows (flush_row_additions at the next solve entry), not per
+  // row — the cutting loop appends up to max_cuts_per_round rows between
+  // solves. Nothing below needs them: the live-basis extension works off
+  // the merged terms and basis_ alone.
+  rows_dirty_ = true;
+
+  basis_.push_back(new_slack);
+  values_dirty_ = true;
+
+  if (basis_valid_ && lu() && lu_.valid()) {
+    // Extend the live factorization: gather the new row's coefficients on
+    // the basic columns by basis position and append the unit pivot.
+    std::vector<int> var_position(static_cast<std::size_t>(n_), -1);
+    for (int p = 0; p < m_ - 1; ++p) {
+      const int basic = basis_[static_cast<std::size_t>(p)];
+      if (basic < n_) var_position[static_cast<std::size_t>(basic)] = p;
+    }
+    std::vector<int> positions;
+    std::vector<double> values;
+    for (const Term& term : merged) {
+      const int p = var_position[static_cast<std::size_t>(term.variable)];
+      if (p >= 0) {
+        positions.push_back(p);
+        values.push_back(term.coefficient);
+      }
+    }
+    if (lu_.add_row(positions, values)) {
+      ++warm_rows_added_;
+    } else {
+      basis_valid_ = false;
+    }
+  } else {
+    // Eta oracle (or no live factorization): the next solve cold-starts.
+    basis_valid_ = false;
+  }
+}
+
+void RevisedSimplex::flush_row_additions() {
+  if (!rows_dirty_) return;
+  rebuild_csc();
+  work_.assign(static_cast<std::size_t>(m_), 0.0);
+  work2_.assign(static_cast<std::size_t>(m_), 0.0);
+  alpha_row_.assign(static_cast<std::size_t>(total_), 0.0);
+  alpha_touched_.assign(static_cast<std::size_t>(total_), 0);
+  alpha_cols_.clear();
+  rows_dirty_ = false;
+}
+
+BasisSnapshot RevisedSimplex::snapshot_basis() const {
+  BasisSnapshot snapshot;
+  snapshot.rows = m_;
+  snapshot.basis = basis_;
+  snapshot.state.resize(state_.size());
+  for (std::size_t j = 0; j < state_.size(); ++j) {
+    snapshot.state[j] = static_cast<std::uint8_t>(state_[j]);
+  }
+  return snapshot;
+}
+
+bool RevisedSimplex::restore_basis(const BasisSnapshot& snapshot) {
+  flush_row_additions();
+  if (snapshot.rows != m_ ||
+      snapshot.basis.size() != static_cast<std::size_t>(m_) ||
+      snapshot.state.size() != static_cast<std::size_t>(total_)) {
+    return false;
+  }
+  basis_ = snapshot.basis;
+  for (std::size_t j = 0; j < snapshot.state.size(); ++j) {
+    state_[j] = static_cast<VarState>(snapshot.state[j]);
+    if (state_[j] == VarState::kAtLower) {
+      x_[j] = lower_[j];
+    } else if (state_[j] == VarState::kAtUpper) {
+      x_[j] = upper_[j];
+    }
+  }
+  values_dirty_ = true;
+  basis_valid_ = refactorize();
+  return basis_valid_;
+}
+
 // ---------------------------------------------------------------- factorize
 
 void RevisedSimplex::append_eta(int pivot_row,
@@ -234,6 +407,10 @@ void RevisedSimplex::append_eta(int pivot_row,
 }
 
 void RevisedSimplex::ftran(std::vector<double>& dense) const {
+  if (lu() && lu_.valid()) {
+    lu_.ftran(dense);
+    return;
+  }
   for (const Eta& eta : etas_) {
     const double t = dense[static_cast<std::size_t>(eta.pivot_row)];
     if (t == 0.0) continue;
@@ -246,7 +423,19 @@ void RevisedSimplex::ftran(std::vector<double>& dense) const {
   }
 }
 
+void RevisedSimplex::ftran_entering(std::vector<double>& dense) const {
+  if (lu() && lu_.valid()) {
+    lu_.ftran(dense, /*save_spike=*/true);
+    return;
+  }
+  ftran(dense);
+}
+
 void RevisedSimplex::btran(std::vector<double>& dense) const {
+  if (lu() && lu_.valid()) {
+    lu_.btran(dense);
+    return;
+  }
   for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
     const Eta& eta = *it;
     double s = eta.pivot_value * dense[static_cast<std::size_t>(eta.pivot_row)];
@@ -260,6 +449,80 @@ void RevisedSimplex::btran(std::vector<double>& dense) const {
 }
 
 bool RevisedSimplex::refactorize() {
+  ++refactorizations_;
+  return lu() ? refactorize_lu() : refactorize_eta();
+}
+
+/// Gathers the basis columns into a CSC scratch and hands them to the
+/// Markowitz/Forrest-Tomlin engine. Does not permute basis_ (the LU keeps
+/// its pivot ordering internal).
+bool RevisedSimplex::refactorize_lu() {
+  lu_col_rows_.clear();
+  lu_col_vals_.clear();
+  lu_col_start_.clear();
+  lu_col_start_.push_back(0);
+  for (int i = 0; i < m_; ++i) {
+    const int var = basis_[static_cast<std::size_t>(i)];
+    if (var < n_) {
+      for (int k = col_start_[static_cast<std::size_t>(var)];
+           k < col_start_[static_cast<std::size_t>(var) + 1]; ++k) {
+        lu_col_rows_.push_back(row_index_[static_cast<std::size_t>(k)]);
+        lu_col_vals_.push_back(coeff_[static_cast<std::size_t>(k)]);
+      }
+    } else if (var < first_artificial_) {
+      lu_col_rows_.push_back(var - n_);
+      lu_col_vals_.push_back(1.0);
+    } else {
+      const int row = var - first_artificial_;
+      lu_col_rows_.push_back(row);
+      lu_col_vals_.push_back(artificial_sign_[static_cast<std::size_t>(row)]);
+    }
+    lu_col_start_.push_back(static_cast<int>(lu_col_rows_.size()));
+  }
+  std::vector<BasisColumn> columns(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    const int start = lu_col_start_[is];
+    columns[is] = {lu_col_rows_.data() + start, lu_col_vals_.data() + start,
+                   lu_col_start_[is + 1] - start};
+  }
+  etas_.clear();
+  eta_index_.clear();
+  eta_value_.clear();
+  factor_etas_ = 0;
+  values_dirty_ = true;
+  return lu_.factorize(m_, columns);
+}
+
+bool RevisedSimplex::factor_is_stale() const {
+  if (lu()) return !lu_.valid() || lu_.updates_since_factor() > 0;
+  return static_cast<int>(etas_.size()) > factor_etas_;
+}
+
+bool RevisedSimplex::factor_needs_refresh() const {
+  if (lu()) return lu_.needs_refactor();
+  return static_cast<int>(etas_.size()) - factor_etas_ >= kRefactorInterval;
+}
+
+bool RevisedSimplex::factor_update(int pivot_row, double pivot_value,
+                                   const std::vector<double>& alpha,
+                                   const std::vector<int>& alpha_pattern) {
+  factor_rebuilt_ = false;
+  if (!lu()) {
+    append_eta(pivot_row, alpha, alpha_pattern);
+    return true;
+  }
+  if (lu_.valid() && lu_.update(pivot_row, pivot_value)) {
+    ++basis_updates_;
+    if (!lu_.needs_refactor()) return true;
+  }
+  // Unstable/singular update or the fill policy fired: basis_ already
+  // reflects the pivot, so a fresh factorization replaces the update.
+  factor_rebuilt_ = true;
+  return refactorize();
+}
+
+bool RevisedSimplex::refactorize_eta() {
   etas_.clear();
   eta_index_.clear();
   eta_value_.clear();
@@ -641,7 +904,7 @@ bool RevisedSimplex::primal_iterate(long budget, Solution& result) {
     const bool bland = consecutive_degenerate > bland_threshold;
 
     load_column(entering, alpha, pattern);
-    ftran(alpha);
+    ftran_entering(alpha);
     pattern.clear();
     for (int i = 0; i < m_; ++i) {
       if (alpha[static_cast<std::size_t>(i)] != 0.0) pattern.push_back(i);
@@ -710,8 +973,7 @@ bool RevisedSimplex::primal_iterate(long budget, Solution& result) {
     }
 
     const double pivot_value = alpha[static_cast<std::size_t>(leaving_row)];
-    if (std::abs(pivot_value) <= kWeakPivot &&
-        static_cast<int>(etas_.size()) > factor_etas_) {
+    if (std::abs(pivot_value) <= kWeakPivot && factor_is_stale()) {
       // Weak pivot on a stale factorization: refactorize and retry the
       // whole iteration with fresh numerics.
       for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
@@ -759,9 +1021,16 @@ bool RevisedSimplex::primal_iterate(long budget, Solution& result) {
     }
     state_[q] = VarState::kBasic;
     basis_[static_cast<std::size_t>(leaving_row)] = entering;
-    append_eta(leaving_row, alpha, pattern);
+    const bool factor_ok = factor_update(leaving_row, pivot_value, alpha,
+                                         pattern);
     for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
     pattern.clear();
+    if (!factor_ok) {
+      numerics_failed_ = true;
+      result.status = SolveStatus::kIterationLimit;
+      result.iterations = iterations_;
+      return false;
+    }
 
     ++iterations_;
     ++total_iterations_;
@@ -770,7 +1039,7 @@ bool RevisedSimplex::primal_iterate(long budget, Solution& result) {
     } else {
       consecutive_degenerate = 0;
     }
-    if (static_cast<int>(etas_.size()) - factor_etas_ >= kRefactorInterval) {
+    if (!factor_rebuilt_ && factor_needs_refresh()) {
       if (!refactorize()) {
         numerics_failed_ = true;
         result.status = SolveStatus::kIterationLimit;
@@ -953,7 +1222,7 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
     const std::size_t flip_count = bland ? 0 : pick;
 
     load_column(entering, alpha, pattern);
-    ftran(alpha);
+    ftran_entering(alpha);
     pattern.clear();
     for (int i = 0; i < m_; ++i) {
       if (alpha[static_cast<std::size_t>(i)] != 0.0) pattern.push_back(i);
@@ -964,7 +1233,7 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
       // refresh the factorization, or give up to the caller if fresh.
       for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
       pattern.clear();
-      if (static_cast<int>(etas_.size()) > factor_etas_) {
+      if (factor_is_stale()) {
         if (!refactorize()) {
           numerics_failed_ = true;
           return false;
@@ -1036,9 +1305,14 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
     state_[ls] = below ? VarState::kAtLower : VarState::kAtUpper;
     state_[q] = VarState::kBasic;
     basis_[static_cast<std::size_t>(leaving_row)] = entering;
-    append_eta(leaving_row, alpha, pattern);
+    const bool factor_ok = factor_update(leaving_row, pivot_value, alpha,
+                                         pattern);
     for (const int i : pattern) alpha[static_cast<std::size_t>(i)] = 0.0;
     pattern.clear();
+    if (!factor_ok) {
+      numerics_failed_ = true;
+      return false;
+    }
 
     ++iterations_;
     ++total_iterations_;
@@ -1047,7 +1321,12 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
     } else {
       consecutive_degenerate = 0;
     }
-    if (static_cast<int>(etas_.size()) - factor_etas_ >= kRefactorInterval) {
+    if (factor_rebuilt_) {
+      // factor_update replaced an unstable update with a fresh factor;
+      // rebase the incremental reduced costs on the new numerics.
+      compute_basic_values();
+      refresh_reduced_costs();
+    } else if (factor_needs_refresh()) {
       if (!refactorize()) {
         numerics_failed_ = true;
         return false;
@@ -1060,7 +1339,7 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
 
 // ------------------------------------------------------------------- driver
 
-void RevisedSimplex::evict_basic_artificials() {
+bool RevisedSimplex::evict_basic_artificials() {
   std::vector<double>& rho = rho_;
   rho.assign(static_cast<std::size_t>(m_), 0.0);
   for (int i = 0; i < m_; ++i) {
@@ -1081,7 +1360,7 @@ void RevisedSimplex::evict_basic_artificials() {
     std::vector<double>& alpha = work_;
     std::vector<int>& pattern = pattern_;
     load_column(replacement, alpha, pattern);
-    ftran(alpha);
+    ftran_entering(alpha);
     pattern.clear();
     for (int r = 0; r < m_; ++r) {
       if (alpha[static_cast<std::size_t>(r)] != 0.0) pattern.push_back(r);
@@ -1091,11 +1370,14 @@ void RevisedSimplex::evict_basic_artificials() {
     state_[bs] = VarState::kAtLower;
     state_[static_cast<std::size_t>(replacement)] = VarState::kBasic;
     basis_[static_cast<std::size_t>(i)] = replacement;
-    append_eta(i, alpha, pattern);
+    const bool factor_ok = factor_update(
+        i, alpha[static_cast<std::size_t>(i)], alpha, pattern);
     for (const int r : pattern) alpha[static_cast<std::size_t>(r)] = 0.0;
     pattern.clear();
+    if (!factor_ok) return false;
     // Degenerate exchange: the artificial sat at zero, so no values move.
   }
+  return true;
 }
 
 Solution RevisedSimplex::finish_optimal() {
@@ -1139,7 +1421,12 @@ Solution RevisedSimplex::run_two_phase() {
       result.iterations = iterations_;
       return result;
     }
-    evict_basic_artificials();
+    if (!evict_basic_artificials()) {
+      numerics_failed_ = true;
+      result.status = SolveStatus::kIterationLimit;
+      result.iterations = iterations_;
+      return result;
+    }
     for (int j = first_artificial_; j < total_; ++j) {
       const auto js = static_cast<std::size_t>(j);
       lower_[js] = 0.0;
@@ -1205,6 +1492,10 @@ void RevisedSimplex::reset_to_dual_crash() {
     state_[art] = VarState::kAtLower;
     x_[art] = 0.0;
   }
+  // The crash basis is the identity; the eta file represents it as an
+  // empty product, the LU factors it explicitly (all singleton pivots).
+  if (lu() && !refactorize()) numerics_failed_ = true;
+
   // Basic slack values = row residuals (B is the identity). Out-of-bounds
   // values are exactly the primal infeasibilities the dual run repairs.
   std::vector<double>& residual = work2_;
@@ -1284,6 +1575,7 @@ Solution RevisedSimplex::reoptimize_from_basis() {
 }
 
 Solution RevisedSimplex::solve_cold() {
+  flush_row_additions();
   iterations_ = 0;
   numerics_failed_ = false;
   reset_to_dual_crash();
@@ -1297,6 +1589,7 @@ Solution RevisedSimplex::solve_cold() {
 }
 
 Solution RevisedSimplex::reoptimize() {
+  flush_row_additions();
   if (!basis_valid_) return solve_cold();
   iterations_ = 0;
   numerics_failed_ = false;

@@ -17,10 +17,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "lp/lu_factorization.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
 
 namespace fpva::lp {
+
+/// Reusable basis checkpoint (see RevisedSimplex::snapshot_basis). The
+/// snapshot pins the row count it was taken at; restoring into a solver
+/// whose row set has since grown (warm row addition) is rejected.
+struct BasisSnapshot {
+  int rows = 0;
+  std::vector<int> basis;
+  std::vector<std::uint8_t> state;
+};
 
 /// Incremental revised simplex over a fixed constraint matrix.
 class RevisedSimplex {
@@ -60,6 +70,32 @@ class RevisedSimplex {
   /// Cumulative pivot count over the lifetime of the solver.
   long total_iterations() const { return total_iterations_; }
 
+  /// Appends a constraint row to the solver's private copy of the model
+  /// (duplicate terms are merged; terms must reference structural
+  /// variables). Under the Forrest-Tomlin factorization a valid basis is
+  /// extended in place — the new slack enters the basis and the next
+  /// reoptimize() repairs primal feasibility with dual pivots. Under the
+  /// eta factorization the stored basis is dropped and the next solve
+  /// cold-starts.
+  void add_row(const std::vector<Term>& terms, Sense sense, double rhs);
+
+  int row_count() const { return m_; }
+
+  /// Checkpoint of the current basis; valid only when has_basis().
+  BasisSnapshot snapshot_basis() const;
+
+  /// Adopts `snapshot` (bounds are kept as-is) and refactorizes. Returns
+  /// false — leaving no reusable basis — when the snapshot's row count no
+  /// longer matches or the basis went numerically singular.
+  bool restore_basis(const BasisSnapshot& snapshot);
+
+  /// Basis factorizations built over the lifetime of the solver.
+  long refactorizations() const { return refactorizations_; }
+  /// Forrest-Tomlin column updates applied (0 under the eta file).
+  long basis_updates() const { return basis_updates_; }
+  /// Rows appended while a factorized basis was live.
+  long warm_rows_added() const { return warm_rows_added_; }
+
  private:
   enum class VarState : std::uint8_t { kBasic, kAtLower, kAtUpper };
 
@@ -79,13 +115,32 @@ class RevisedSimplex {
   double column_dot(int var, const std::vector<double>& dense) const;
 
   // --- factorization -------------------------------------------------------
-  bool refactorize();  ///< rebuilds the eta file from basis_; false = singular
+  bool lu() const { return options_.factorization == Factorization::kForrestTomlin; }
+  bool refactorize();  ///< rebuilds the factorization; false = singular
+  bool refactorize_eta();
+  bool refactorize_lu();
   void ftran(std::vector<double>& dense) const;  ///< dense := B^-1 dense
+  /// FTRAN of the entering column: under LU the partial result is stashed
+  /// so factor_update() can fold it into U.
+  void ftran_entering(std::vector<double>& dense) const;
   void btran(std::vector<double>& dense) const;  ///< dense := B^-T dense
+  /// Records the pivot in the factorization (eta append or Forrest-Tomlin
+  /// update; refactorizes on an unstable update). Must run after basis_ /
+  /// state_ are updated. Returns false on fatal numerics; sets
+  /// factor_rebuilt_ when it refactorized as a side effect.
+  bool factor_update(int pivot_row, double pivot_value,
+                     const std::vector<double>& alpha,
+                     const std::vector<int>& alpha_pattern);
+  bool factor_is_stale() const;     ///< updates applied since the last factor
+  bool factor_needs_refresh() const;  ///< policy says refactorize now
   void append_eta(int pivot_row, const std::vector<double>& alpha,
                   const std::vector<int>& alpha_pattern);
   void load_column(int var, std::vector<double>& dense,
                    std::vector<int>& pattern) const;
+  void rebuild_csc();  ///< regenerate the CSC mirror from the CSR rows
+  /// Applies deferred add_row bookkeeping (CSC mirror, scratch sizes)
+  /// once per batch of appended rows, at the next solve entry point.
+  void flush_row_additions();
 
   // --- simplex -------------------------------------------------------------
   void reset_to_slack_basis();
@@ -120,7 +175,7 @@ class RevisedSimplex {
   /// kIterationLimit via result.status; false = numerical trouble, caller
   /// should cold start.
   bool dual_iterate(long budget, Solution& result);
-  void evict_basic_artificials();
+  bool evict_basic_artificials();  ///< false = fatal factorization trouble
   Solution finish_optimal();
   Solution run_two_phase();
 
@@ -155,12 +210,23 @@ class RevisedSimplex {
   std::vector<int> eta_index_;     ///< shared arena: off-pivot row indices
   std::vector<double> eta_value_;  ///< shared arena: off-pivot coefficients
   int factor_etas_ = 0;  ///< etas belonging to the factorization itself
+  LuFactorization lu_;   ///< active when options_.factorization == kForrestTomlin
+  bool factor_rebuilt_ = false;  ///< factor_update refactorized mid-pivot
+  bool rows_dirty_ = false;      ///< add_row deferred the CSC/scratch refresh
   bool basis_valid_ = false;
   bool values_dirty_ = false;
   bool numerics_failed_ = false;
 
   long total_iterations_ = 0;
   long iterations_ = 0;  ///< pivots spent in the current solve
+  long refactorizations_ = 0;
+  long basis_updates_ = 0;
+  long warm_rows_added_ = 0;
+
+  // Scratch for refactorize_lu / add_row.
+  std::vector<int> lu_col_rows_;
+  std::vector<double> lu_col_vals_;
+  std::vector<int> lu_col_start_;
 
   // Scratch buffers reused across iterations.
   mutable std::vector<double> work_;

@@ -33,11 +33,30 @@ enum class Pricing {
   kDevex,    ///< devex reference-framework weights (primal and dual)
 };
 
+/// Basis factorization of the revised simplex. The dense tableau carries
+/// its own explicit inverse and ignores this option.
+enum class Factorization {
+  /// Markowitz-pivoted sparse LU with Forrest-Tomlin column updates:
+  /// bounded fill, refactorization on fill/instability thresholds, and
+  /// warm row addition for cutting loops (lp/lu_factorization.h).
+  kForrestTomlin,
+  /// Product-form eta file with a fixed refactor interval — the original
+  /// engine, retained as the differential-testing oracle.
+  kEta,
+};
+
 struct SolveOptions {
   long max_iterations = 200000;  ///< total pivot budget over both phases
   double tolerance = 1e-7;       ///< feasibility/optimality tolerance
   Algorithm algorithm = Algorithm::kRevised;
   Pricing pricing = Pricing::kDevex;
+  Factorization factorization = Factorization::kForrestTomlin;
+  /// Forrest-Tomlin updates tolerated before a refactorization is
+  /// scheduled (the eta file keeps its fixed every-64 interval).
+  int refactor_update_limit = 100;
+  /// Refactorize when the LU operator file grows past this multiple of
+  /// the fresh-factor nonzeros.
+  double refactor_fill_ratio = 3.0;
 };
 
 struct Solution {

@@ -1,0 +1,217 @@
+// Property tests for warm row addition (the cutting-loop half of the
+// Forrest-Tomlin work): appending cut rows to a live factorized basis and
+// dual-repairing must be indistinguishable — in reported optimum and in
+// the validity of the final basis — from crashing the extended LP cold
+// each round, and the ILP pipeline's answers must be bit-identical with
+// the mechanism on or off across the full options switch matrix and the
+// paper's Table-I / full-array presets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ilp_models.h"
+#include "grid/presets.h"
+#include "ilp/branch_and_bound.h"
+#include "ilp/model.h"
+#include "lp/model.h"
+#include "lp/revised_simplex.h"
+#include "lp/simplex.h"
+
+namespace fpva {
+namespace {
+
+lp::SolveOptions ft_options() {
+  lp::SolveOptions options;
+  options.algorithm = lp::Algorithm::kRevised;
+  options.factorization = lp::Factorization::kForrestTomlin;
+  return options;
+}
+
+/// Random packing-flavored LP: binaries-shaped boxes with knapsack rows,
+/// the shape the root cutting loop actually sees.
+lp::Model random_packing_lp(common::Rng& rng, int n) {
+  lp::Model model;
+  for (int j = 0; j < n; ++j) {
+    model.add_variable(0.0, 1.0, -(1.0 + rng.next_double() * 4.0));
+  }
+  const int m = 2 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < m; ++i) {
+    std::vector<lp::Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.next_bool(0.5)) {
+        terms.push_back({j, 1.0 + rng.next_double() * 3.0});
+      }
+    }
+    if (terms.size() < 2) terms = {{0, 1.0}, {n - 1, 1.0}};
+    double total = 0.0;
+    for (const lp::Term& term : terms) total += term.coefficient;
+    model.add_constraint(std::move(terms), lp::Sense::kLessEqual,
+                         total * (0.3 + rng.next_double() * 0.3));
+  }
+  return model;
+}
+
+// A synthetic cutting loop: each round appends a currently-binding row to
+// the warm solver and to a pristine model copy. After every round the warm
+// reoptimize must match a cold dual crash of the extended model, and the
+// warm solver's final basis, restored into a fresh solver and
+// refactorized, must reproduce the optimum without a single pivot — the
+// basis itself is optimal, not just the reported number.
+TEST(WarmRowAdditionTest, EveryCutRoundMatchesColdCrash) {
+  for (int trial = 0; trial < 40; ++trial) {
+    common::Rng rng(static_cast<std::uint64_t>(trial) * 6364136223846793005ULL +
+                    1442695040888963407ULL);
+    lp::Model model = random_packing_lp(rng, 6 + static_cast<int>(rng.next_below(8)));
+    lp::RevisedSimplex warm(model, ft_options());
+    lp::Solution current = warm.solve_cold();
+    ASSERT_EQ(current.status, lp::SolveStatus::kOptimal) << "trial " << trial;
+
+    for (int round = 0; round < 4; ++round) {
+      // Cut off the current optimum with a valid-looking <= row.
+      std::vector<lp::Term> terms;
+      double activity = 0.0;
+      for (int j = 0; j < model.variable_count(); ++j) {
+        const double v = current.values[static_cast<std::size_t>(j)];
+        if (v > 0.01) {
+          terms.push_back({j, 1.0});
+          activity += v;
+        }
+      }
+      if (terms.size() < 2) break;  // nothing left to cut
+      const double rhs = activity - 0.5;
+      warm.add_row(terms, lp::Sense::kLessEqual, rhs);
+      model.add_constraint(terms, lp::Sense::kLessEqual, rhs);
+
+      const lp::Solution warm_solution = warm.reoptimize();
+      ASSERT_FALSE(warm.numerical_trouble())
+          << "trial " << trial << " round " << round;
+
+      // Cold oracle: dual crash over the extended model from scratch.
+      lp::RevisedSimplex cold(model, ft_options());
+      const lp::Solution cold_solution = cold.solve_cold();
+      ASSERT_EQ(warm_solution.status, cold_solution.status)
+          << "trial " << trial << " round " << round;
+      if (warm_solution.status != lp::SolveStatus::kOptimal) break;
+      EXPECT_NEAR(warm_solution.objective, cold_solution.objective, 1e-7)
+          << "trial " << trial << " round " << round;
+
+      // Basis validity: the warm basis, refactorized from scratch in a
+      // fresh solver, is already optimal — zero pivots, and (being the
+      // same basis refactorized the same way twice) a bit-identical
+      // objective on a second restore.
+      lp::RevisedSimplex check(model, ft_options());
+      ASSERT_TRUE(check.restore_basis(warm.snapshot_basis()))
+          << "trial " << trial << " round " << round;
+      const lp::Solution restored = check.reoptimize();
+      ASSERT_EQ(restored.status, lp::SolveStatus::kOptimal)
+          << "trial " << trial << " round " << round;
+      EXPECT_EQ(restored.iterations, 0)
+          << "warm basis was not optimal (trial " << trial << " round "
+          << round << ")";
+      EXPECT_NEAR(restored.objective, warm_solution.objective, 1e-8)
+          << "trial " << trial << " round " << round;
+
+      lp::RevisedSimplex again(model, ft_options());
+      ASSERT_TRUE(again.restore_basis(warm.snapshot_basis()));
+      const lp::Solution replay = again.reoptimize();
+      // Same basis, same bounds, same code path: bit-identical.
+      EXPECT_EQ(replay.objective, restored.objective)
+          << "trial " << trial << " round " << round;
+
+      current = warm_solution;
+    }
+  }
+}
+
+ilp::Model random_mip(common::Rng& rng) {
+  ilp::Model model;
+  const int n = 6 + static_cast<int>(rng.next_below(5));
+  std::vector<lp::Term> knap;
+  for (int i = 0; i < n; ++i) {
+    const int x = model.add_binary(-static_cast<double>(rng.next_in(1, 12)));
+    knap.push_back({x, static_cast<double>(rng.next_in(1, 8))});
+  }
+  model.add_constraint(std::move(knap), lp::Sense::kLessEqual,
+                       static_cast<double>(rng.next_in(6, 24)));
+  for (int r = 0; r < 2; ++r) {
+    std::vector<lp::Term> cover;
+    for (int i = 0; i < n; ++i) {
+      if (rng.next_bool(0.4)) cover.push_back({i, 1.0});
+    }
+    if (cover.size() < 2) cover = {{0, 1.0}, {n - 1, 1.0}};
+    model.add_constraint(std::move(cover), lp::Sense::kGreaterEqual, 1.0);
+  }
+  return model;
+}
+
+// The 16-combination switch matrix of PR-3 mechanisms, re-run with warm
+// row addition (and its dependents) on and off: the optima must be
+// bit-identical in every cell — warm rows change how the LP reaches the
+// answer, never the answer.
+TEST(WarmRowAdditionTest, SwitchMatrixOptimaIdenticalWarmOnAndOff) {
+  for (int instance = 0; instance < 6; ++instance) {
+    common::Rng rng(static_cast<std::uint64_t>(instance) * 982451653ULL + 29);
+    const ilp::Model model = random_mip(rng);
+    for (int mask = 0; mask < 16; ++mask) {
+      ilp::Options base;
+      base.objective_is_integral = true;
+      base.devex_pricing = (mask & 1) != 0;
+      base.probing = (mask & 2) != 0;
+      base.clique_cuts = (mask & 4) != 0;
+      base.branching = (mask & 8) != 0 ? ilp::Branching::kInputOrder
+                                       : ilp::Branching::kAuto;
+
+      ilp::Options warm_on = base;
+      warm_on.warm_row_addition = true;
+      ilp::Options warm_off = base;
+      warm_off.warm_row_addition = false;
+      warm_off.cut_depth = 0;  // cut-and-branch rides on warm rows
+      const ilp::Result on = ilp::solve(model, warm_on);
+      const ilp::Result off = ilp::solve(model, warm_off);
+      ASSERT_EQ(on.status, off.status)
+          << "instance " << instance << " mask " << mask;
+      if (on.status == ilp::ResultStatus::kOptimal) {
+        EXPECT_EQ(on.objective, off.objective)
+            << "instance " << instance << " mask " << mask;
+      }
+    }
+  }
+}
+
+// Table-I / full-array presets through the real pipeline: the minimum
+// budgets and their certificates must not depend on warm row addition,
+// the basis stack, or cut-and-branch.
+TEST(WarmRowAdditionTest, PresetBudgetsIdenticalWarmOnAndOff) {
+  ilp::Options warm_on;
+  warm_on.objective_is_integral = true;
+  ilp::Options warm_off = warm_on;
+  warm_off.warm_row_addition = false;
+  warm_off.basis_stack_depth = 0;
+  warm_off.cut_depth = 0;
+
+  const grid::ValveArray table1 = grid::table1_array(5);
+  for (const grid::ValveArray* array :
+       {&table1}) {
+    const auto on = core::find_minimum_flow_paths(*array, 1, 8, warm_on);
+    const auto off = core::find_minimum_flow_paths(*array, 1, 8, warm_off);
+    ASSERT_TRUE(on.has_value());
+    ASSERT_TRUE(off.has_value());
+    EXPECT_EQ(on->path_budget, off->path_budget);
+    EXPECT_EQ(on->proven_minimal, off->proven_minimal);
+  }
+
+  for (const int n : {2, 3}) {
+    const grid::ValveArray array = grid::full_array(n, n);
+    const auto on = core::find_minimum_cut_sets(array, 1, 8, true, warm_on);
+    const auto off = core::find_minimum_cut_sets(array, 1, 8, true, warm_off);
+    ASSERT_TRUE(on.has_value()) << n;
+    ASSERT_TRUE(off.has_value()) << n;
+    EXPECT_EQ(on->cut_budget, off->cut_budget) << n;
+    EXPECT_EQ(on->proven_minimal, off->proven_minimal) << n;
+  }
+}
+
+}  // namespace
+}  // namespace fpva
