@@ -133,6 +133,10 @@ void run_flow_path(benchmark::State& state, const ilp::Options& base,
   long refactors = 0;
   long updates = 0;
   long warm_rows = 0;
+  long conflicts = 0;
+  long learned = 0;
+  long backjumps = 0;
+  long deleted = 0;
   for (auto _ : state) {
     const auto result = core::find_minimum_flow_paths(array, 1, 8, base);
     if (!result.has_value()) {
@@ -146,6 +150,10 @@ void run_flow_path(benchmark::State& state, const ilp::Options& base,
     refactors = result->ilp.lp_refactorizations;
     updates = result->ilp.lp_basis_updates;
     warm_rows = result->ilp.warm_cut_rows;
+    conflicts = result->ilp.conflicts;
+    learned = result->ilp.nogoods_learned;
+    backjumps = result->ilp.backjumps;
+    deleted = result->ilp.nogoods_deleted;
     benchmark::DoNotOptimize(result->path_budget);
     if (crosscheck) {
       // The ILP optimum can never exceed the constructive engine's count.
@@ -165,6 +173,10 @@ void run_flow_path(benchmark::State& state, const ilp::Options& base,
   state.counters["refactors"] = static_cast<double>(refactors);
   state.counters["updates"] = static_cast<double>(updates);
   state.counters["warmrows"] = static_cast<double>(warm_rows);
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+  state.counters["learned"] = static_cast<double>(learned);
+  state.counters["backjumps"] = static_cast<double>(backjumps);
+  state.counters["deleted"] = static_cast<double>(deleted);
 }
 
 void BM_FlowPathIlp(benchmark::State& state) {
@@ -183,6 +195,19 @@ void BM_FlowPathIlpLegacy(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowPathIlpLegacy)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 
+// The PR-4 pipeline (everything on, conflict learning off): pins the
+// pre-learning node counts in the committed baseline, so the claim that
+// conflict_learning=off reproduces them bit-exactly stays CI-gated.
+void BM_FlowPathIlpNoLearn(benchmark::State& state) {
+  ilp::Options options;
+  options.conflict_learning = false;
+  run_flow_path(state, options, /*crosscheck=*/false);
+}
+BENCHMARK(BM_FlowPathIlpNoLearn)
+    ->Arg(3)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
 // Full find_minimum_cut_sets pipeline to *proven* optimality: budget
 // escalation with infeasibility certificates, devex pricing, probing,
 // clique cuts, orbit symmetry rows and input-order chain branching.
@@ -199,6 +224,10 @@ void run_cut_set(benchmark::State& state, const ilp::Options& base) {
   long refactors = 0;
   long updates = 0;
   long warm_rows = 0;
+  long conflicts = 0;
+  long learned = 0;
+  long backjumps = 0;
+  long deleted = 0;
   for (auto _ : state) {
     const auto result = core::find_minimum_cut_sets(array, 1, 8, true, base);
     if (!result.has_value()) {
@@ -213,6 +242,10 @@ void run_cut_set(benchmark::State& state, const ilp::Options& base) {
     refactors = result->ilp.lp_refactorizations;
     updates = result->ilp.lp_basis_updates;
     warm_rows = result->ilp.warm_cut_rows;
+    conflicts = result->ilp.conflicts;
+    learned = result->ilp.nogoods_learned;
+    backjumps = result->ilp.backjumps;
+    deleted = result->ilp.nogoods_deleted;
     benchmark::DoNotOptimize(result->cut_budget);
   }
   state.counters["nodes"] = static_cast<double>(nodes);
@@ -223,6 +256,10 @@ void run_cut_set(benchmark::State& state, const ilp::Options& base) {
   state.counters["refactors"] = static_cast<double>(refactors);
   state.counters["updates"] = static_cast<double>(updates);
   state.counters["warmrows"] = static_cast<double>(warm_rows);
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+  state.counters["learned"] = static_cast<double>(learned);
+  state.counters["backjumps"] = static_cast<double>(backjumps);
+  state.counters["deleted"] = static_cast<double>(deleted);
 }
 
 void BM_CutSetIlp(benchmark::State& state) {
@@ -234,6 +271,17 @@ void BM_CutSetIlpLegacy(benchmark::State& state) {
   run_cut_set(state, legacy_options());
 }
 BENCHMARK(BM_CutSetIlpLegacy)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// See BM_FlowPathIlpNoLearn: the PR-4 cut-set counters, kept pinned.
+void BM_CutSetIlpNoLearn(benchmark::State& state) {
+  ilp::Options options;
+  options.conflict_learning = false;
+  run_cut_set(state, options);
+}
+BENCHMARK(BM_CutSetIlpNoLearn)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 // The scaling frontier: 5x5 to proven optimality under a fixed time limit
 // (unreachable before PR 3 — the 4x4 could not even finish in minutes).

@@ -92,18 +92,41 @@ def main():
                               [(c, "min") for c in min_counters] +
                               [(c, "exact") for c in exact_counters]):
             if counter not in baseline[name]:
-                # The baseline never recorded this counter for this bench
-                # (e.g. a gate list shared across bench binaries); nothing
-                # to compare against.
+                if counter in fresh[name]:
+                    # The fresh run emits a gated counter the committed
+                    # baseline never recorded: the gate silently passes on
+                    # it until someone regenerates the baseline (the PR-4
+                    # fix caught only the opposite direction — a counter
+                    # dropped from the fresh run). Fail loudly instead —
+                    # unless the benchmark is excluded from gating.
+                    if excluded:
+                        rows.append((name, counter, None,
+                                     float(fresh[name][counter]), "n/a",
+                                     "excluded"))
+                    else:
+                        missing.append((name, counter))
+                        rows.append((name, counter, None,
+                                     float(fresh[name][counter]), "n/a",
+                                     "UNBASELINED"))
+                # Otherwise the counter simply does not apply to this
+                # benchmark (e.g. a gate list shared across bench
+                # binaries); nothing to compare against.
                 continue
             if counter not in fresh[name]:
                 # The committed baseline gates this counter but the fresh
                 # run no longer emits it — a silent skip here would quietly
                 # disable the regression gate (seen after bench renames and
-                # counter refactors), so report it and fail.
-                missing.append((name, counter))
-                rows.append((name, counter, float(baseline[name][counter]),
-                             None, "n/a", "MISSING"))
+                # counter refactors), so report it and fail (unless the
+                # benchmark is excluded from gating, same as above).
+                if excluded:
+                    rows.append((name, counter,
+                                 float(baseline[name][counter]), None,
+                                 "n/a", "excluded"))
+                else:
+                    missing.append((name, counter))
+                    rows.append((name, counter,
+                                 float(baseline[name][counter]), None,
+                                 "n/a", "MISSING"))
                 continue
             base = float(baseline[name][counter])
             new = float(fresh[name][counter])
@@ -130,8 +153,9 @@ def main():
     print(f"{'benchmark':<{width}}  {'counter':<8} {'base':>12} "
           f"{'fresh':>12} {'delta':>8}  status")
     for name, counter, base, new, delta, status in rows:
+        base_cell = "---" if base is None else f"{base:.0f}"
         fresh_cell = "---" if new is None else f"{new:.0f}"
-        print(f"{name:<{width}}  {counter:<8} {base:>12.0f} "
+        print(f"{name:<{width}}  {counter:<8} {base_cell:>12} "
               f"{fresh_cell:>12} {delta:>8}  {status}")
     for name in only_baseline:
         print(f"note: {name} only in baseline (removed benchmark?)")
@@ -142,13 +166,19 @@ def main():
     # dropped counter and an unrelated regression instead of two round
     # trips.
     if missing:
-        print(f"\ncompare_bench: {len(missing)} gated counter(s) present in "
-              f"{args.baseline} but absent from {args.fresh}:",
-              file=sys.stderr)
+        print(f"\ncompare_bench: {len(missing)} gated counter(s) present on "
+              "only one side:", file=sys.stderr)
         for name, counter in missing:
-            print(f"  {name}: counter '{counter}' missing from the fresh "
-                  "run (renamed bench or dropped counter? update the "
-                  "committed baseline or the gate list)", file=sys.stderr)
+            if counter in baseline.get(name, {}):
+                print(f"  {name}: counter '{counter}' missing from the "
+                      "fresh run (renamed bench or dropped counter? update "
+                      "the committed baseline or the gate list)",
+                      file=sys.stderr)
+            else:
+                print(f"  {name}: counter '{counter}' missing from the "
+                      "committed baseline (new counter added to the gate? "
+                      "regenerate and commit the baseline JSON)",
+                      file=sys.stderr)
     if regressions:
         print(f"\ncompare_bench: {len(regressions)} counter regression(s) "
               f"beyond {args.threshold:.0%}:", file=sys.stderr)

@@ -409,15 +409,34 @@ std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
                                         const char* kind,
                                         SolveBudget&& solve_budget) {
   int proven_floor = 0;
-  // Factorization work done by the abandoned/infeasible budget stages.
-  // The headline counters (nodes, pivots) keep their historical
-  // final-stage-only meaning — they gate CI against committed baselines —
-  // but the basis diagnostics are only useful as totals over the whole
-  // escalation, so they accumulate here and fold into the final result.
+  // Factorization and conflict work done by the abandoned/infeasible
+  // budget stages. The headline counters (nodes, pivots) keep their
+  // historical final-stage-only meaning — they gate CI against committed
+  // baselines — but the basis and learning diagnostics are only useful as
+  // totals over the whole escalation, so they accumulate here and fold
+  // into the final result; the per-stage breakdown lands in `stages`.
   long stage_refactorizations = 0;
   long stage_basis_updates = 0;
   long stage_warm_cut_rows = 0;
   long stage_basis_restores = 0;
+  long stage_conflicts = 0;
+  long stage_nogoods_learned = 0;
+  long stage_nogoods_deleted = 0;
+  long stage_backjumps = 0;
+  long stage_backjump_nodes_skipped = 0;
+  std::vector<BudgetStage> stages;
+  const auto record_stage = [&stages](int budget, const ilp::Result& r) {
+    BudgetStage stage;
+    stage.budget = budget;
+    stage.status = r.status;
+    stage.nodes = r.nodes;
+    stage.lp_pivots = r.lp_pivots;
+    stage.seconds = r.seconds;
+    stage.conflicts = r.conflicts;
+    stage.nogoods_learned = r.nogoods_learned;
+    stage.backjumps = r.backjumps;
+    stages.push_back(stage);
+  };
   for (int budget = first_budget; budget <= last_budget; ++budget) {
     ilp::Result failure;
     const int floor =
@@ -436,16 +455,29 @@ std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
       //    stage, abandoned or not.
       result->proven_minimal =
           result->ilp.status == ilp::ResultStatus::kOptimal;
+      record_stage(budget, result->ilp);
+      result->stages = std::move(stages);
       result->ilp.lp_refactorizations += stage_refactorizations;
       result->ilp.lp_basis_updates += stage_basis_updates;
       result->ilp.warm_cut_rows += stage_warm_cut_rows;
       result->ilp.basis_restores += stage_basis_restores;
+      result->ilp.conflicts += stage_conflicts;
+      result->ilp.nogoods_learned += stage_nogoods_learned;
+      result->ilp.nogoods_deleted += stage_nogoods_deleted;
+      result->ilp.backjumps += stage_backjumps;
+      result->ilp.backjump_nodes_skipped += stage_backjump_nodes_skipped;
       return result;
     }
+    record_stage(budget, failure);
     stage_refactorizations += failure.lp_refactorizations;
     stage_basis_updates += failure.lp_basis_updates;
     stage_warm_cut_rows += failure.warm_cut_rows;
     stage_basis_restores += failure.basis_restores;
+    stage_conflicts += failure.conflicts;
+    stage_nogoods_learned += failure.nogoods_learned;
+    stage_nogoods_deleted += failure.nogoods_deleted;
+    stage_backjumps += failure.backjumps;
+    stage_backjump_nodes_skipped += failure.backjump_nodes_skipped;
     if (failure.status == ilp::ResultStatus::kInfeasible) {
       proven_floor = budget + 1;
       common::log_debug(common::cat(kind, " ILP proven infeasible with "

@@ -30,6 +30,21 @@
 
 namespace fpva::core {
 
+/// One III-B-3 budget-escalation stage. find_minimum_* records every stage
+/// it ran — refuted, abandoned, or final — so frontier probes (the
+/// slow-certify CI job, bench_certify) can report where the time and the
+/// certificates went instead of hand-measuring each budget.
+struct BudgetStage {
+  int budget = 0;
+  ilp::ResultStatus status = ilp::ResultStatus::kUnknown;
+  long nodes = 0;
+  long lp_pivots = 0;
+  double seconds = 0.0;
+  long conflicts = 0;
+  long nogoods_learned = 0;
+  long backjumps = 0;
+};
+
 struct IlpPathResult {
   std::vector<FlowPath> paths;
   ilp::Result ilp;       ///< solver diagnostics of the final (feasible) run
@@ -46,6 +61,9 @@ struct IlpPathResult {
   /// carries no optimality certificate — downstream accounting must not
   /// report it as the paper's minimum.
   bool proven_minimal = true;
+  /// Every escalation stage attempted, in budget order (find_minimum_*
+  /// only; empty from the single-budget entry points).
+  std::vector<BudgetStage> stages;
 };
 
 struct IlpCutResult {
@@ -53,6 +71,7 @@ struct IlpCutResult {
   ilp::Result ilp;
   int cut_budget = 0;          ///< cuts actually used; see path_budget
   bool proven_minimal = true;  ///< see IlpPathResult::proven_minimal
+  std::vector<BudgetStage> stages;  ///< see IlpPathResult::stages
 };
 
 /// Solves the flow-path model with path budget `max_paths`; std::nullopt

@@ -5,13 +5,14 @@
 #include <limits>
 #include <memory>
 #include <optional>
-#include <set>
 #include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "ilp/conflict.h"
+#include "ilp/cut_separator.h"
 #include "ilp/presolve.h"
 #include "lp/revised_simplex.h"
 #include "lp/simplex.h"
@@ -46,188 +47,8 @@ struct Node {
   bool branch_up = false;    ///< branched toward ceil (vs floor)
 };
 
-// ---------------------------------------------------------- cut separation
-
-/// LP value of a conflict-graph literal under the point `x`.
-double literal_value(int literal, const std::vector<double>& x) {
-  const double v = x[static_cast<std::size_t>(Lit::variable(literal))];
-  return Lit::positive(literal) ? v : 1.0 - v;
-}
-
-/// Builds the variable-space terms and rhs of `sum literals <=
-/// rhs_literals`: complemented literals contribute (1 - x), so each moves
-/// 1 to the rhs. Returns the rhs.
-double literal_row(const std::vector<int>& literals, int rhs_literals,
-                   std::vector<lp::Term>* terms) {
-  terms->clear();
-  terms->reserve(literals.size());
-  double rhs = static_cast<double>(rhs_literals);
-  for (const int literal : literals) {
-    if (Lit::positive(literal)) {
-      terms->push_back({Lit::variable(literal), 1.0});
-    } else {
-      terms->push_back({Lit::variable(literal), -1.0});
-      rhs -= 1.0;
-    }
-  }
-  return rhs;
-}
-
-/// One violated inequality found by a separation round.
-struct CandidateCut {
-  std::vector<int> literals;  ///< sorted
-  int rhs_literals = 1;       ///< 1 for cliques, |cover| - 1 for covers
-  double violation = 0.0;
-};
-
-/// Signature used to avoid re-adding a cut across rounds.
-std::vector<int> cut_signature(const CandidateCut& cut) {
-  std::vector<int> signature = cut.literals;
-  signature.push_back(cut.rhs_literals);
-  return signature;
-}
-
-/// Separates violated lifted (extended minimal) cover cuts from one
-/// normalized knapsack row under the fractional point `x`.
-void separate_covers(const std::vector<PackedTerm>& items, double rhs,
-                     const std::vector<double>& x,
-                     std::vector<CandidateCut>& out) {
-  double total = 0.0;
-  for (const PackedTerm& item : items) total += item.coefficient;
-  if (total <= rhs + 1e-9) return;  // no cover exists
-
-  // Greedy cover: most fractionally-loaded literals first.
-  std::vector<int> order(items.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    const double va = literal_value(items[static_cast<std::size_t>(a)].literal, x);
-    const double vb = literal_value(items[static_cast<std::size_t>(b)].literal, x);
-    if (va != vb) return va > vb;
-    return items[static_cast<std::size_t>(a)].literal <
-           items[static_cast<std::size_t>(b)].literal;
-  });
-  std::vector<char> in_cover(items.size(), 0);
-  double weight = 0.0;
-  for (const int i : order) {
-    if (weight > rhs + 1e-9) break;
-    in_cover[static_cast<std::size_t>(i)] = 1;
-    weight += items[static_cast<std::size_t>(i)].coefficient;
-  }
-  if (weight <= rhs + 1e-9) return;
-
-  // Minimalize: drop low-value members while the cover property survives
-  // (walk the greedy order backwards = ascending value).
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const auto i = static_cast<std::size_t>(*it);
-    if (!in_cover[i]) continue;
-    if (weight - items[i].coefficient > rhs + 1e-9) {
-      in_cover[i] = 0;
-      weight -= items[i].coefficient;
-    }
-  }
-
-  CandidateCut cut;
-  double value_sum = 0.0;
-  double max_coefficient = 0.0;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!in_cover[i]) continue;
-    cut.literals.push_back(items[i].literal);
-    value_sum += literal_value(items[i].literal, x);
-    max_coefficient = std::max(max_coefficient, items[i].coefficient);
-  }
-  cut.rhs_literals = static_cast<int>(cut.literals.size()) - 1;
-  if (cut.rhs_literals < 1) return;
-  cut.violation = value_sum - static_cast<double>(cut.rhs_literals);
-  if (cut.violation <= 1e-6) return;
-  // Extension (simple lifting): any item at least as heavy as every cover
-  // member joins with coefficient 1; the inequality stays valid for the
-  // minimal cover and only gains strength.
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (in_cover[i]) continue;
-    if (items[i].coefficient >= max_coefficient - 1e-9) {
-      cut.literals.push_back(items[i].literal);
-      cut.violation += literal_value(items[i].literal, x);
-    }
-  }
-  std::sort(cut.literals.begin(), cut.literals.end());
-  out.push_back(std::move(cut));
-}
-
-/// Separation state shared by the root cutting loop and cut-and-branch at
-/// depth: the clique table, the normalized knapsack rows (original rows
-/// only — cuts never become separation sources), and the signatures of
-/// every cut already added, so a cut enters the model at most once over
-/// the whole solve. Cliques and knapsacks are built from root bounds, so
-/// every cut separated from them is globally valid no matter which node's
-/// fractional point exposed it.
-class CutSeparator {
- public:
-  CutSeparator(const Model& model, const std::vector<double>& lower,
-               const std::vector<double>& upper,
-               const std::vector<std::pair<int, int>>& implications)
-      : table_(build_clique_table(model, lower, upper, implications)) {
-    std::vector<PackedTerm> items;
-    for (int i = 0; i < model.constraint_count(); ++i) {
-      const lp::Constraint& row = model.lp().constraint(i);
-      if (row.sense != lp::Sense::kLessEqual) continue;
-      double rhs = 0.0;
-      if (!normalize_packing_row(model, row.terms, row.rhs, lower, upper,
-                                 &items, &rhs)) {
-        continue;
-      }
-      if (rhs <= 1e-9 || items.size() < 2) continue;
-      knapsacks_.push_back(items);
-      knapsack_rhs_.push_back(rhs);
-    }
-  }
-
-  int clique_count() const { return static_cast<int>(table_.cliques.size()); }
-  bool empty() const { return table_.cliques.empty() && knapsacks_.empty(); }
-
-  /// Collects the most violated cuts under `x` that were not added before
-  /// (at most `max_cuts`), recording their signatures as added.
-  void separate(const std::vector<double>& x, int max_cuts,
-                std::vector<CandidateCut>* out) {
-    out->clear();
-    candidates_.clear();
-    for (const Clique& clique : table_.cliques) {
-      if (clique.materialized) continue;  // identical row already present
-      double value_sum = 0.0;
-      for (const int literal : clique.literals) {
-        value_sum += literal_value(literal, x);
-      }
-      if (value_sum <= 1.0 + 1e-6) continue;
-      CandidateCut cut;
-      cut.literals = clique.literals;
-      cut.rhs_literals = 1;
-      cut.violation = value_sum - 1.0;
-      candidates_.push_back(std::move(cut));
-    }
-    for (std::size_t k = 0; k < knapsacks_.size(); ++k) {
-      separate_covers(knapsacks_[k], knapsack_rhs_[k], x, candidates_);
-    }
-    std::sort(candidates_.begin(), candidates_.end(),
-              [](const CandidateCut& a, const CandidateCut& b) {
-                if (a.violation != b.violation) {
-                  return a.violation > b.violation;
-                }
-                if (a.literals != b.literals) return a.literals < b.literals;
-                return a.rhs_literals < b.rhs_literals;
-              });
-    for (CandidateCut& cut : candidates_) {
-      if (static_cast<int>(out->size()) >= max_cuts) break;
-      if (!added_.insert(cut_signature(cut)).second) continue;
-      out->push_back(std::move(cut));
-    }
-  }
-
- private:
-  CliqueTable table_;
-  std::vector<std::vector<PackedTerm>> knapsacks_;
-  std::vector<double> knapsack_rhs_;
-  std::set<std::vector<int>> added_;
-  std::vector<CandidateCut> candidates_;
-};
+// Cut separation (CutSeparator, clique + lifted-cover) lives in
+// ilp/cut_separator.{h,cpp} so it can be unit-tested directly.
 
 class Searcher {
  public:
@@ -271,6 +92,15 @@ class Searcher {
     }
     cur_lower_ = root_lower_;
     cur_upper_ = root_upper_;
+    // Conflict-driven learning rides on the propagation machinery: the
+    // engine replays the propagator's rows with explanations and consults
+    // the learned pool at every node.
+    if (options_.conflict_learning && options_.node_propagation &&
+        propagator_ != nullptr) {
+      conflict_.emplace(model_, *propagator_, options_.max_nogoods,
+                        options_.conflict_observer);
+      conflict_->set_root_bounds(root_lower_, root_upper_);
+    }
   }
 
   Result run() {
@@ -326,21 +156,75 @@ class Searcher {
         continue;
       }
 
-      // Materialize the node's bounds from its delta chain.
-      apply_path(node);
-
-      // Constraint propagation: tighten integer bounds, or prune the whole
-      // subtree without touching the LP.
+      // Materialize the node's bounds and propagate: tighten integer
+      // bounds, or prune the whole subtree without touching the LP.
       // (The root is skipped when presolve already propagated this model
       // to a fixpoint and found nothing.)
-      if (options_.node_propagation && propagator_ != nullptr &&
-          !(node.path.empty() && root_propagated_)) {
+      const bool propagate_here = options_.node_propagation &&
+                                  propagator_ != nullptr &&
+                                  !(node.path.empty() && root_propagated_);
+      if (conflict_.has_value() && propagate_here) {
+        // Explained propagation (conflict.h): decisions are re-applied on
+        // the engine's trail, then rows, the objective-cutoff row and the
+        // learned-nogood pool propagate to a fixpoint. A refuted node is
+        // analyzed to a 1-UIP nogood whose assertion level the search
+        // backjumps to.
+        std::copy(root_lower_.begin(), root_lower_.end(), cur_lower_.begin());
+        std::copy(root_upper_.begin(), root_upper_.end(), cur_upper_.begin());
+        decisions_.clear();
+        for (const BoundDelta& delta : node.path) {
+          decisions_.push_back({delta.var, delta.lower, delta.upper});
+        }
+        conflict_->set_cutoff(have_incumbent
+                                  ? prune_threshold(incumbent_objective)
+                                  : kInfinity);
+        const ConflictEngine::NodeOutcome outcome =
+            conflict_->propagate_node(decisions_, cur_lower_, cur_upper_);
+        if (!outcome.feasible) {
+          ++result.nodes_pruned_by_propagation;
+          if (outcome.has_assertion && options_.conflict_backjumping &&
+              outcome.assertion_level < node.depth) {
+            // Backjump: re-enter the search at the assertion level. The
+            // re-pushed prefix node's region is a superset of the current
+            // leaf and of every pending sibling deeper than the assertion
+            // level, so those can all be discarded; the freshly learned
+            // nogood is unit there, and the pool propagates the asserted
+            // bound with an *expandable* reason (pushing it as a decision
+            // instead would block later resolutions through it and lets
+            // the search ping-pong between the two phases of the UIP).
+            while (!stack.empty() &&
+                   static_cast<int>(stack.back().path.size()) >
+                       outcome.assertion_level) {
+              stack.pop_back();
+              ++result.backjump_nodes_skipped;
+            }
+            ++result.backjumps;
+            Node jump;
+            jump.path.assign(
+                node.path.begin(),
+                node.path.begin() + outcome.assertion_level);
+            jump.depth = outcome.assertion_level;
+            jump.lp_budget = options_.lp_iteration_limit;
+            stack.push_back(std::move(jump));
+          } else if (outcome.bound_based) {
+            // The refuted region may still hold optimal-equal points: its
+            // dual bound is the incumbent, not +infinity. (A backjump
+            // needs no accounting — the re-pushed node re-covers the
+            // region entirely.)
+            exhausted_bound = std::min(exhausted_bound, incumbent_objective);
+          }
+          continue;
+        }
+      } else if (propagate_here) {
+        apply_path(node);
         seeds.clear();
         for (const BoundDelta& delta : node.path) seeds.push_back(delta.var);
         if (!propagator_->propagate(cur_lower_, cur_upper_, seeds)) {
           ++result.nodes_pruned_by_propagation;
           continue;
         }
+      } else {
+        apply_path(node);
       }
 
       if (use_basis_stack()) prepare_basis(node);
@@ -465,6 +349,11 @@ class Searcher {
     }
     result.basis_restores = basis_restores_;
     result.cuts_at_depth = static_cast<int>(depth_cut_rows_);
+    if (conflict_.has_value()) {
+      result.conflicts = conflict_->stats().conflicts;
+      result.nogoods_learned = conflict_->stats().nogoods_learned;
+      result.nogoods_deleted = conflict_->stats().nogoods_deleted;
+    }
     if (have_incumbent) {
       result.objective = incumbent_objective;
       result.values = std::move(incumbent);
@@ -747,6 +636,10 @@ class Searcher {
   std::vector<double> rounded_;  ///< rounding-heuristic scratch
 
   bool root_propagated_ = false;  ///< presolve already swept the root
+  /// Conflict-driven learning engine; engaged when conflict_learning and
+  /// node_propagation are both on.
+  std::optional<ConflictEngine> conflict_;
+  std::vector<ConflictEngine::Decision> decisions_;  ///< per-node scratch
   CutSeparator* separator_ = nullptr;  ///< non-null => cut-and-branch on
   std::vector<SavedBasis> basis_stack_;
   std::vector<BoundDelta> last_solved_path_;
@@ -910,6 +803,8 @@ Options legacy_solver_options() {
   options.warm_row_addition = false;
   options.basis_stack_depth = 0;
   options.cut_depth = 0;
+  options.conflict_learning = false;
+  options.conflict_backjumping = false;
   return options;
 }
 
@@ -994,6 +889,11 @@ Result solve(const Model& model, const Options& options) {
   result.warm_cut_rows = searched.warm_cut_rows;
   result.basis_restores = searched.basis_restores;
   result.cuts_at_depth = searched.cuts_at_depth;
+  result.conflicts = searched.conflicts;
+  result.nogoods_learned = searched.nogoods_learned;
+  result.nogoods_deleted = searched.nogoods_deleted;
+  result.backjumps = searched.backjumps;
+  result.backjump_nodes_skipped = searched.backjump_nodes_skipped;
   if (pres.has_value()) result.presolve_stats = pres->stats;
   if (stage.has_value()) {
     result.probe_stats = stage->probe_stats;

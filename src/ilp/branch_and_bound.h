@@ -1,8 +1,10 @@
 // Branch-and-bound MILP solver over the lp:: simplex relaxation.
 //
 // The search pipeline is: root presolve (presolve.h) -> per-node bound
-// propagation -> warm-started dual-simplex LP (lp::RevisedSimplex, one
-// factorized basis shared by the whole tree) -> pseudocost branching.
+// propagation (explained, with conflict-driven nogood learning and
+// backjumping — conflict.h) -> warm-started dual-simplex LP
+// (lp::RevisedSimplex, one factorized basis shared by the whole tree) ->
+// pseudocost branching.
 // Nodes carry sparse bound deltas against the root instead of full bound
 // vectors, and a node LP that exhausts its pivot budget is re-queued with a
 // larger budget instead of silently giving up the optimality certificate.
@@ -24,6 +26,8 @@
 #include "lp/simplex.h"
 
 namespace fpva::ilp {
+
+class ConflictObserver;  // conflict.h; Options only carries a pointer
 
 enum class ResultStatus {
   kOptimal,     ///< proven optimal incumbent
@@ -121,6 +125,33 @@ struct Options {
   /// optimum is then exactly the budget), turning the final solve into a
   /// pure feasibility dive. Read by core/ilp_models' find_minimum_*.
   bool budget_floor_rows = true;
+
+  /// Conflict-driven nogood learning (conflict.h): node propagation runs
+  /// with explanations, refuted nodes are analyzed to a 1-UIP nogood, the
+  /// learned pool propagates at every later node, and the search backjumps
+  /// to the nogood's assertion level (discarding the pending siblings its
+  /// region covers). Requires node_propagation; off restores the PR-4
+  /// search bit-exactly (node counts and all).
+  bool conflict_learning = true;
+  /// Backjump to the assertion level after a conflict (discarding pending
+  /// siblings and re-entering the prefix node, where the fresh nogood
+  /// propagates the flipped bound). Without it conflicts still learn and
+  /// the pool still prunes, but the search backtracks plain-DFS. Off by
+  /// default for the same reason cut_depth is: a backjump abandons the
+  /// completed-subtree bookkeeping of the DFS stack and re-explores
+  /// finished regions, which derails the input-order dives on structured
+  /// feasibility instances (measured: 5x5 cut-set certification 5.7 s ->
+  /// 63 s-and-uncertified). On refutation-heavy / stalled searches it is
+  /// the decisive lever — with it, bench_certify proves the 6x6 cut-set
+  /// minimum (= 4) in ~64 s where the PR-4 search exceeded 500 s without
+  /// an answer; the slow-certify CI job switches it on.
+  bool conflict_backjumping = false;
+  /// Learned-pool cap: past it, the least active half (LBD tiebreak) is
+  /// deleted.
+  int max_nogoods = 4000;
+  /// Test/diagnostic hook: sees every learned nogood at learning time
+  /// (before any pool deletion). Not owned; may be null.
+  ConflictObserver* conflict_observer = nullptr;
 };
 
 struct Result {
@@ -142,6 +173,11 @@ struct Result {
   long warm_cut_rows = 0;            ///< cut rows appended to a live basis
   long basis_restores = 0;           ///< basis-stack checkpoint restores
   int cuts_at_depth = 0;             ///< cut-and-branch rows added in-tree
+  long conflicts = 0;                ///< nodes refuted by explained propagation
+  long nogoods_learned = 0;          ///< 1-UIP nogoods added to the pool
+  long nogoods_deleted = 0;          ///< nogoods evicted by pool reduction
+  long backjumps = 0;                ///< assertion-level jumps taken
+  long backjump_nodes_skipped = 0;   ///< pending siblings a backjump discarded
 };
 
 /// The pre-PR-2 configuration: dense-tableau cold start per node, pure

@@ -1,0 +1,158 @@
+#include "ilp/cut_separator.h"
+
+#include <algorithm>
+
+namespace fpva::ilp {
+
+namespace {
+
+/// Signature used to avoid re-adding a cut across rounds.
+std::vector<int> cut_signature(const CandidateCut& cut) {
+  std::vector<int> signature = cut.literals;
+  signature.push_back(cut.rhs_literals);
+  return signature;
+}
+
+}  // namespace
+
+double literal_value(int literal, const std::vector<double>& x) {
+  const double v = x[static_cast<std::size_t>(Lit::variable(literal))];
+  return Lit::positive(literal) ? v : 1.0 - v;
+}
+
+double literal_row(const std::vector<int>& literals, int rhs_literals,
+                   std::vector<lp::Term>* terms) {
+  terms->clear();
+  terms->reserve(literals.size());
+  double rhs = static_cast<double>(rhs_literals);
+  for (const int literal : literals) {
+    if (Lit::positive(literal)) {
+      terms->push_back({Lit::variable(literal), 1.0});
+    } else {
+      terms->push_back({Lit::variable(literal), -1.0});
+      rhs -= 1.0;
+    }
+  }
+  return rhs;
+}
+
+void separate_covers(const std::vector<PackedTerm>& items, double rhs,
+                     const std::vector<double>& x,
+                     std::vector<CandidateCut>& out) {
+  double total = 0.0;
+  for (const PackedTerm& item : items) total += item.coefficient;
+  if (total <= rhs + 1e-9) return;  // no cover exists
+
+  // Greedy cover: most fractionally-loaded literals first.
+  std::vector<int> order(items.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double va = literal_value(items[static_cast<std::size_t>(a)].literal, x);
+    const double vb = literal_value(items[static_cast<std::size_t>(b)].literal, x);
+    if (va != vb) return va > vb;
+    return items[static_cast<std::size_t>(a)].literal <
+           items[static_cast<std::size_t>(b)].literal;
+  });
+  std::vector<char> in_cover(items.size(), 0);
+  double weight = 0.0;
+  for (const int i : order) {
+    if (weight > rhs + 1e-9) break;
+    in_cover[static_cast<std::size_t>(i)] = 1;
+    weight += items[static_cast<std::size_t>(i)].coefficient;
+  }
+  if (weight <= rhs + 1e-9) return;
+
+  // Minimalize: drop low-value members while the cover property survives
+  // (walk the greedy order backwards = ascending value).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto i = static_cast<std::size_t>(*it);
+    if (!in_cover[i]) continue;
+    if (weight - items[i].coefficient > rhs + 1e-9) {
+      in_cover[i] = 0;
+      weight -= items[i].coefficient;
+    }
+  }
+
+  CandidateCut cut;
+  double value_sum = 0.0;
+  double max_coefficient = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!in_cover[i]) continue;
+    cut.literals.push_back(items[i].literal);
+    value_sum += literal_value(items[i].literal, x);
+    max_coefficient = std::max(max_coefficient, items[i].coefficient);
+  }
+  cut.rhs_literals = static_cast<int>(cut.literals.size()) - 1;
+  if (cut.rhs_literals < 1) return;
+  cut.violation = value_sum - static_cast<double>(cut.rhs_literals);
+  if (cut.violation <= 1e-6) return;
+  // Extension (simple lifting): any item at least as heavy as every cover
+  // member joins with coefficient 1; the inequality stays valid for the
+  // minimal cover and only gains strength.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (in_cover[i]) continue;
+    if (items[i].coefficient >= max_coefficient - 1e-9) {
+      cut.literals.push_back(items[i].literal);
+      cut.violation += literal_value(items[i].literal, x);
+    }
+  }
+  std::sort(cut.literals.begin(), cut.literals.end());
+  out.push_back(std::move(cut));
+}
+
+CutSeparator::CutSeparator(const Model& model,
+                           const std::vector<double>& lower,
+                           const std::vector<double>& upper,
+                           const std::vector<std::pair<int, int>>& implications)
+    : table_(build_clique_table(model, lower, upper, implications)) {
+  std::vector<PackedTerm> items;
+  for (int i = 0; i < model.constraint_count(); ++i) {
+    const lp::Constraint& row = model.lp().constraint(i);
+    if (row.sense != lp::Sense::kLessEqual) continue;
+    double rhs = 0.0;
+    if (!normalize_packing_row(model, row.terms, row.rhs, lower, upper,
+                               &items, &rhs)) {
+      continue;
+    }
+    if (rhs <= 1e-9 || items.size() < 2) continue;
+    knapsacks_.push_back(items);
+    knapsack_rhs_.push_back(rhs);
+  }
+}
+
+void CutSeparator::separate(const std::vector<double>& x, int max_cuts,
+                            std::vector<CandidateCut>* out) {
+  out->clear();
+  candidates_.clear();
+  for (const Clique& clique : table_.cliques) {
+    if (clique.materialized) continue;  // identical row already present
+    double value_sum = 0.0;
+    for (const int literal : clique.literals) {
+      value_sum += literal_value(literal, x);
+    }
+    if (value_sum <= 1.0 + 1e-6) continue;
+    CandidateCut cut;
+    cut.literals = clique.literals;
+    cut.rhs_literals = 1;
+    cut.violation = value_sum - 1.0;
+    candidates_.push_back(std::move(cut));
+  }
+  for (std::size_t k = 0; k < knapsacks_.size(); ++k) {
+    separate_covers(knapsacks_[k], knapsack_rhs_[k], x, candidates_);
+  }
+  std::sort(candidates_.begin(), candidates_.end(),
+            [](const CandidateCut& a, const CandidateCut& b) {
+              if (a.violation != b.violation) {
+                return a.violation > b.violation;
+              }
+              if (a.literals != b.literals) return a.literals < b.literals;
+              return a.rhs_literals < b.rhs_literals;
+            });
+  for (CandidateCut& cut : candidates_) {
+    if (static_cast<int>(out->size()) >= max_cuts) break;
+    if (!added_.insert(cut_signature(cut)).second) continue;
+    out->push_back(std::move(cut));
+  }
+}
+
+}  // namespace fpva::ilp

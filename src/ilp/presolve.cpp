@@ -12,17 +12,12 @@ namespace fpva::ilp {
 
 namespace {
 
-constexpr double kFeasTol = 1e-7;    ///< constraint violation tolerance
-constexpr double kImprove = 1e-9;    ///< minimum accepted bound improvement
-constexpr double kIntTol = 1e-6;     ///< integrality rounding tolerance
-constexpr int kMaxRounds = 50;       ///< propagation fixpoint cap
-
-/// Rounds tightened bounds of integer variables to the integer lattice.
-void round_integer_bounds(bool is_integer, double& lo, double& hi) {
-  if (!is_integer) return;
-  lo = std::ceil(lo - kIntTol);
-  hi = std::floor(hi + kIntTol);
-}
+// Local aliases of the shared propagation tolerances (presolve.h), which
+// also provides the shared round_integer_bounds helper.
+constexpr double kFeasTol = kPropFeasTol;
+constexpr double kImprove = kPropImprove;
+constexpr double kIntTol = kPropIntTol;
+constexpr int kMaxRounds = kPropMaxRounds;
 
 constexpr int kMaxCliques = 4096;  ///< table cap after dominance filtering
 /// Above this many conflict-bitset bytes, extension/dominance is skipped

@@ -28,6 +28,7 @@
 #ifndef FPVA_ILP_PRESOLVE_H
 #define FPVA_ILP_PRESOLVE_H
 
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,24 @@
 namespace fpva::ilp {
 
 class Propagator;
+
+/// Shared propagation tolerances. Published here (not buried in
+/// presolve.cpp) because the conflict engine's explained propagation and
+/// the in-test explanation checker must deduce *exactly* the same bounds
+/// as the plain propagator, or a learned nogood would fail to re-derive.
+inline constexpr double kPropFeasTol = 1e-7;  ///< constraint violation
+inline constexpr double kPropImprove = 1e-9;  ///< min accepted improvement
+inline constexpr double kPropIntTol = 1e-6;   ///< integrality rounding
+inline constexpr int kPropMaxRounds = 50;     ///< fixpoint sweep cap
+
+/// Rounds tightened bounds of integer variables to the integer lattice.
+/// Shared for the same reason as the constants above: the propagator, the
+/// conflict engine and the explanation checker must round identically.
+inline void round_integer_bounds(bool is_integer, double& lo, double& hi) {
+  if (!is_integer) return;
+  lo = std::ceil(lo - kPropIntTol);
+  hi = std::floor(hi + kPropIntTol);
+}
 
 /// Conflict-graph literal: variable `var` asserted to 1 (positive) or to 0
 /// (complemented). Encoded as 2*var (+1 when complemented) so literals pack
@@ -155,6 +174,34 @@ class Propagator {
   /// bounds — i.e. the presolve rebuild would shrink the model.
   bool any_droppable_row(const std::vector<double>& lower,
                          const std::vector<double>& upper) const;
+
+  // Read-only view of the merged-duplicate CSR rows and the variable/row
+  // incidence, for the conflict engine (conflict.h): its explained
+  // propagation replays exactly these rows so every deduction it records
+  // is attributable to one concrete row of the model the search runs on.
+  int row_count() const { return static_cast<int>(row_sense_.size()); }
+  int variable_count() const { return variable_count_; }
+  lp::Sense row_sense(int row) const {
+    return row_sense_[static_cast<std::size_t>(row)];
+  }
+  double row_rhs(int row) const {
+    return row_rhs_[static_cast<std::size_t>(row)];
+  }
+  /// Terms of `row` as a [begin, end) pointer pair over the CSR arena.
+  std::pair<const lp::Term*, const lp::Term*> row_terms(int row) const {
+    const auto is = static_cast<std::size_t>(row);
+    return {row_terms_.data() + row_start_[is],
+            row_terms_.data() + row_start_[is + 1]};
+  }
+  bool is_integer(int var) const {
+    return integer_[static_cast<std::size_t>(var)] != 0;
+  }
+  /// Rows incident to `var` as a [begin, end) pointer pair.
+  std::pair<const int*, const int*> rows_of(int var) const {
+    const auto v = static_cast<std::size_t>(var);
+    return {var_rows_.data() + var_start_[v],
+            var_rows_.data() + var_start_[v + 1]};
+  }
 
  private:
   bool tighten_row(int row, std::vector<double>& lower,

@@ -371,6 +371,17 @@ bool RevisedSimplex::restore_basis(const BasisSnapshot& snapshot) {
       snapshot.state.size() != static_cast<std::size_t>(total_)) {
     return false;
   }
+  // Assertion-level restores after a backjump often land on a checkpoint
+  // identical to the live basis (the jump returned to the ancestor whose
+  // basis is still loaded). Adopting it would only rebuild the same
+  // factorization — skip the refactorization and keep the live one.
+  if (basis_valid_ && !numerics_failed_ && basis_ == snapshot.basis) {
+    bool same_state = true;
+    for (std::size_t j = 0; j < snapshot.state.size() && same_state; ++j) {
+      same_state = state_[j] == static_cast<VarState>(snapshot.state[j]);
+    }
+    if (same_state) return true;
+  }
   basis_ = snapshot.basis;
   for (std::size_t j = 0; j < snapshot.state.size(); ++j) {
     state_[j] = static_cast<VarState>(snapshot.state[j]);

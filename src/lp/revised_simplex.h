@@ -86,7 +86,9 @@ class RevisedSimplex {
 
   /// Adopts `snapshot` (bounds are kept as-is) and refactorizes. Returns
   /// false — leaving no reusable basis — when the snapshot's row count no
-  /// longer matches or the basis went numerically singular.
+  /// longer matches or the basis went numerically singular. Restoring a
+  /// snapshot identical to the live basis (common for assertion-level
+  /// restores after a branch-and-bound backjump) is a no-op.
   bool restore_basis(const BasisSnapshot& snapshot);
 
   /// Basis factorizations built over the lifetime of the solver.

@@ -312,19 +312,36 @@ TEST(BranchAndBoundTest, InfeasibleAfterPropagationReportsInfeasible) {
 }
 
 TEST(BranchAndBoundTest, DeterministicAcrossRuns) {
+  // Both the learning-on (default) and learning-off configurations must be
+  // bit-deterministic: node counts, pivots, conflict counters, values.
   common::Rng rng(20170327);
   const Model model = random_mip(rng);
-  Options options;
-  options.objective_is_integral = true;
-  const Result first = solve(model, options);
-  const Result second = solve(model, options);
-  ASSERT_EQ(first.status, second.status);
-  EXPECT_EQ(first.nodes, second.nodes);
-  EXPECT_EQ(first.lp_pivots, second.lp_pivots);
-  EXPECT_EQ(first.objective, second.objective);
-  ASSERT_EQ(first.values.size(), second.values.size());
-  for (std::size_t i = 0; i < first.values.size(); ++i) {
-    EXPECT_EQ(first.values[i], second.values[i]) << "value " << i;
+  for (const bool learning : {true, false}) {
+    Options options;
+    options.objective_is_integral = true;
+    options.conflict_learning = learning;
+    const Result first = solve(model, options);
+    const Result second = solve(model, options);
+    ASSERT_EQ(first.status, second.status) << "learning=" << learning;
+    EXPECT_EQ(first.nodes, second.nodes) << "learning=" << learning;
+    EXPECT_EQ(first.lp_pivots, second.lp_pivots) << "learning=" << learning;
+    EXPECT_EQ(first.objective, second.objective) << "learning=" << learning;
+    EXPECT_EQ(first.conflicts, second.conflicts) << "learning=" << learning;
+    EXPECT_EQ(first.nogoods_learned, second.nogoods_learned)
+        << "learning=" << learning;
+    EXPECT_EQ(first.backjumps, second.backjumps) << "learning=" << learning;
+    if (!learning) {
+      // The off configuration must not touch the learning machinery at
+      // all (it restores the PR-4 search bit-exactly).
+      EXPECT_EQ(first.conflicts, 0);
+      EXPECT_EQ(first.nogoods_learned, 0);
+      EXPECT_EQ(first.backjumps, 0);
+    }
+    ASSERT_EQ(first.values.size(), second.values.size());
+    for (std::size_t i = 0; i < first.values.size(); ++i) {
+      EXPECT_EQ(first.values[i], second.values[i])
+          << "value " << i << " learning=" << learning;
+    }
   }
 }
 
