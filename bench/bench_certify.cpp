@@ -6,10 +6,14 @@
 // conflict learning + backjumping; the open frontier is 7x7 and up —
 // point the size argument there.
 //
-// Usage:  bench_certify [n] [per-stage-seconds] [out.json]
+// Usage:  bench_certify [n] [per-stage-seconds] [out.json] [threads]
 //   n                  array size (default 6)
 //   per-stage-seconds  ilp time limit per escalation stage (default 600)
 //   out.json           solver-stats artifact (default certify_stats.json)
+//   threads            workers for BOTH parallel layers — budget stages
+//                      run concurrently and each stage's tree search is
+//                      work-stealing parallel (default 1 = serial,
+//                      bit-identical counters; 0 = hardware concurrency)
 //
 // Exit status: 0 when the run completed (certified or not — the nightly
 // job tracks, it does not gate), 2 on bad arguments or an infeasible
@@ -19,6 +23,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/parallel.h"
 #include "core/ilp_models.h"
 #include "grid/presets.h"
 
@@ -41,13 +46,15 @@ int main(int argc, char** argv) {
   int n = 6;
   double stage_seconds = 600.0;
   std::string out_path = "certify_stats.json";
+  int threads = 1;
   if (argc > 1) n = std::atoi(argv[1]);
   if (argc > 2) stage_seconds = std::atof(argv[2]);
   if (argc > 3) out_path = argv[3];
-  if (n < 2 || n > 12 || stage_seconds <= 0.0) {
+  if (argc > 4) threads = std::atoi(argv[4]);
+  if (n < 2 || n > 12 || stage_seconds <= 0.0 || threads < 0) {
     std::fprintf(stderr,
                  "usage: bench_certify [n=6] [per-stage-seconds=600] "
-                 "[out.json]\n");
+                 "[out.json] [threads=1]\n");
     return 2;
   }
 
@@ -59,10 +66,14 @@ int main(int argc, char** argv) {
   // stalled frontier stages this probe exists for: with it, the 6x6
   // budget-4 stage proves its optimum in under a minute.
   options.conflict_backjumping = true;
+  options.threads = threads;
+  options.escalation_threads = threads;
+  const int resolved = common::resolve_thread_count(threads);
   std::printf("bench_certify: %dx%d cut-set minimum, %.0f s per stage, "
-              "conflict learning %s + backjumping\n",
+              "conflict learning %s + backjumping, %d thread%s\n",
               n, n, stage_seconds,
-              options.conflict_learning ? "on" : "off");
+              options.conflict_learning ? "on" : "off", resolved,
+              resolved == 1 ? "" : "s");
 
   const auto result = core::find_minimum_cut_sets(array, 1, 10, true,
                                                   options);
@@ -88,7 +99,8 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   if (out.good()) {
     out << "{\n  \"array\": " << n << ",\n  \"stage_limit_seconds\": "
-        << stage_seconds << ",\n  \"cut_budget\": " << result->cut_budget
+        << stage_seconds << ",\n  \"threads\": " << resolved
+        << ",\n  \"cut_budget\": " << result->cut_budget
         << ",\n  \"proven_minimal\": "
         << (result->proven_minimal ? "true" : "false") << ",\n  \"stages\": [";
     for (std::size_t i = 0; i < result->stages.size(); ++i) {

@@ -1,0 +1,132 @@
+// Parallel-search scaling probe -> BENCH_parallel.json.
+//
+// Two scaling families, each swept over a thread count:
+//
+//  * BM_CutSetParallel/n/T — find_minimum_cut_sets with both parallel
+//    layers on (T escalation workers x T subtree workers). The 1-thread
+//    entries emit the full deterministic counter set (nodes, pivots,
+//    conflicts, ...) and CI exact-matches them against the committed
+//    baseline: threads == 1 must stay bit-identical to the serial solver.
+//    Multi-thread entries emit only the thread-invariant answers (budget,
+//    proven) — node order is scheduling-dependent, the certified minimum
+//    is not.
+//  * BM_CampaignCatalogParallel/T — run_campaign_catalog over a small
+//    catalog of arrays. `detected` is emitted at every thread count:
+//    the counter-seeded trial RNG makes detection counts thread-invariant
+//    by construction, so a mismatch at any T is a sharding bug.
+//
+// Wall-clock speedup curves are CI artifacts (runner-dependent), never
+// gated; the counters are the merge gate. See bench/run_benchmarks.sh and
+// .github/workflows/ci.yml.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/ilp_models.h"
+#include "grid/presets.h"
+#include "sim/campaign.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace fpva;
+
+void BM_CutSetParallel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const grid::ValveArray array = grid::full_array(n, n);
+  ilp::Options options;
+  options.threads = threads;
+  options.escalation_threads = threads;
+  long nodes = 0;
+  long pivots = 0;
+  long conflicts = 0;
+  long learned = 0;
+  int budget = 0;
+  bool proven = false;
+  for (auto _ : state) {
+    const auto result = core::find_minimum_cut_sets(array, 1, 8, true,
+                                                    options);
+    if (!result.has_value()) {
+      state.SkipWithError("cut ILP infeasible");
+      break;
+    }
+    nodes = result->ilp.nodes;
+    pivots = result->ilp.lp_pivots;
+    conflicts = result->ilp.conflicts;
+    learned = result->ilp.nogoods_learned;
+    budget = result->cut_budget;
+    proven = result->proven_minimal;
+    benchmark::DoNotOptimize(result->cut_budget);
+  }
+  // Thread-invariant answers: gated at every thread count.
+  state.counters["budget"] = static_cast<double>(budget);
+  state.counters["proven"] = proven ? 1.0 : 0.0;
+  if (threads == 1) {
+    // Deterministic only on the serial path: exact-matched by CI.
+    state.counters["nodes"] = static_cast<double>(nodes);
+    state.counters["pivots"] = static_cast<double>(pivots);
+    state.counters["conflicts"] = static_cast<double>(conflicts);
+    state.counters["learned"] = static_cast<double>(learned);
+  }
+}
+BENCHMARK(BM_CutSetParallel)
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({3, 4})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CampaignCatalogParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::vector<grid::ValveArray> arrays = {grid::full_array(4, 4),
+                                                grid::table1_array(5),
+                                                grid::full_array(3, 6)};
+  std::vector<std::vector<sim::TestVector>> vectors;
+  for (const grid::ValveArray& array : arrays) {
+    const sim::Simulator simulator(array);
+    sim::TestVector vector;
+    vector.states = sim::ValveStates(
+        static_cast<std::size_t>(array.valve_count()), true);
+    vector.expected = simulator.expected(vector.states);
+    vectors.push_back({std::move(vector)});
+  }
+  sim::CampaignOptions options;
+  options.trials_per_count = 4096;
+  options.max_faults = 4;
+  options.include_control_leaks = true;
+  std::vector<sim::CatalogEntry> entries;
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    sim::CatalogEntry entry;
+    entry.array = &arrays[i];
+    entry.vectors = vectors[i];
+    entry.options = options;
+    entries.push_back(entry);
+  }
+  long detected = 0;
+  long trials = 0;
+  for (auto _ : state) {
+    const auto results = sim::run_campaign_catalog(entries, threads);
+    detected = 0;
+    trials = 0;
+    for (const sim::CampaignResult& result : results) {
+      for (const sim::CampaignRow& row : result.rows) {
+        detected += row.detected;
+        trials += row.trials;
+      }
+    }
+    benchmark::DoNotOptimize(detected);
+  }
+  // Counter-seeded trial RNG: identical at every thread count, gated.
+  state.counters["detected"] = static_cast<double>(detected);
+  state.counters["trials"] = static_cast<double>(trials);
+}
+BENCHMARK(BM_CampaignCatalogParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

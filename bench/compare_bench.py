@@ -56,6 +56,11 @@ def main():
     parser.add_argument("--exact-counters", default="",
                         help="answer-quality counters where ANY increase "
                              "fails, with no slack (e.g. budget)")
+    parser.add_argument("--equal-counters", default="",
+                        help="deterministic counters that must match the "
+                             "baseline bit-exactly in BOTH directions (the "
+                             "parallel determinism gate: 1-thread runs must "
+                             "reproduce the serial counters)")
     parser.add_argument("--exclude", default="",
                         help="comma-separated substrings; benchmarks whose "
                              "name contains one are reported but not gated "
@@ -70,6 +75,8 @@ def main():
     min_counters = [c.strip() for c in args.min_counters.split(",")
                     if c.strip()]
     exact_counters = [c.strip() for c in args.exact_counters.split(",")
+                      if c.strip()]
+    equal_counters = [c.strip() for c in args.equal_counters.split(",")
                       if c.strip()]
     baseline = load_benchmarks(args.baseline)
     fresh = load_benchmarks(args.fresh)
@@ -90,7 +97,8 @@ def main():
         excluded = any(e in name for e in excludes)
         for counter, mode in ([(c, "max") for c in counters] +
                               [(c, "min") for c in min_counters] +
-                              [(c, "exact") for c in exact_counters]):
+                              [(c, "exact") for c in exact_counters] +
+                              [(c, "equal") for c in equal_counters]):
             if counter not in baseline[name]:
                 if counter in fresh[name]:
                     # The fresh run emits a gated counter the committed
@@ -132,6 +140,11 @@ def main():
             new = float(fresh[name][counter])
             if mode == "min":
                 regressed = new < base * (1.0 - args.threshold)
+            elif mode == "equal":
+                # Determinism gate: the counter must reproduce bit-exactly
+                # (a decrease is as much a red flag as an increase — it
+                # means the "deterministic" path took a different tree).
+                regressed = new != base
             elif mode == "exact":
                 # Answer quality (e.g. the proven-minimal budget): any
                 # increase at all is a correctness regression.

@@ -4,6 +4,7 @@
 #
 #   BENCH_ilp.json       <- bench_ilp_solver   (LP/ILP solver substrate)
 #   BENCH_batch_sim.json <- bench_batch_sim_micro (campaign engines)
+#   BENCH_parallel.json  <- bench_parallel     (thread-scaling probes)
 #
 # Usage:
 #   bench/run_benchmarks.sh                 # full run (default min time)
@@ -18,6 +19,10 @@ extra_args=()
 if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
   extra_args+=("--benchmark_min_time=${BENCH_MIN_TIME}")
 fi
+# Record the runner's parallel capacity in the JSON context so the
+# thread-scaling curves in BENCH_parallel.json can be read against the
+# hardware they were measured on.
+extra_args+=("--benchmark_context=hardware_concurrency=$(nproc)")
 
 failures=0
 run_one() {
@@ -40,5 +45,6 @@ run_one() {
 
 run_one bench_ilp_solver BENCH_ilp.json
 run_one bench_batch_sim_micro BENCH_batch_sim.json
+run_one bench_parallel BENCH_parallel.json
 
 exit "$failures"

@@ -1,0 +1,57 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fpva::common {
+
+int resolve_thread_count(int requested) {
+  if (requested >= 1) return requested;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+int plan_workers(int thread_count, std::size_t job_count) {
+  const auto resolved =
+      static_cast<std::size_t>(resolve_thread_count(thread_count));
+  return static_cast<int>(std::min(resolved, std::max<std::size_t>(
+                                                 job_count, 1)));
+}
+
+void run_jobs(int thread_count, std::size_t job_count,
+              const std::function<void(int, std::size_t)>& fn) {
+  const int workers = plan_workers(thread_count, job_count);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  const auto worker_loop = [&](int worker) noexcept {
+    try {
+      for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        const std::size_t job = next.fetch_add(1, std::memory_order_relaxed);
+        if (job >= job_count) return;
+        fn(worker, job);
+      }
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!failure) failure = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);  // the calling thread is worker 0
+  for (std::thread& thread : threads) thread.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace fpva::common

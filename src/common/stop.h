@@ -1,0 +1,77 @@
+// Cooperative cancellation for parallel search.
+//
+// A StopSource owns a stop flag; its StopToken is a cheap copyable view
+// that readers poll. Tokens compose: StopSource(parent_token) builds a
+// source whose token trips when either the new source or any ancestor
+// requests a stop, which is how a budget-escalation stage inherits the
+// caller's token while staying individually cancellable.
+//
+// Polling uses relaxed atomics on purpose: a stop request only asks
+// workers to wind down, and every data handoff in this codebase happens
+// through a mutex or a thread join, which provide the ordering.
+#ifndef FPVA_COMMON_STOP_H
+#define FPVA_COMMON_STOP_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace fpva::common {
+
+/// Read side of one or more stop flags. Default-constructed tokens are
+/// empty: stop_possible() is false and stop_requested() is a no-op
+/// returning false, so threading a token through a hot loop costs nothing
+/// when nobody can cancel it.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// True when some StopSource could still trip this token.
+  bool stop_possible() const { return !flags_.empty(); }
+
+  /// True once any linked source requested a stop.
+  bool stop_requested() const {
+    for (const auto& flag : flags_) {
+      if (flag->load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+ private:
+  friend class StopSource;
+  std::vector<std::shared_ptr<const std::atomic<bool>>> flags_;
+};
+
+/// Owner of a stop flag. Copies share the flag.
+class StopSource {
+ public:
+  StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// A source linked under `parent`: its token also trips when any of the
+  /// parent token's sources request a stop.
+  explicit StopSource(const StopToken& parent) : StopSource() {
+    parent_ = parent;
+  }
+
+  void request_stop() { flag_->store(true, std::memory_order_relaxed); }
+
+  bool stop_requested() const {
+    return flag_->load(std::memory_order_relaxed) ||
+           parent_.stop_requested();
+  }
+
+  /// Token observing this source and every ancestor it was linked under.
+  StopToken token() const {
+    StopToken token = parent_;
+    token.flags_.push_back(flag_);
+    return token;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+  StopToken parent_;
+};
+
+}  // namespace fpva::common
+
+#endif  // FPVA_COMMON_STOP_H

@@ -4,9 +4,15 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/stop.h"
 #include "common/strings.h"
 #include "core/cut_planner.h"
 #include "ilp/presolve.h"
@@ -397,17 +403,104 @@ std::optional<IlpPathResult> solve_flow_path_model(
 
 namespace {
 
+/// One pre-solved escalation stage (parallel path). `usable` means the
+/// solve ran to completion with no cancellation — its outcome is exactly
+/// what a from-scratch solve of the same (budget, floor) model would
+/// produce, so the serial replay loop may consume it in place of a live
+/// solve.
+template <typename ResultT>
+struct StageCache {
+  std::optional<ResultT> result;
+  ilp::Result failure;
+  int floor = 0;
+  bool usable = false;
+};
+
+/// Parallel III-B-3 stage pre-solve: runs the escalation stages
+/// concurrently — the refutations of budgets 1..b-1 overlap the budget-b
+/// feasibility dive — with speculative floor pinning (stage b > first runs
+/// the pinned model the serial loop would run once every smaller budget is
+/// refuted). The first feasible budget cancels every larger stage through
+/// per-stage stop tokens (all children of `options.stop`); jobs are
+/// claimed in ascending budget order so small refutations start first.
+/// Stages whose token tripped mid-solve are marked unusable and simply
+/// re-solved by the replay loop in the rare case it reaches them.
+template <typename ResultT, typename SolveBudget>
+std::vector<StageCache<ResultT>> precompute_stages(
+    int first_budget, int last_budget, const ilp::Options& options,
+    int threads, SolveBudget& solve_budget) {
+  const int count = last_budget - first_budget + 1;
+  std::vector<StageCache<ResultT>> cache(static_cast<std::size_t>(count));
+  std::vector<common::StopSource> stops;
+  stops.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) stops.emplace_back(options.stop);
+
+  std::mutex mutex;
+  int winner = last_budget + 1;  // smallest feasible budget seen so far
+  common::run_jobs(
+      threads, static_cast<std::size_t>(count),
+      [&](int /*worker*/, std::size_t job) {
+        const int budget = first_budget + static_cast<int>(job);
+        common::StopSource& stop = stops[job];
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          if (budget > winner || stop.stop_requested()) return;
+        }
+        ilp::Options stage_options = options;
+        stage_options.escalation_threads = 1;  // no recursive stage fan-out
+        stage_options.stop = stop.token();
+        StageCache<ResultT>& slot = cache[job];
+        // Speculative pinning: the serial loop pins stage b's floor at b
+        // once budgets first..b-1 are all refuted; run that model
+        // optimistically. (A pinned feasible point is feasible unpinned
+        // too, so even invalidated speculation never misleads the replay —
+        // it just re-solves live.)
+        slot.floor =
+            options.budget_floor_rows && budget > first_budget ? budget : 0;
+        slot.result =
+            solve_budget(budget, slot.floor, stage_options, &slot.failure);
+        const std::lock_guard<std::mutex> lock(mutex);
+        // A token that tripped during the solve truncated it; whatever it
+        // returned does not represent the full stage.
+        slot.usable = !stop.stop_requested();
+        if (slot.usable && slot.result.has_value() && budget < winner) {
+          winner = budget;
+          for (int j = 0; j < count; ++j) {
+            if (first_budget + j > winner) stops[static_cast<std::size_t>(j)]
+                .request_stop();
+          }
+        }
+      });
+  return cache;
+}
+
 /// Shared III-B-3 budget-escalation loop with optimality-certificate
 /// tracking. A budget-k model admits every cover of at most k chains
 /// (unused chains stay empty), so one proven-infeasible budget certifies
 /// that no smaller cover exists and the next model can pin its use
-/// indicators (objective floor). `solve_budget(budget, floor, &failure)`
-/// returns the engine result or nullopt with the failure diagnostics.
+/// indicators (objective floor). `solve_budget(budget, floor, opts,
+/// &failure)` returns the engine result or nullopt with the failure
+/// diagnostics.
+///
+/// With options.escalation_threads > 1 the stages are pre-solved
+/// concurrently (precompute_stages above) and the loop below consumes a
+/// cached stage whenever its floor matches the one the serial rules
+/// compute — so the stage sequence, certificates, and (with
+/// options.threads == 1 and no limits hit) per-stage counters are
+/// identical to the single-threaded escalation.
 template <typename ResultT, typename SolveBudget>
 std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
-                                        bool budget_floor_rows,
+                                        const ilp::Options& options,
                                         const char* kind,
                                         SolveBudget&& solve_budget) {
+  const bool budget_floor_rows = options.budget_floor_rows;
+  std::vector<StageCache<ResultT>> cache;
+  const int escalation_threads =
+      common::resolve_thread_count(options.escalation_threads);
+  if (escalation_threads > 1 && last_budget > first_budget) {
+    cache = precompute_stages<ResultT>(first_budget, last_budget, options,
+                                       escalation_threads, solve_budget);
+  }
   int proven_floor = 0;
   // Factorization and conflict work done by the abandoned/infeasible
   // budget stages. The headline counters (nodes, pivots) keep their
@@ -438,10 +531,22 @@ std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
     stages.push_back(stage);
   };
   for (int budget = first_budget; budget <= last_budget; ++budget) {
+    if (options.stop.stop_requested()) return std::nullopt;
     ilp::Result failure;
     const int floor =
         budget_floor_rows && proven_floor == budget ? proven_floor : 0;
-    std::optional<ResultT> result = solve_budget(budget, floor, &failure);
+    std::optional<ResultT> result;
+    const std::size_t slot_index =
+        static_cast<std::size_t>(budget - first_budget);
+    StageCache<ResultT>* slot =
+        slot_index < cache.size() ? &cache[slot_index] : nullptr;
+    if (slot != nullptr && slot->usable && slot->floor == floor) {
+      // The pre-solved stage ran exactly the model this iteration wants.
+      result = std::move(slot->result);
+      failure = slot->failure;
+    } else {
+      result = solve_budget(budget, floor, options, &failure);
+    }
     if (result.has_value()) {
       // A proven-optimal final solve is a minimality certificate on
       // either path, so earlier stages abandoned on limits cannot poison
@@ -501,9 +606,11 @@ std::optional<IlpPathResult> find_minimum_flow_paths(
     const grid::ValveArray& array, int first_budget, int last_budget,
     const ilp::Options& options) {
   return escalate_budgets<IlpPathResult>(
-      first_budget, last_budget, options.budget_floor_rows, "flow-path",
-      [&](int budget, int floor, ilp::Result* failure) {
-        return solve_flow_path_model(array, budget, options, floor, failure);
+      first_budget, last_budget, options, "flow-path",
+      [&](int budget, int floor, const ilp::Options& stage_options,
+          ilp::Result* failure) {
+        return solve_flow_path_model(array, budget, stage_options, floor,
+                                     failure);
       });
 }
 
@@ -601,10 +708,11 @@ std::optional<IlpCutResult> find_minimum_cut_sets(
     const grid::ValveArray& array, int first_budget, int last_budget,
     bool masking_exclusion, const ilp::Options& options) {
   return escalate_budgets<IlpCutResult>(
-      first_budget, last_budget, options.budget_floor_rows, "cut-set",
-      [&](int budget, int floor, ilp::Result* failure) {
-        return solve_cut_set_model(array, budget, masking_exclusion, options,
-                                   floor, failure);
+      first_budget, last_budget, options, "cut-set",
+      [&](int budget, int floor, const ilp::Options& stage_options,
+          ilp::Result* failure) {
+        return solve_cut_set_model(array, budget, masking_exclusion,
+                                   stage_options, floor, failure);
       });
 }
 

@@ -1,14 +1,19 @@
 #include "ilp/branch_and_bound.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "ilp/conflict.h"
@@ -49,6 +54,168 @@ struct Node {
 
 // Cut separation (CutSeparator, clique + lifted-cover) lives in
 // ilp/cut_separator.{h,cpp} so it can be unit-tested directly.
+
+/// Per-worker conflict observer of the parallel search: buffers every
+/// locally learned nogood for publication to the other workers, and
+/// forwards to the user's observer (serialized — workers learn
+/// concurrently but the hook contract stays single-threaded).
+class PublishingObserver : public ConflictObserver {
+ public:
+  PublishingObserver(ConflictObserver* user, std::mutex* user_mutex)
+      : user_(user), user_mutex_(user_mutex) {}
+
+  void on_learned(const Model& model, const Nogood& nogood) override {
+    if (user_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(*user_mutex_);
+      user_->on_learned(model, nogood);
+    }
+    fresh.push_back(nogood);
+  }
+
+  std::vector<Nogood> fresh;  ///< learned since the last flush
+
+ private:
+  ConflictObserver* user_ = nullptr;
+  std::mutex* user_mutex_ = nullptr;
+};
+
+/// State shared by the workers of one parallel tree search: the subtree
+/// job queue (donation-based work stealing), the incumbent, the
+/// published-nogood exchange, and the global limit/halt flags. The
+/// coordinator seeds the queue with the root node and merges the final
+/// result after the workers join.
+///
+/// Soundness of the shared pieces: the incumbent objective only ever
+/// decreases, so a worker pruning against a stale (larger) value prunes
+/// a subset of what it could, and a bound-based nogood recorded under a
+/// learner's cutoff stays valid for every importer (whose cutoff is at
+/// most the learner's by monotonicity). exhausted_bound min-folds the
+/// dual bounds of pruned regions across workers, exactly like the
+/// serial search's single fold.
+struct SharedSearch {
+  common::Timer timer;  ///< one clock for the whole search
+
+  // Subtree job queue. `active` counts workers inside a subtree; the
+  // search is done when the queue is empty and nobody is active.
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<Node> queue;
+  std::atomic<std::size_t> queue_size{0};  ///< starvation hint, lock-free
+  int active = 0;
+  bool done = false;
+
+  // Shared incumbent. The atomic mirrors the mutex-guarded canonical
+  // value so workers can refresh their pruning threshold without a lock.
+  std::mutex incumbent_mutex;
+  std::atomic<double> incumbent_objective{kInfinity};
+  std::vector<double> incumbent_values;
+  bool have_incumbent = false;
+
+  // Cross-worker nogood exchange: appended under publish_mutex, read by
+  // importers from their own cursor. The atomic count lets workers skip
+  // the lock when nothing new was published.
+  std::mutex publish_mutex;
+  std::vector<std::pair<int, Nogood>> published;  ///< (origin worker, clause)
+  std::atomic<std::size_t> published_count{0};
+  std::mutex observer_mutex;  ///< serializes the user's ConflictObserver
+
+  // Global accounting.
+  std::atomic<long> nodes_total{0};
+  std::atomic<bool> limits{false};      ///< time/node limit or stop token
+  std::atomic<bool> bound_lost{false};  ///< a subtree lost its dual bound
+  std::atomic<bool> halt{false};        ///< workers must wind down
+  std::mutex exhausted_mutex;
+  double exhausted_bound = kInfinity;
+
+  /// Blocks until a job, global completion, or a halt. Returns nullopt
+  /// when the search is over (empty queue and no active worker).
+  std::optional<Node> next_job() {
+    std::unique_lock<std::mutex> lock(queue_mutex);
+    for (;;) {
+      if (done) return std::nullopt;
+      if (!queue.empty()) {
+        Node job = std::move(queue.front());
+        queue.pop_front();
+        queue_size.store(queue.size(), std::memory_order_relaxed);
+        ++active;
+        return job;
+      }
+      if (active == 0) {
+        done = true;
+        queue_cv.notify_all();
+        return std::nullopt;
+      }
+      queue_cv.wait(lock);
+    }
+  }
+
+  void finish_job() {
+    const std::lock_guard<std::mutex> lock(queue_mutex);
+    --active;
+    if (active == 0 && queue.empty()) {
+      done = true;
+      queue_cv.notify_all();
+    }
+  }
+
+  void donate(Node node) {
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      queue.push_back(std::move(node));
+      queue_size.store(queue.size(), std::memory_order_relaxed);
+    }
+    queue_cv.notify_one();
+  }
+
+  bool queue_starving() const {
+    return queue_size.load(std::memory_order_relaxed) == 0;
+  }
+
+  bool halted() const { return halt.load(std::memory_order_relaxed); }
+
+  void request_halt() {
+    halt.store(true, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      done = true;
+    }
+    queue_cv.notify_all();
+  }
+
+  void hit_limits() {
+    limits.store(true, std::memory_order_relaxed);
+    request_halt();
+  }
+
+  /// Adopts a strictly better incumbent; false when a concurrent worker
+  /// already holds one at least as good.
+  bool offer_incumbent(double objective, const std::vector<double>& values) {
+    const std::lock_guard<std::mutex> lock(incumbent_mutex);
+    if (have_incumbent &&
+        objective >=
+            incumbent_objective.load(std::memory_order_relaxed) - 1e-12) {
+      return false;
+    }
+    incumbent_values = values;
+    have_incumbent = true;
+    incumbent_objective.store(objective, std::memory_order_relaxed);
+    return true;
+  }
+
+  void fold_exhausted(double bound) {
+    const std::lock_guard<std::mutex> lock(exhausted_mutex);
+    exhausted_bound = std::min(exhausted_bound, bound);
+  }
+
+  void publish(int worker, std::vector<Nogood>* fresh) {
+    const std::lock_guard<std::mutex> lock(publish_mutex);
+    for (Nogood& nogood : *fresh) {
+      published.emplace_back(worker, std::move(nogood));
+    }
+    fresh->clear();
+    published_count.store(published.size(), std::memory_order_release);
+  }
+};
 
 class Searcher {
  public:
@@ -103,7 +270,27 @@ class Searcher {
     }
   }
 
-  Result run() {
+  Result run() { return run_impl(nullptr, 0, nullptr); }
+
+  /// One worker of a parallel tree search: pulls subtree jobs off
+  /// `shared`, processes each through the same node loop as the serial
+  /// search, and communicates via the shared incumbent, nogood exchange
+  /// and job queue. The returned Result carries this worker's share of
+  /// the counters only; the coordinator merges incumbent/status/bounds
+  /// from `shared`.
+  Result run_worker(SharedSearch& shared, int worker_id,
+                    PublishingObserver* publish) {
+    return run_impl(&shared, worker_id, publish);
+  }
+
+ private:
+  /// The node loop. `shared == nullptr` is the serial search — that path
+  /// is kept bit-identical to the single-threaded solver (every parallel
+  /// hook is behind a null check), which the 1-thread determinism CI
+  /// gate relies on.
+  Result run_impl(SharedSearch* shared, int worker_id,
+                  PublishingObserver* publish) {
+    worker_id_ = worker_id;
     common::Timer timer;
     Result result;
     const int n = model_.variable_count();
@@ -125,9 +312,11 @@ class Searcher {
     }
 
     std::vector<Node> stack;
-    Node root;
-    root.lp_budget = options_.lp_iteration_limit;
-    stack.push_back(std::move(root));
+    if (shared == nullptr) {
+      Node root;
+      root.lp_budget = options_.lp_iteration_limit;
+      stack.push_back(std::move(root));
+    }
 
     double incumbent_objective = kInfinity;
     std::vector<double> incumbent;
@@ -137,16 +326,50 @@ class Searcher {
     bool limits_hit = false;
     bool bound_lost = false;  // a subtree was dropped without a dual bound
     std::vector<int> seeds;
+    int job_depth = 0;  // depth of the current subtree job's root
 
+    for (;;) {
+    if (shared != nullptr) {
+      std::optional<Node> job = shared->next_job();
+      if (!job.has_value()) break;
+      job_depth = static_cast<int>(job->path.size());
+      stack.push_back(std::move(*job));
+    }
     while (!stack.empty()) {
-      if (timer.seconds() > options_.time_limit_seconds ||
-          result.nodes >= options_.max_nodes) {
-        limits_hit = true;
-        break;
+      if (shared == nullptr) {
+        if (timer.seconds() > options_.time_limit_seconds ||
+            result.nodes >= options_.max_nodes ||
+            options_.stop.stop_requested()) {
+          limits_hit = true;
+          break;
+        }
+      } else {
+        if (shared->timer.seconds() > options_.time_limit_seconds ||
+            shared->nodes_total.load(std::memory_order_relaxed) >=
+                options_.max_nodes ||
+            options_.stop.stop_requested()) {
+          shared->hit_limits();
+        }
+        if (shared->halted()) {
+          limits_hit = true;
+          break;
+        }
+        // Adopt everything the other workers found since the last node:
+        // their published nogoods and any better incumbent.
+        import_published(*shared);
+        const double global_incumbent =
+            shared->incumbent_objective.load(std::memory_order_relaxed);
+        if (global_incumbent < incumbent_objective) {
+          incumbent_objective = global_incumbent;
+          have_incumbent = true;
+        }
       }
       Node node = std::move(stack.back());
       stack.pop_back();
       ++result.nodes;
+      if (shared != nullptr) {
+        shared->nodes_total.fetch_add(1, std::memory_order_relaxed);
+      }
 
       // Bound-based pruning using the parent's LP bound before paying for
       // this node's bounds setup and LP.
@@ -180,10 +403,22 @@ class Searcher {
                                   : kInfinity);
         const ConflictEngine::NodeOutcome outcome =
             conflict_->propagate_node(decisions_, cur_lower_, cur_upper_);
+        if (shared != nullptr && publish != nullptr &&
+            !publish->fresh.empty()) {
+          shared->publish(worker_id, &publish->fresh);
+        }
+        // A worker never backjumps above its subtree job's root: the
+        // region up there may be owned by other workers, and re-covering
+        // it would duplicate their search. The learned nogood is unit at
+        // the clamped level too (more bounds are fixed there), so the
+        // asserted bound still propagates and progress is preserved.
+        const int jump_level =
+            shared == nullptr ? outcome.assertion_level
+                              : std::max(outcome.assertion_level, job_depth);
         if (!outcome.feasible) {
           ++result.nodes_pruned_by_propagation;
           if (outcome.has_assertion && options_.conflict_backjumping &&
-              outcome.assertion_level < node.depth) {
+              jump_level < node.depth) {
             // Backjump: re-enter the search at the assertion level. The
             // re-pushed prefix node's region is a superset of the current
             // leaf and of every pending sibling deeper than the assertion
@@ -194,16 +429,15 @@ class Searcher {
             // the search ping-pong between the two phases of the UIP).
             while (!stack.empty() &&
                    static_cast<int>(stack.back().path.size()) >
-                       outcome.assertion_level) {
+                       jump_level) {
               stack.pop_back();
               ++result.backjump_nodes_skipped;
             }
             ++result.backjumps;
             Node jump;
-            jump.path.assign(
-                node.path.begin(),
-                node.path.begin() + outcome.assertion_level);
-            jump.depth = outcome.assertion_level;
+            jump.path.assign(node.path.begin(),
+                             node.path.begin() + jump_level);
+            jump.depth = jump_level;
             jump.lp_budget = options_.lp_iteration_limit;
             stack.push_back(std::move(jump));
           } else if (outcome.bound_based) {
@@ -281,9 +515,16 @@ class Searcher {
       if (model_.is_feasible(rounded_, options_.integrality_tolerance * 10)) {
         const double rounded_objective = model_.lp().objective_value(rounded_);
         if (rounded_objective < incumbent_objective - 1e-12) {
-          incumbent_objective = rounded_objective;
-          incumbent = rounded_;
-          have_incumbent = true;
+          if (shared != nullptr) {
+            if (shared->offer_incumbent(rounded_objective, rounded_)) {
+              incumbent_objective = rounded_objective;
+              have_incumbent = true;
+            }
+          } else {
+            incumbent_objective = rounded_objective;
+            incumbent = rounded_;
+            have_incumbent = true;
+          }
         }
       }
 
@@ -295,9 +536,17 @@ class Searcher {
                                options_.integrality_tolerance * 100) &&
             model_.lp().objective_value(rounded_) <
                 incumbent_objective - 1e-12) {
-          incumbent_objective = model_.lp().objective_value(rounded_);
-          incumbent = rounded_;
-          have_incumbent = true;
+          const double leaf_objective = model_.lp().objective_value(rounded_);
+          if (shared != nullptr) {
+            if (shared->offer_incumbent(leaf_objective, rounded_)) {
+              incumbent_objective = leaf_objective;
+              have_incumbent = true;
+            }
+          } else {
+            incumbent_objective = leaf_objective;
+            incumbent = rounded_;
+            have_incumbent = true;
+          }
         }
         continue;
       }
@@ -339,6 +588,28 @@ class Searcher {
         stack.push_back(std::move(down));
         stack.push_back(std::move(up));
       }
+
+      // Work stealing by donation: when the shared queue runs dry, hand
+      // over this worker's shallowest pending node (the biggest chunk of
+      // its remaining work) instead of letting siblings idle.
+      if (shared != nullptr && stack.size() >= 2 &&
+          shared->queue_starving()) {
+        shared->donate(std::move(stack.front()));
+        stack.erase(stack.begin());
+        ++result.subtrees_donated;
+      }
+    }
+    if (shared == nullptr) break;
+    stack.clear();  // non-empty only after a halt; those bounds are covered
+                    // by the limits flag the halt was raised with
+    shared->finish_job();
+    }
+
+    if (shared != nullptr) {
+      shared->fold_exhausted(exhausted_bound);
+      if (bound_lost) {
+        shared->bound_lost.store(true, std::memory_order_relaxed);
+      }
     }
 
     result.seconds = timer.seconds();
@@ -353,6 +624,7 @@ class Searcher {
       result.conflicts = conflict_->stats().conflicts;
       result.nogoods_learned = conflict_->stats().nogoods_learned;
       result.nogoods_deleted = conflict_->stats().nogoods_deleted;
+      result.nogoods_imported = conflict_->stats().nogoods_imported;
     }
     if (have_incumbent) {
       result.objective = incumbent_objective;
@@ -375,6 +647,23 @@ class Searcher {
   }
 
  private:
+  /// Adopts the nogoods other workers published since this worker's last
+  /// look. The lock is skipped entirely (one relaxed load) when nothing
+  /// new arrived; worker_id_ filters out this worker's own clauses.
+  void import_published(SharedSearch& shared) {
+    if (!conflict_.has_value()) return;
+    if (shared.published_count.load(std::memory_order_acquire) ==
+        publish_cursor_) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(shared.publish_mutex);
+    for (; publish_cursor_ < shared.published.size(); ++publish_cursor_) {
+      const auto& entry = shared.published[publish_cursor_];
+      if (entry.first == worker_id_) continue;
+      conflict_->import_nogood(entry.second);
+    }
+  }
+
   /// One basis-stack checkpoint: the basis left behind by an ancestor
   /// node, keyed by that ancestor's bound-delta path.
   struct SavedBasis {
@@ -636,6 +925,8 @@ class Searcher {
   std::vector<double> rounded_;  ///< rounding-heuristic scratch
 
   bool root_propagated_ = false;  ///< presolve already swept the root
+  int worker_id_ = 0;             ///< parallel worker id (0 when serial)
+  std::size_t publish_cursor_ = 0;  ///< exchange entries already imported
   /// Conflict-driven learning engine; engaged when conflict_learning and
   /// node_propagation are both on.
   std::optional<ConflictEngine> conflict_;
@@ -652,10 +943,94 @@ class Searcher {
   std::vector<double> pc_down_sum_, pc_down_count_;
 };
 
+/// Coordinator of the parallel tree search: seeds the shared queue with
+/// the root node, runs `workers` Searcher instances (each with its own
+/// simplex engine, propagator and conflict engine — their scratch state
+/// is not concurrently usable), and merges the per-worker counters with
+/// the shared incumbent/bound state using exactly the serial search's
+/// status rules.
+Result solve_parallel_tree(const Model& model, const Options& options,
+                           int workers, bool root_propagated) {
+  SharedSearch shared;
+  Node root;
+  root.lp_budget = options.lp_iteration_limit;
+  shared.queue.push_back(std::move(root));
+  shared.queue_size.store(1, std::memory_order_relaxed);
+
+  std::vector<Result> partials(static_cast<std::size_t>(workers));
+  common::run_jobs(
+      workers, static_cast<std::size_t>(workers),
+      [&](int, std::size_t job) {
+        // The job index (not the pool's worker id) names the searcher: a
+        // pool thread that finds the search already over picks up the
+        // next job and must not overwrite an earlier searcher's share.
+        PublishingObserver publish(options.conflict_observer,
+                                   &shared.observer_mutex);
+        Options worker_options = options;
+        worker_options.conflict_observer = &publish;
+        try {
+          Searcher searcher(model, worker_options, nullptr, root_propagated,
+                            nullptr);
+          partials[job] =
+              searcher.run_worker(shared, static_cast<int>(job), &publish);
+        } catch (...) {
+          shared.request_halt();
+          throw;
+        }
+      });
+
+  Result result;
+  result.threads_used = workers;
+  for (const Result& partial : partials) {
+    result.nodes += partial.nodes;
+    result.lp_pivots += partial.lp_pivots;
+    result.nodes_pruned_by_propagation += partial.nodes_pruned_by_propagation;
+    result.lp_refactorizations += partial.lp_refactorizations;
+    result.lp_basis_updates += partial.lp_basis_updates;
+    result.warm_cut_rows += partial.warm_cut_rows;
+    result.basis_restores += partial.basis_restores;
+    result.conflicts += partial.conflicts;
+    result.nogoods_learned += partial.nogoods_learned;
+    result.nogoods_deleted += partial.nogoods_deleted;
+    result.nogoods_imported += partial.nogoods_imported;
+    result.backjumps += partial.backjumps;
+    result.backjump_nodes_skipped += partial.backjump_nodes_skipped;
+    result.subtrees_donated += partial.subtrees_donated;
+  }
+
+  const bool limits_hit = shared.limits.load(std::memory_order_relaxed);
+  const bool bound_lost = shared.bound_lost.load(std::memory_order_relaxed);
+  if (shared.have_incumbent) {
+    result.objective =
+        shared.incumbent_objective.load(std::memory_order_relaxed);
+    result.values = std::move(shared.incumbent_values);
+    result.best_bound =
+        limits_hit ? -kInfinity
+                   : std::min(shared.exhausted_bound, result.objective);
+    result.status = limits_hit || bound_lost ? ResultStatus::kFeasible
+                                             : ResultStatus::kOptimal;
+  } else if (!limits_hit && !bound_lost) {
+    result.status = ResultStatus::kInfeasible;
+    result.best_bound = kInfinity;
+  } else {
+    result.status = ResultStatus::kUnknown;
+    result.best_bound = -kInfinity;
+  }
+  result.seconds = shared.timer.seconds();
+  return result;
+}
+
 Result solve_without_presolve(const Model& model, const Options& options,
                               const Propagator* shared_propagator = nullptr,
                               bool root_propagated = false,
                               CutSeparator* separator = nullptr) {
+  const int workers = common::resolve_thread_count(options.threads);
+  if (workers > 1 && model.variable_count() > 0) {
+    // The parallel search builds per-worker propagators and skips
+    // cut-and-branch (the separator appends rows to one shared basis,
+    // which only the serial search owns).
+    return solve_parallel_tree(model, options, workers, root_propagated);
+  }
   Searcher searcher(model, options, shared_propagator, root_propagated,
                     separator);
   return searcher.run();
@@ -743,6 +1118,7 @@ RootStage run_root_stage(const Model& base, const Options& options,
   std::vector<lp::Term> terms;
   for (int round = 0; round < options.max_cut_rounds; ++round) {
     if (timer.seconds() > options.time_limit_seconds * 0.5) break;
+    if (options.stop.stop_requested()) break;
     lp::Solution relaxation;
     if (warm_solver.has_value()) {
       relaxation = round == 0 ? warm_solver->solve_cold()
@@ -894,6 +1270,9 @@ Result solve(const Model& model, const Options& options) {
   result.nogoods_deleted = searched.nogoods_deleted;
   result.backjumps = searched.backjumps;
   result.backjump_nodes_skipped = searched.backjump_nodes_skipped;
+  result.threads_used = searched.threads_used;
+  result.nogoods_imported = searched.nogoods_imported;
+  result.subtrees_donated = searched.subtrees_donated;
   if (pres.has_value()) result.presolve_stats = pres->stats;
   if (stage.has_value()) {
     result.probe_stats = stage->probe_stats;

@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/stop.h"
 #include "ilp/model.h"
 #include "ilp/presolve.h"
 #include "lp/simplex.h"
@@ -150,8 +151,27 @@ struct Options {
   /// deleted.
   int max_nogoods = 4000;
   /// Test/diagnostic hook: sees every learned nogood at learning time
-  /// (before any pool deletion). Not owned; may be null.
+  /// (before any pool deletion). Not owned; may be null. With threads > 1
+  /// the workers share the hook and calls are serialized by a mutex.
   ConflictObserver* conflict_observer = nullptr;
+
+  /// Worker threads for the tree search (subtree parallelism with a
+  /// shared incumbent and cross-worker nogood exchange). 1 keeps the
+  /// serial search — bit-identical counters to the single-threaded
+  /// solver; <= 0 means std::thread::hardware_concurrency(). Multi-
+  /// threaded runs reach the same optimum/status but their counters and
+  /// incumbent tie-breaks depend on scheduling. Cut-and-branch
+  /// (cut_depth) applies only to the serial search.
+  int threads = 1;
+  /// Worker threads for the III-B-3 budget-escalation loop in
+  /// core/ilp_models' find_minimum_*: stages (budgets) run concurrently
+  /// and the first feasible budget cancels every larger stage. Same
+  /// convention as `threads`; the two compose (stages x subtrees).
+  int escalation_threads = 1;
+  /// Cooperative cancellation: the search winds down (reporting
+  /// kFeasible/kUnknown, like a time limit) soon after the token trips.
+  /// Default-constructed tokens never trip and cost nothing to poll.
+  common::StopToken stop;
 };
 
 struct Result {
@@ -178,6 +198,9 @@ struct Result {
   long nogoods_deleted = 0;          ///< nogoods evicted by pool reduction
   long backjumps = 0;                ///< assertion-level jumps taken
   long backjump_nodes_skipped = 0;   ///< pending siblings a backjump discarded
+  int threads_used = 1;              ///< tree-search workers actually used
+  long nogoods_imported = 0;         ///< nogoods adopted from other workers
+  long subtrees_donated = 0;         ///< nodes handed to the shared queue
 };
 
 /// The pre-PR-2 configuration: dense-tableau cold start per node, pure

@@ -718,6 +718,19 @@ void ConflictEngine::learn(Nogood nogood) {
   ++stats_.nogoods_learned;
 }
 
+bool ConflictEngine::import_nogood(const Nogood& nogood) {
+  if (nogood.lits.empty()) return false;
+  if (find_duplicate(nogood) >= 0) return false;
+  Nogood copy = nogood;
+  copy.activity = activity_inc_;
+  sig_to_index_[signature(copy)] = static_cast<int>(pool_.size());
+  pool_.push_back(std::move(copy));
+  register_nogood(static_cast<int>(pool_.size()) - 1);
+  ++stats_.nogoods_imported;
+  if (static_cast<int>(pool_.size()) > max_nogoods_) reduce_pool();
+  return true;
+}
+
 void ConflictEngine::reduce_pool() {
   // Keep the most active half; ties favour low LBD, then short clauses,
   // then age. Runs only between nodes (trail reason indices are dead).

@@ -72,6 +72,7 @@ struct ConflictStats {
   long nogoods_learned = 0;   ///< nogoods added to the pool
   long nogoods_deleted = 0;   ///< nogoods evicted by pool reduction
   long nogood_propagations = 0;  ///< bounds tightened by pool unit steps
+  long nogoods_imported = 0;  ///< foreign nogoods adopted via import_nogood
 };
 
 /// Per-node conflict analysis engine. Built once per search over the same
@@ -128,6 +129,17 @@ class ConflictEngine {
   const ConflictStats& stats() const { return stats_; }
   /// Live pool (post-deletion); tests inspect it, the search never does.
   const std::vector<Nogood>& pool() const { return pool_; }
+
+  /// Adopts a nogood learned by another engine over the same model (the
+  /// parallel search's cross-worker exchange). The caller guarantees
+  /// validity: model-implied clauses transfer unconditionally, and
+  /// bound-based clauses transfer because the shared objective cutoff
+  /// only ever tightens, so the importer's cutoff is at most the one the
+  /// clause was derived under. `lits` must be in the learner's canonical
+  /// (sorted) order. Duplicates and empty clauses are dropped (returns
+  /// false). The observer is NOT notified — it documents locally derived
+  /// clauses only. Must be called between propagate_node calls.
+  bool import_nogood(const Nogood& nogood);
 
  private:
   // Reason kinds of a trail entry (reason_row values < 0).

@@ -1,12 +1,11 @@
 #include "sim/campaign.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "sim/batch.h"
 
 namespace fpva::sim {
@@ -296,86 +295,96 @@ CampaignResult run_campaign_scalar(const Simulator& simulator,
 ParallelCampaignRunner::ParallelCampaignRunner(const grid::ValveArray& array,
                                                int thread_count)
     : array_(&array),
-      thread_count_(thread_count > 0
-                        ? thread_count
-                        : std::max(1u,
-                                   std::thread::hardware_concurrency())) {}
+      thread_count_(common::resolve_thread_count(thread_count)) {}
 
 CampaignResult ParallelCampaignRunner::run(
     std::span<const TestVector> vectors,
     const CampaignOptions& options) const {
-  validate_options(*array_, options);
-  const std::vector<LeakPair> leak_pairs =
-      resolve_leak_pairs(*array_, options);
+  const CatalogEntry entry{array_, vectors, options};
+  return std::move(
+      run_campaign_catalog(std::span<const CatalogEntry>(&entry, 1),
+                           thread_count_)
+          .front());
+}
 
-  // Flatten the campaign into fixed-size shard jobs so threads stay busy
-  // across fault counts; each job's result lands in its own slot, making
-  // the merge (and therefore the CampaignResult) independent of thread
-  // scheduling.
+std::vector<CampaignResult> run_campaign_catalog(
+    std::span<const CatalogEntry> entries, int thread_count) {
+  // Validate everything before any thread spawns so errors surface as
+  // plain exceptions on the caller.
+  std::vector<std::vector<LeakPair>> leak_pairs;
+  leak_pairs.reserve(entries.size());
+  for (const CatalogEntry& entry : entries) {
+    common::check(entry.array != nullptr,
+                  "run_campaign_catalog: entry without an array");
+    validate_options(*entry.array, entry.options);
+    leak_pairs.push_back(resolve_leak_pairs(*entry.array, entry.options));
+  }
+
+  // Flatten every entry's campaign into fixed-size shard jobs so threads
+  // stay busy across fault counts and array boundaries; each job's result
+  // lands in its own slot, making the merge (and therefore every
+  // CampaignResult) independent of thread scheduling.
   struct Job {
+    std::size_t entry;
     int fault_count;
     int first_trial;
     int count;
   };
   std::vector<Job> jobs;
-  for (int k = options.min_faults; k <= options.max_faults; ++k) {
-    for (int first = 0; first < options.trials_per_count;
-         first += kShardTrials) {
-      jobs.push_back({k, first,
-                      std::min(kShardTrials,
-                               options.trials_per_count - first)});
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const CampaignOptions& options = entries[e].options;
+    for (int k = options.min_faults; k <= options.max_faults; ++k) {
+      for (int first = 0; first < options.trials_per_count;
+           first += kShardTrials) {
+        jobs.push_back({e, k, first,
+                        std::min(kShardTrials,
+                                 options.trials_per_count - first)});
+      }
     }
   }
 
   std::vector<ShardOutcome> outcomes(jobs.size());
-  std::atomic<std::size_t> next{0};
-  // The first failure (e.g. a common::Error from an unplaceable fault draw)
-  // is rethrown on the calling thread after the join, so callers see the
-  // same catchable exception run_campaign would throw.
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-  const auto worker = [&]() noexcept {
-    try {
-      const BatchSimulator batch(*array_);
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= jobs.size()) return;
-        const Job& job = jobs[i];
-        outcomes[i] =
-            evaluate_shard(batch, vectors, options, leak_pairs,
-                           job.fault_count, job.first_trial, job.count);
-      }
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(failure_mutex);
-      if (!failure) failure = std::current_exception();
-    }
+  // Each worker keeps the BatchSimulator of the entry it last touched;
+  // jobs are claimed in index order, so a worker streams through one
+  // array's shards before crossing into the next.
+  struct WorkerCache {
+    std::size_t entry = 0;
+    std::unique_ptr<BatchSimulator> batch;
   };
-  const std::size_t spawned = std::min(
-      static_cast<std::size_t>(thread_count_), std::max<std::size_t>(
-                                                   jobs.size(), 1));
-  std::vector<std::thread> threads;
-  threads.reserve(spawned);
-  for (std::size_t t = 0; t + 1 < spawned; ++t) {
-    threads.emplace_back(worker);
-  }
-  worker();  // the calling thread is worker #0
-  for (std::thread& thread : threads) thread.join();
-  if (failure) std::rethrow_exception(failure);
+  std::vector<WorkerCache> caches(static_cast<std::size_t>(
+      common::plan_workers(thread_count, jobs.size())));
+  common::run_jobs(
+      thread_count, jobs.size(), [&](int worker, std::size_t i) {
+        const Job& job = jobs[i];
+        WorkerCache& cache = caches[static_cast<std::size_t>(worker)];
+        if (!cache.batch || cache.entry != job.entry) {
+          cache.batch =
+              std::make_unique<BatchSimulator>(*entries[job.entry].array);
+          cache.entry = job.entry;
+        }
+        outcomes[i] = evaluate_shard(
+            *cache.batch, entries[job.entry].vectors,
+            entries[job.entry].options, leak_pairs[job.entry],
+            job.fault_count, job.first_trial, job.count);
+      });
 
-  CampaignResult result;
+  std::vector<CampaignResult> results(entries.size());
   std::size_t job_index = 0;
-  for (int k = options.min_faults; k <= options.max_faults; ++k) {
-    CampaignRow row;
-    row.fault_count = k;
-    row.trials = options.trials_per_count;
-    for (int first = 0; first < options.trials_per_count;
-         first += kShardTrials) {
-      fold_shard(row, std::move(outcomes[job_index++]),
-                 options.max_undetected_kept);
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const CampaignOptions& options = entries[e].options;
+    for (int k = options.min_faults; k <= options.max_faults; ++k) {
+      CampaignRow row;
+      row.fault_count = k;
+      row.trials = options.trials_per_count;
+      for (int first = 0; first < options.trials_per_count;
+           first += kShardTrials) {
+        fold_shard(row, std::move(outcomes[job_index++]),
+                   options.max_undetected_kept);
+      }
+      results[e].rows.push_back(std::move(row));
     }
-    result.rows.push_back(std::move(row));
   }
-  return result;
+  return results;
 }
 
 }  // namespace fpva::sim

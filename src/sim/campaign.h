@@ -85,10 +85,11 @@ CampaignResult run_campaign_scalar(const Simulator& simulator,
                                    std::span<const TestVector> vectors,
                                    const CampaignOptions& options = {});
 
-/// Shards the campaign's 64-trial batches across worker threads, each with
-/// its own BatchSimulator. Because every trial owns its RNG stream and
-/// batches are merged in trial order, the CampaignResult is bit-identical
-/// for any thread count (including the single-threaded run_campaign).
+/// Shards the campaign's trial range across worker threads (via
+/// common::run_jobs), each worker with its own BatchSimulator. Because
+/// every trial owns its RNG stream and shards are merged in trial order,
+/// the CampaignResult is bit-identical for any thread count (including
+/// the single-threaded run_campaign).
 class ParallelCampaignRunner {
  public:
   /// `thread_count` 0 means std::thread::hardware_concurrency().
@@ -104,6 +105,23 @@ class ParallelCampaignRunner {
   const grid::ValveArray* array_;
   int thread_count_;
 };
+
+/// One array's campaign inside a catalog run. The array and the vector
+/// span must outlive the run_campaign_catalog call.
+struct CatalogEntry {
+  const grid::ValveArray* array = nullptr;
+  std::span<const TestVector> vectors;
+  CampaignOptions options;
+};
+
+/// Runs every entry's campaign in one process, flattening all entries'
+/// shard jobs into a single pool so workers stay busy across array
+/// boundaries (the tail shards of a small array overlap the head shards
+/// of the next). Results land at the entry's index and each is
+/// bit-identical to run_campaign on that entry alone, for any
+/// `thread_count` (0 means std::thread::hardware_concurrency()).
+std::vector<CampaignResult> run_campaign_catalog(
+    std::span<const CatalogEntry> entries, int thread_count = 0);
 
 }  // namespace fpva::sim
 

@@ -203,6 +203,60 @@ TEST(ParallelCampaignTest, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelCampaignTest, CatalogMatchesPerArrayRuns) {
+  // One sharded process over a whole catalog must reproduce each array's
+  // standalone campaign bit-for-bit, at any thread count.
+  const std::vector<grid::ValveArray> arrays = {grid::full_array(3, 3),
+                                                grid::table1_array(5),
+                                                grid::full_array(2, 5)};
+  common::Rng rng(91);
+  std::vector<std::vector<TestVector>> vectors;
+  std::vector<CampaignResult> references;
+  std::vector<CatalogEntry> entries;
+  CampaignOptions options;
+  options.trials_per_count = 300;
+  options.max_faults = 3;
+  options.include_control_leaks = true;
+  for (const grid::ValveArray& array : arrays) {
+    const Simulator simulator(array);
+    std::vector<TestVector> array_vectors;
+    for (int i = 0; i < 3; ++i) {
+      TestVector vector;
+      vector.states = random_states(rng, array);
+      vector.expected = simulator.expected(vector.states);
+      array_vectors.push_back(std::move(vector));
+    }
+    vectors.push_back(std::move(array_vectors));
+    references.push_back(run_campaign(simulator, vectors.back(), options));
+  }
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    CatalogEntry entry;
+    entry.array = &arrays[i];
+    entry.vectors = vectors[i];
+    entry.options = options;
+    entries.push_back(entry);
+  }
+  for (const int threads : {1, 4}) {
+    const auto results = run_campaign_catalog(entries, threads);
+    ASSERT_EQ(results.size(), references.size()) << threads;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].rows.size(), references[i].rows.size())
+          << threads << " threads, entry " << i;
+      for (std::size_t row = 0; row < results[i].rows.size(); ++row) {
+        EXPECT_EQ(results[i].rows[row].detected,
+                  references[i].rows[row].detected)
+            << threads << " threads, entry " << i << ", row " << row;
+        EXPECT_EQ(results[i].rows[row].trials,
+                  references[i].rows[row].trials)
+            << threads << " threads, entry " << i << ", row " << row;
+        EXPECT_EQ(results[i].rows[row].undetected_samples,
+                  references[i].rows[row].undetected_samples)
+            << threads << " threads, entry " << i << ", row " << row;
+      }
+    }
+  }
+}
+
 TEST(ParallelCampaignTest, DefaultThreadCountIsPositive) {
   const auto array = grid::full_array(3, 3);
   const ParallelCampaignRunner runner(array);

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "common/stop.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "common/timer.h"
@@ -126,6 +130,80 @@ TEST(TableTest, AlignsColumns) {
   EXPECT_NE(text.find("1704"), std::string::npos);
   EXPECT_EQ(table.row_count(), 2u);
   EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(StopTokenTest, EmptyTokenNeverTrips) {
+  const StopToken token;
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopTokenTest, SourceTripsItsToken) {
+  StopSource source;
+  const StopToken token = source.token();
+  EXPECT_TRUE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(source.stop_requested());
+}
+
+TEST(StopTokenTest, CopiesShareTheFlag) {
+  StopSource source;
+  const StopSource copy = source;
+  const StopToken token = copy.token();
+  source.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(StopTokenTest, ChildTripsOnParentOrOwnStop) {
+  StopSource parent;
+  StopSource child_a(parent.token());
+  StopSource child_b(parent.token());
+  const StopToken a = child_a.token();
+  const StopToken b = child_b.token();
+  child_a.request_stop();  // sibling stop stays local
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_FALSE(b.stop_requested());
+  parent.request_stop();  // parent stop reaches every child
+  EXPECT_TRUE(b.stop_requested());
+}
+
+TEST(ParallelTest, ResolveThreadCount) {
+  EXPECT_EQ(resolve_thread_count(1), 1);
+  EXPECT_EQ(resolve_thread_count(7), 7);
+  EXPECT_GE(resolve_thread_count(0), 1);   // hardware concurrency
+  EXPECT_GE(resolve_thread_count(-3), 1);
+}
+
+TEST(ParallelTest, PlanWorkersNeverExceedsJobs) {
+  EXPECT_EQ(plan_workers(8, 3), 3);
+  EXPECT_EQ(plan_workers(2, 100), 2);
+  EXPECT_EQ(plan_workers(4, 0), 1);  // degenerate: the calling thread
+}
+
+TEST(ParallelTest, RunJobsExecutesEveryJobExactlyOnce) {
+  for (const int threads : {1, 4, 8}) {
+    const std::size_t jobs = 37;
+    std::vector<std::atomic<int>> hits(jobs);
+    run_jobs(threads, jobs, [&](int worker, std::size_t job) {
+      EXPECT_GE(worker, 0);
+      hits[job].fetch_add(1);
+    });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1) << threads;
+  }
+}
+
+TEST(ParallelTest, RunJobsPropagatesTheFirstException) {
+  for (const int threads : {1, 4}) {
+    EXPECT_THROW(
+        run_jobs(threads, 8,
+                 [](int, std::size_t job) {
+                   if (job == 3) fail("job exploded");
+                 }),
+        Error)
+        << threads;
+  }
 }
 
 TEST(TimerTest, MeasuresForwardTime) {
