@@ -7,6 +7,7 @@
 // point the size argument there.
 //
 // Usage:  bench_certify [n] [per-stage-seconds] [out.json] [threads]
+//                       [store-dir] [deadline-seconds]
 //   n                  array size (default 6)
 //   per-stage-seconds  ilp time limit per escalation stage (default 600)
 //   out.json           solver-stats artifact (default certify_stats.json)
@@ -14,16 +15,38 @@
 //                      run concurrently and each stage's tree search is
 //                      work-stealing parallel (default 1 = serial,
 //                      bit-identical counters; 0 = hardware concurrency)
+//   store-dir          certificate-store directory; "-" (default) disables
+//                      persistence. With a store, a rerun resumes: stored
+//                      refutations replay, stored witnesses re-verify, and
+//                      a killed or deadline-truncated run picks up where
+//                      it checkpointed.
+//   deadline-seconds   whole-campaign wall-clock deadline (default: none).
+//                      On expiry the current stage checkpoints its anytime
+//                      certificate to the store and the process exits 3.
 //
-// Exit status: 0 when the run completed (certified or not — the nightly
-// job tracks, it does not gate), 2 on bad arguments or an infeasible
-// model. The JSON artifact records `proven_minimal` for the dashboard.
+// In FPVA_FAILPOINTS builds the probe arms fault injection from
+// FPVA_FAILPOINT_SEED / FPVA_FAILPOINT_SPEC before running — the nightly
+// kill/resume loop SIGKILLs it mid-stage this way (see
+// tests/failpoint_seeds.txt).
+//
+// Exit status:
+//   0  campaign completed with a PROVEN minimal certificate
+//   2  bad arguments, or no cut cover found (infeasible model / no result)
+//   3  campaign ran but the certificate is incomplete: abandoned stages,
+//      an unproven cover, or a deadline checkpoint (resume by rerunning
+//      with the same store-dir)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 
+#include "common/deadline.h"
+#include "common/failpoint.h"
 #include "common/parallel.h"
+#include "common/stop.h"
+#include "core/cert_store.h"
 #include "core/ilp_models.h"
 #include "grid/presets.h"
 
@@ -39,6 +62,33 @@ const char* status_name(fpva::ilp::ResultStatus status) {
   return "?";
 }
 
+[[noreturn]] void usage_error() {
+  std::fprintf(stderr,
+               "usage: bench_certify [n=6] [per-stage-seconds=600] "
+               "[out.json] [threads=1] [store-dir=-] "
+               "[deadline-seconds=none]\n"
+               "  2 <= n <= 12; per-stage-seconds > 0; threads >= 0;\n"
+               "  deadline-seconds > 0 when given; store-dir \"-\" "
+               "disables the certificate store\n");
+  std::exit(2);
+}
+
+/// Strict numeric parsing: atoi-style silent zeroes on garbage have bitten
+/// this probe before (a mistyped flag order quietly became "0 threads").
+long parse_long(const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') usage_error();
+  return value;
+}
+
+double parse_double(const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') usage_error();
+  return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,16 +97,24 @@ int main(int argc, char** argv) {
   double stage_seconds = 600.0;
   std::string out_path = "certify_stats.json";
   int threads = 1;
-  if (argc > 1) n = std::atoi(argv[1]);
-  if (argc > 2) stage_seconds = std::atof(argv[2]);
+  std::string store_dir = "-";
+  double deadline_seconds = 0.0;  // 0 = none
+  if (argc > 7) usage_error();
+  if (argc > 1) n = static_cast<int>(parse_long(argv[1]));
+  if (argc > 2) stage_seconds = parse_double(argv[2]);
   if (argc > 3) out_path = argv[3];
-  if (argc > 4) threads = std::atoi(argv[4]);
-  if (n < 2 || n > 12 || stage_seconds <= 0.0 || threads < 0) {
-    std::fprintf(stderr,
-                 "usage: bench_certify [n=6] [per-stage-seconds=600] "
-                 "[out.json] [threads=1]\n");
-    return 2;
+  if (argc > 4) threads = static_cast<int>(parse_long(argv[4]));
+  if (argc > 5) store_dir = argv[5];
+  if (argc > 6) deadline_seconds = parse_double(argv[6]);
+  if (n < 2 || n > 12 || stage_seconds <= 0.0 || threads < 0 ||
+      out_path.empty() || store_dir.empty() ||
+      (argc > 6 && deadline_seconds <= 0.0)) {
+    usage_error();
   }
+
+  // Deterministic fault injection for the kill/resume CI loop; a no-op
+  // without FPVA_FAILPOINTS or when the env vars are unset.
+  common::failpoint::arm_from_env();
 
   const grid::ValveArray array = grid::full_array(n, n);
   ilp::Options options;
@@ -68,16 +126,38 @@ int main(int argc, char** argv) {
   options.conflict_backjumping = true;
   options.threads = threads;
   options.escalation_threads = threads;
+  if (deadline_seconds > 0.0) {
+    options.stop = common::StopToken{}.with_deadline(
+        common::Deadline::after(deadline_seconds));
+  }
+  std::unique_ptr<core::CertStore> store;
+  if (store_dir != "-") {
+    store = std::make_unique<core::CertStore>(store_dir);
+    if (!store->enabled()) {
+      std::fprintf(stderr, "bench_certify: store dir %s unusable; running "
+                           "without persistence\n",
+                   store_dir.c_str());
+    }
+  }
   const int resolved = common::resolve_thread_count(threads);
   std::printf("bench_certify: %dx%d cut-set minimum, %.0f s per stage, "
-              "conflict learning %s + backjumping, %d thread%s\n",
+              "conflict learning %s + backjumping, %d thread%s%s%s\n",
               n, n, stage_seconds,
               options.conflict_learning ? "on" : "off", resolved,
-              resolved == 1 ? "" : "s");
+              resolved == 1 ? "" : "s",
+              store ? ", store " : "",
+              store ? store_dir.c_str() : "");
 
   const auto result = core::find_minimum_cut_sets(array, 1, 10, true,
-                                                  options);
+                                                  options, store.get());
   if (!result.has_value()) {
+    if (options.stop.stop_requested()) {
+      std::fprintf(stderr, "bench_certify: deadline expired; progress "
+                           "checkpointed%s — rerun with the same store to "
+                           "resume\n",
+                   store ? "" : " NOWHERE (no store-dir given)");
+      return 3;
+    }
     std::fprintf(stderr, "bench_certify: no cut cover found (limits or "
                          "infeasible model)\n");
     return 2;
@@ -120,5 +200,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_certify: cannot write %s\n",
                  out_path.c_str());
   }
-  return 0;
+  // The nightly gate: anything short of a proven minimum is a nonzero
+  // exit so the kill/resume loop and the dashboard can both trust the
+  // status code alone. (A proven-optimal final stage subsumes earlier
+  // abandoned stages — see the certificate argument in core/ilp_models —
+  // so proven_minimal is the complete criterion.)
+  return result->proven_minimal ? 0 : 3;
 }

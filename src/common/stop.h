@@ -9,12 +9,19 @@
 // Polling uses relaxed atomics on purpose: a stop request only asks
 // workers to wind down, and every data handoff in this codebase happens
 // through a mutex or a thread join, which provide the ordering.
+//
+// Wall-clock deadlines (deadline.h) compose onto the same tree:
+// with_deadline() returns a token that additionally trips once the clock
+// passes the deadline, and StopSource(parent) inherits the parent's
+// deadlines along with its flags. Tokens without deadlines pay nothing.
 #ifndef FPVA_COMMON_STOP_H
 #define FPVA_COMMON_STOP_H
 
 #include <atomic>
 #include <memory>
 #include <vector>
+
+#include "common/deadline.h"
 
 namespace fpva::common {
 
@@ -26,20 +33,38 @@ class StopToken {
  public:
   StopToken() = default;
 
-  /// True when some StopSource could still trip this token.
-  bool stop_possible() const { return !flags_.empty(); }
+  /// True when some StopSource could still trip this token (or a deadline
+  /// will).
+  bool stop_possible() const {
+    return !flags_.empty() || !deadlines_.empty();
+  }
 
-  /// True once any linked source requested a stop.
+  /// True once any linked source requested a stop or any attached deadline
+  /// expired.
   bool stop_requested() const {
     for (const auto& flag : flags_) {
       if (flag->load(std::memory_order_relaxed)) return true;
     }
+    for (const Deadline& deadline : deadlines_) {
+      if (deadline.expired()) return true;
+    }
     return false;
+  }
+
+  /// A copy of this token that additionally trips once `deadline` expires.
+  /// Inactive deadlines are dropped, so composing a default Deadline is
+  /// free. Sources linked under the returned token (StopSource(parent))
+  /// inherit the deadline.
+  StopToken with_deadline(const Deadline& deadline) const {
+    StopToken token = *this;
+    if (deadline.active()) token.deadlines_.push_back(deadline);
+    return token;
   }
 
  private:
   friend class StopSource;
   std::vector<std::shared_ptr<const std::atomic<bool>>> flags_;
+  std::vector<Deadline> deadlines_;
 };
 
 /// Owner of a stop flag. Copies share the flag.

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <numeric>
 #include <optional>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -14,9 +17,11 @@
 #include "common/parallel.h"
 #include "common/stop.h"
 #include "common/strings.h"
+#include "core/cert_store.h"
 #include "core/cut_planner.h"
 #include "ilp/presolve.h"
 #include "lp/model.h"
+#include "sim/simulator.h"
 
 namespace fpva::core {
 
@@ -416,32 +421,117 @@ struct StageCache {
   bool usable = false;
 };
 
+/// Everything escalate_budgets needs to persist/resume stages through a
+/// CertStore. Default-constructed (null store) hooks are inert and keep
+/// the loop byte-for-byte on its historical path.
+template <typename ResultT>
+struct StoreHooks {
+  CertStore* store = nullptr;
+  std::string key;
+  std::string config_fp;
+  std::string limits_fp;
+  /// Feasible-stage witness codec: serialize the cover to opaque lines,
+  /// and rebuild + re-validate it (simulator replay, coverage, budget).
+  /// verify returning nullopt degrades that stage to a live re-solve.
+  std::function<std::vector<std::string>(const ResultT&)> serialize;
+  std::function<std::optional<ResultT>(int, const std::vector<std::string>&)>
+      verify;
+};
+
+/// The solver configuration a certificate depends on. Two runs with equal
+/// config fingerprints walk identical search trees (at 1 thread), so a
+/// recorded refutation from one is a refutation for the other. Limits
+/// (time, nodes) are fingerprinted separately: a *proven* stage outcome
+/// survives a limit change, a limit-abandoned one does not.
+std::string fingerprint_config(const ilp::Options& options) {
+  return common::cat(
+      "v1 tol=", options.integrality_tolerance,
+      " int=", options.objective_is_integral, " pre=", options.presolve,
+      " prop=", options.node_propagation, " warm=", options.warm_start,
+      " pc=", options.pseudocost_branching,
+      " branch=", static_cast<int>(options.branching),
+      " retries=", options.max_lp_retries,
+      " alg=", static_cast<int>(options.lp_algorithm),
+      " fact=", static_cast<int>(options.lp_factorization),
+      " warmrow=", options.warm_row_addition,
+      " stack=", options.basis_stack_depth, " cutdepth=", options.cut_depth,
+      " devex=", options.devex_pricing, " probe=", options.probing,
+      " clique=", options.clique_cuts, " cutrounds=", options.max_cut_rounds,
+      " cutsper=", options.max_cuts_per_round,
+      " orbit=", options.orbit_symmetry_rows,
+      " floorrows=", options.budget_floor_rows,
+      " learn=", options.conflict_learning,
+      " jump=", options.conflict_backjumping,
+      " nogoods=", options.max_nogoods, " threads=", options.threads,
+      " lpiter=", options.lp_iteration_limit);
+}
+
+std::string fingerprint_limits(const ilp::Options& options) {
+  return common::cat("nodes=", options.max_nodes,
+                     " seconds=", options.time_limit_seconds);
+}
+
+/// Whether a finished stage record may substitute for a live solve under
+/// the current configuration. Proven outcomes (infeasible refutations and
+/// proven-optimal covers) only need the search config to match; outcomes
+/// shaped by limits (abandoned stages, unproven covers) also need the
+/// limits to match, or the replay would diverge from a fresh run.
+template <typename ResultT>
+bool record_trusted(const StageRecord& record, const StoreHooks<ResultT>& hooks,
+                    int floor) {
+  if (record.partial || record.config_fp != hooks.config_fp ||
+      record.floor != floor) {
+    return false;
+  }
+  const bool proven = record.stage.status == ilp::ResultStatus::kInfeasible ||
+                      record.stage.status == ilp::ResultStatus::kOptimal;
+  return proven || record.limits_fp == hooks.limits_fp;
+}
+
 /// Parallel III-B-3 stage pre-solve: runs the escalation stages
 /// concurrently — the refutations of budgets 1..b-1 overlap the budget-b
 /// feasibility dive — with speculative floor pinning (stage b > first runs
 /// the pinned model the serial loop would run once every smaller budget is
 /// refuted). The first feasible budget cancels every larger stage through
 /// per-stage stop tokens (all children of `options.stop`); jobs are
-/// claimed in ascending budget order so small refutations start first.
-/// Stages whose token tripped mid-solve are marked unusable and simply
-/// re-solved by the replay loop in the rare case it reaches them.
+/// claimed in predicted-cost order (cheap first, from any preloaded stage
+/// records; ties and unknowns keep ascending budget order, which without
+/// a store reproduces the historical schedule exactly) so a
+/// floor-divergence live re-solve discards the least work. Budgets whose
+/// stored record will be replayed anyway are skipped outright. Stages
+/// whose token tripped mid-solve are marked unusable and simply re-solved
+/// by the replay loop in the rare case it reaches them.
 template <typename ResultT, typename SolveBudget>
 std::vector<StageCache<ResultT>> precompute_stages(
     int first_budget, int last_budget, const ilp::Options& options,
-    int threads, SolveBudget& solve_budget) {
+    int threads, SolveBudget& solve_budget, const std::vector<char>& skip,
+    const std::vector<double>& predicted_seconds) {
   const int count = last_budget - first_budget + 1;
   std::vector<StageCache<ResultT>> cache(static_cast<std::size_t>(count));
   std::vector<common::StopSource> stops;
   stops.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) stops.emplace_back(options.stop);
 
+  // Cheap-first schedule over the stage indices: stable sort on predicted
+  // seconds, so all-unknown costs (+inf, the storeless case) leave the
+  // identity permutation in place.
+  std::vector<int> order(static_cast<std::size_t>(count));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return predicted_seconds[static_cast<std::size_t>(a)] <
+           predicted_seconds[static_cast<std::size_t>(b)];
+  });
+
   std::mutex mutex;
   int winner = last_budget + 1;  // smallest feasible budget seen so far
   common::run_jobs(
       threads, static_cast<std::size_t>(count),
       [&](int /*worker*/, std::size_t job) {
-        const int budget = first_budget + static_cast<int>(job);
-        common::StopSource& stop = stops[job];
+        const std::size_t index =
+            static_cast<std::size_t>(order[static_cast<std::size_t>(job)]);
+        if (skip[index]) return;  // the replay loop will reuse the record
+        const int budget = first_budget + static_cast<int>(index);
+        common::StopSource& stop = stops[index];
         {
           const std::lock_guard<std::mutex> lock(mutex);
           if (budget > winner || stop.stop_requested()) return;
@@ -449,7 +539,7 @@ std::vector<StageCache<ResultT>> precompute_stages(
         ilp::Options stage_options = options;
         stage_options.escalation_threads = 1;  // no recursive stage fan-out
         stage_options.stop = stop.token();
-        StageCache<ResultT>& slot = cache[job];
+        StageCache<ResultT>& slot = cache[index];
         // Speculative pinning: the serial loop pins stage b's floor at b
         // once budgets first..b-1 are all refuted; run that model
         // optimistically. (A pinned feasible point is feasible unpinned
@@ -492,14 +582,41 @@ template <typename ResultT, typename SolveBudget>
 std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
                                         const ilp::Options& options,
                                         const char* kind,
-                                        SolveBudget&& solve_budget) {
+                                        SolveBudget&& solve_budget,
+                                        const StoreHooks<ResultT>& hooks = {}) {
   const bool budget_floor_rows = options.budget_floor_rows;
+  const std::size_t stage_count =
+      static_cast<std::size_t>(last_budget - first_budget + 1);
+
+  // Preload the stage records once: the replay loop below consults them
+  // in budget order, and the parallel pre-solve uses them as a cost model
+  // (cheap-first scheduling) and a skip list.
+  std::vector<std::optional<StageRecord>> records(stage_count);
+  if (hooks.store != nullptr) {
+    for (std::size_t i = 0; i < stage_count; ++i) {
+      records[i] = hooks.store->load(hooks.key, first_budget +
+                                                    static_cast<int>(i));
+    }
+  }
+
   std::vector<StageCache<ResultT>> cache;
   const int escalation_threads =
       common::resolve_thread_count(options.escalation_threads);
   if (escalation_threads > 1 && last_budget > first_budget) {
+    std::vector<char> skip(stage_count, 0);
+    std::vector<double> predicted(stage_count,
+                                  std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < stage_count; ++i) {
+      if (!records[i].has_value()) continue;
+      predicted[i] = records[i]->stage.seconds;
+      // A record the replay loop will trust (floor agreement is checked
+      // there; its own recorded floor passes trivially here) needs no
+      // speculative pre-solve — don't burn a core on it.
+      if (record_trusted(*records[i], hooks, records[i]->floor)) skip[i] = 1;
+    }
     cache = precompute_stages<ResultT>(first_budget, last_budget, options,
-                                       escalation_threads, solve_budget);
+                                       escalation_threads, solve_budget,
+                                       skip, predicted);
   }
   int proven_floor = 0;
   // Factorization and conflict work done by the abandoned/infeasible
@@ -530,6 +647,25 @@ std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
     stage.backjumps = r.backjumps;
     stages.push_back(stage);
   };
+  const auto persist = [&hooks](int budget, int floor,
+                                const BudgetStage& stage, bool partial,
+                                const ilp::Result* diagnostics,
+                                std::vector<std::string> witness) {
+    if (hooks.store == nullptr) return;
+    StageRecord out;
+    out.config_fp = hooks.config_fp;
+    out.limits_fp = hooks.limits_fp;
+    out.floor = floor;
+    out.stage = stage;
+    out.partial = partial;
+    if (partial && diagnostics != nullptr) {
+      out.stage.status = ilp::ResultStatus::kUnknown;
+      out.best_bound = diagnostics->best_bound;
+      out.seeds = diagnostics->unit_nogoods;
+    }
+    out.witness = std::move(witness);
+    hooks.store->save(hooks.key, budget, out);
+  };
   for (int budget = first_budget; budget <= last_budget; ++budget) {
     if (options.stop.stop_requested()) return std::nullopt;
     ilp::Result failure;
@@ -538,12 +674,83 @@ std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
     std::optional<ResultT> result;
     const std::size_t slot_index =
         static_cast<std::size_t>(budget - first_budget);
+    const StageRecord* record = slot_index < records.size() &&
+                                        records[slot_index].has_value()
+                                    ? &*records[slot_index]
+                                    : nullptr;
+    // Resume path: a stored record that matches this iteration's exact
+    // model substitutes for the solve. Refutations and abandonments are
+    // replayed as recorded; a feasible final stage is never trusted
+    // blindly — its witness is re-validated below, and any failure there
+    // falls through to a live re-solve.
+    if (record != nullptr && record_trusted(*record, hooks, floor)) {
+      if (record->stage.status == ilp::ResultStatus::kInfeasible) {
+        stages.push_back(record->stage);
+        proven_floor = budget + 1;
+        common::log_debug(common::cat(kind, " ILP budget ", budget,
+                                      ": resumed stored refutation"));
+        continue;
+      }
+      if (record->stage.status == ilp::ResultStatus::kUnknown) {
+        stages.push_back(record->stage);
+        common::log_debug(common::cat(kind, " ILP budget ", budget,
+                                      ": resumed stored abandonment (no "
+                                      "certificate); enlarging"));
+        continue;
+      }
+      if (hooks.verify) {
+        if (auto verified = hooks.verify(budget, record->witness)) {
+          verified->proven_minimal =
+              record->stage.status == ilp::ResultStatus::kOptimal;
+          stages.push_back(record->stage);
+          verified->stages = std::move(stages);
+          // Reproduce the recorded final-stage report; the re-verification
+          // itself costs no nodes or pivots. Basis/learning totals of the
+          // resumed run cover only its live-solved stages.
+          verified->ilp.status = record->stage.status;
+          verified->ilp.nodes = record->stage.nodes;
+          verified->ilp.lp_pivots = record->stage.lp_pivots;
+          verified->ilp.seconds = record->stage.seconds;
+          verified->ilp.conflicts = record->stage.conflicts;
+          verified->ilp.nogoods_learned = record->stage.nogoods_learned;
+          verified->ilp.backjumps = record->stage.backjumps;
+          verified->ilp.lp_refactorizations += stage_refactorizations;
+          verified->ilp.lp_basis_updates += stage_basis_updates;
+          verified->ilp.warm_cut_rows += stage_warm_cut_rows;
+          verified->ilp.basis_restores += stage_basis_restores;
+          verified->ilp.conflicts += stage_conflicts;
+          verified->ilp.nogoods_learned += stage_nogoods_learned;
+          verified->ilp.nogoods_deleted += stage_nogoods_deleted;
+          verified->ilp.backjumps += stage_backjumps;
+          verified->ilp.backjump_nodes_skipped += stage_backjump_nodes_skipped;
+          common::log_debug(common::cat(kind, " ILP budget ", budget,
+                                        ": stored witness re-validated"));
+          return verified;
+        }
+        common::log_warning(common::cat(
+            kind, " ILP budget ", budget,
+            ": stored witness failed re-validation; re-solving live"));
+      }
+    }
     StageCache<ResultT>* slot =
         slot_index < cache.size() ? &cache[slot_index] : nullptr;
     if (slot != nullptr && slot->usable && slot->floor == floor) {
       // The pre-solved stage ran exactly the model this iteration wants.
       result = std::move(slot->result);
       failure = slot->failure;
+    } else if (record != nullptr && record->partial &&
+               record->config_fp == hooks.config_fp &&
+               record->floor == floor && !record->seeds.empty()) {
+      // Deadline checkpoint from an earlier attempt: extend it. The seeds
+      // are globally valid unit nogoods, so the stage restarts with that
+      // part of the search already pruned (counters will differ from an
+      // unseeded solve; status/budget/certificates cannot).
+      ilp::Options seeded = options;
+      seeded.seed_literals = record->seeds;
+      common::log_debug(common::cat(kind, " ILP budget ", budget,
+                                    ": resuming from checkpoint with ",
+                                    record->seeds.size(), " seed nogoods"));
+      result = solve_budget(budget, floor, seeded, &failure);
     } else {
       result = solve_budget(budget, floor, options, &failure);
     }
@@ -561,6 +768,9 @@ std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
       result->proven_minimal =
           result->ilp.status == ilp::ResultStatus::kOptimal;
       record_stage(budget, result->ilp);
+      persist(budget, floor, stages.back(), /*partial=*/false, nullptr,
+              hooks.serialize ? hooks.serialize(*result)
+                              : std::vector<std::string>{});
       result->stages = std::move(stages);
       result->ilp.lp_refactorizations += stage_refactorizations;
       result->ilp.lp_basis_updates += stage_basis_updates;
@@ -574,6 +784,16 @@ std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
       return result;
     }
     record_stage(budget, failure);
+    if (options.stop.stop_requested() &&
+        failure.status != ilp::ResultStatus::kInfeasible) {
+      // The caller's stop (deadline or cancel) truncated this stage, so
+      // what we measured is not a stage outcome. Checkpoint the anytime
+      // certificate — dual bound plus the globally valid unit nogoods the
+      // truncated search learned — for a future resume, and wind down.
+      persist(budget, floor, stages.back(), /*partial=*/true, &failure, {});
+      return std::nullopt;
+    }
+    persist(budget, floor, stages.back(), /*partial=*/false, nullptr, {});
     stage_refactorizations += failure.lp_refactorizations;
     stage_basis_updates += failure.lp_basis_updates;
     stage_warm_cut_rows += failure.warm_cut_rows;
@@ -600,18 +820,133 @@ std::optional<ResultT> escalate_budgets(int first_budget, int last_budget,
   return std::nullopt;
 }
 
+// ---- Witness codecs -------------------------------------------------------
+//
+// A stored feasible stage carries its cover as opaque lines; re-validation
+// rebuilds the cover and replays it through the structural validators and
+// the fault-free simulator (to_test_vector), then re-checks coverage and
+// budget. Milliseconds against the minutes a re-solve would cost, and any
+// defect — tampered file, stale format, wrong array — degrades to that
+// re-solve.
+
+std::vector<std::string> serialize_path_witness(const IlpPathResult& result) {
+  std::vector<std::string> lines;
+  for (const FlowPath& path : result.paths) {
+    std::ostringstream out;
+    out << "path " << path.source_port << ' ' << path.sink_port;
+    for (const grid::Cell& cell : path.cells) {
+      out << ' ' << cell.row << ' ' << cell.col;
+    }
+    lines.push_back(out.str());
+  }
+  return lines;
+}
+
+std::optional<IlpPathResult> verify_path_witness(
+    const grid::ValveArray& array, int budget,
+    const std::vector<std::string>& witness) {
+  if (witness.empty() || static_cast<int>(witness.size()) > budget) {
+    return std::nullopt;
+  }
+  IlpPathResult result;
+  const sim::Simulator simulator(array);
+  std::vector<char> covered(static_cast<std::size_t>(array.valve_count()), 0);
+  for (const std::string& line : witness) {
+    std::istringstream in(line);
+    std::string tag;
+    FlowPath path;
+    if (!(in >> tag >> path.source_port >> path.sink_port) || tag != "path") {
+      return std::nullopt;
+    }
+    int row = 0;
+    int col = 0;
+    while (in >> row >> col) path.cells.push_back(grid::Cell{row, col});
+    if (validate_flow_path(array, path).has_value()) return std::nullopt;
+    for (const grid::ValveId v : path_valves(array, path)) {
+      covered[static_cast<std::size_t>(v)] = 1;
+    }
+    to_test_vector(array, simulator, path, "resume-verify");  // sim replay
+    result.paths.push_back(std::move(path));
+  }
+  for (const char c : covered) {
+    if (c == 0) return std::nullopt;  // witness is not a cover
+  }
+  result.path_budget = static_cast<int>(result.paths.size());
+  return result;
+}
+
+std::vector<std::string> serialize_cut_witness(const IlpCutResult& result) {
+  std::vector<std::string> lines;
+  for (const CutSet& cut : result.cuts) {
+    std::ostringstream out;
+    out << "cut";
+    for (const Site& site : cut.sites) {
+      out << ' ' << site.row << ' ' << site.col;
+    }
+    lines.push_back(out.str());
+  }
+  return lines;
+}
+
+std::optional<IlpCutResult> verify_cut_witness(
+    const grid::ValveArray& array, int budget,
+    const std::vector<std::string>& witness) {
+  if (witness.empty() || static_cast<int>(witness.size()) > budget) {
+    return std::nullopt;
+  }
+  IlpCutResult result;
+  const sim::Simulator simulator(array);
+  std::vector<char> covered(static_cast<std::size_t>(array.valve_count()), 0);
+  for (const std::string& line : witness) {
+    std::istringstream in(line);
+    std::string tag;
+    if (!(in >> tag) || tag != "cut") return std::nullopt;
+    CutSet cut;
+    int row = 0;
+    int col = 0;
+    while (in >> row >> col) cut.sites.push_back(Site{row, col});
+    if (cut.sites.empty()) return std::nullopt;
+    // validate_cut_set simulates the closed-cut chip and requires a
+    // separated sink — the certificate's observability condition.
+    if (validate_cut_set(array, cut).has_value()) return std::nullopt;
+    for (const grid::ValveId v : cut_valves(array, cut)) {
+      covered[static_cast<std::size_t>(v)] = 1;
+    }
+    to_test_vector(array, simulator, cut, "resume-verify");  // sim replay
+    result.cuts.push_back(std::move(cut));
+  }
+  for (const char c : covered) {
+    if (c == 0) return std::nullopt;
+  }
+  result.cut_budget = static_cast<int>(result.cuts.size());
+  return result;
+}
+
 }  // namespace
 
 std::optional<IlpPathResult> find_minimum_flow_paths(
     const grid::ValveArray& array, int first_budget, int last_budget,
-    const ilp::Options& options) {
+    const ilp::Options& options, CertStore* store) {
+  StoreHooks<IlpPathResult> hooks;
+  if (store != nullptr && store->enabled()) {
+    hooks.store = store;
+    hooks.key = CertStore::key_for(array, "path");
+    hooks.config_fp = fingerprint_config(options);
+    hooks.limits_fp = fingerprint_limits(options);
+    hooks.serialize = serialize_path_witness;
+    hooks.verify = [&array](int budget,
+                            const std::vector<std::string>& witness) {
+      return verify_path_witness(array, budget, witness);
+    };
+  }
   return escalate_budgets<IlpPathResult>(
       first_budget, last_budget, options, "flow-path",
       [&](int budget, int floor, const ilp::Options& stage_options,
           ilp::Result* failure) {
         return solve_flow_path_model(array, budget, stage_options, floor,
                                      failure);
-      });
+      },
+      hooks);
 }
 
 std::optional<IlpCutResult> solve_cut_set_model(
@@ -706,14 +1041,30 @@ std::optional<IlpCutResult> solve_cut_set_model(
 
 std::optional<IlpCutResult> find_minimum_cut_sets(
     const grid::ValveArray& array, int first_budget, int last_budget,
-    bool masking_exclusion, const ilp::Options& options) {
+    bool masking_exclusion, const ilp::Options& options, CertStore* store) {
+  StoreHooks<IlpCutResult> hooks;
+  if (store != nullptr && store->enabled()) {
+    hooks.store = store;
+    // The masking-exclusion rows change the model, so certificates from
+    // the two variants must never cross: separate content keys.
+    hooks.key =
+        CertStore::key_for(array, masking_exclusion ? "cut+mask" : "cut");
+    hooks.config_fp = fingerprint_config(options);
+    hooks.limits_fp = fingerprint_limits(options);
+    hooks.serialize = serialize_cut_witness;
+    hooks.verify = [&array](int budget,
+                            const std::vector<std::string>& witness) {
+      return verify_cut_witness(array, budget, witness);
+    };
+  }
   return escalate_budgets<IlpCutResult>(
       first_budget, last_budget, options, "cut-set",
       [&](int budget, int floor, const ilp::Options& stage_options,
           ilp::Result* failure) {
         return solve_cut_set_model(array, budget, masking_exclusion,
                                    stage_options, floor, failure);
-      });
+      },
+      hooks);
 }
 
 }  // namespace fpva::core

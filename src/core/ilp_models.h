@@ -30,6 +30,8 @@
 
 namespace fpva::core {
 
+class CertStore;  // core/cert_store.h; find_minimum_* only carry a pointer
+
 /// One III-B-3 budget-escalation stage. find_minimum_* records every stage
 /// it ran — refuted, abandoned, or final — so frontier probes (the
 /// slow-certify CI job, bench_certify) can report where the time and the
@@ -90,9 +92,17 @@ std::optional<IlpPathResult> solve_flow_path_model(
     ilp::Result* failure_diagnostics = nullptr);
 
 /// III-B-3: tries budgets first..last until feasible.
+///
+/// With a non-null `store`, every finished stage is persisted and a rerun
+/// resumes instead of re-solving: refutations are reused when the
+/// recorded configuration fingerprint matches, feasible stages are
+/// re-validated by replaying the stored witness (simulator + coverage +
+/// budget checks) rather than trusted, deadline-truncated stages leave a
+/// partial checkpoint whose learned unit nogoods seed the next attempt,
+/// and any mismatch or verification failure degrades to a live re-solve.
 std::optional<IlpPathResult> find_minimum_flow_paths(
     const grid::ValveArray& array, int first_budget, int last_budget,
-    const ilp::Options& options = {});
+    const ilp::Options& options = {}, CertStore* store = nullptr);
 
 /// Solves the dual cut-set model with cut budget `max_cuts`; constraint (9)
 /// is included when `masking_exclusion` is true. `proven_budget_floor` and
@@ -102,10 +112,12 @@ std::optional<IlpCutResult> solve_cut_set_model(
     const ilp::Options& options = {}, int proven_budget_floor = 0,
     ilp::Result* failure_diagnostics = nullptr);
 
-/// Tries cut budgets first..last until feasible.
+/// Tries cut budgets first..last until feasible. `store` resumes as in
+/// find_minimum_flow_paths.
 std::optional<IlpCutResult> find_minimum_cut_sets(
     const grid::ValveArray& array, int first_budget, int last_budget,
-    bool masking_exclusion, const ilp::Options& options = {});
+    bool masking_exclusion, const ilp::Options& options = {},
+    CertStore* store = nullptr);
 
 }  // namespace fpva::core
 

@@ -267,6 +267,15 @@ class Searcher {
       conflict_.emplace(model_, *propagator_, options_.max_nogoods,
                         options_.conflict_observer);
       conflict_->set_root_bounds(root_lower_, root_upper_);
+      // Anytime-certificate resume: re-import the globally valid unit
+      // nogoods a truncated solve of this same model exported. Each
+      // becomes a root-level bound tightening before the search starts.
+      for (const SeedLiteral& seed : options_.seed_literals) {
+        if (seed.var < 0 || seed.var >= n) continue;
+        Nogood unit;
+        unit.lits.push_back(BoundLit{seed.var, seed.is_lower, seed.value});
+        conflict_->import_nogood(unit);
+      }
     }
   }
 
@@ -617,7 +626,9 @@ class Searcher {
       result.lp_refactorizations = solver_->refactorizations();
       result.lp_basis_updates = solver_->basis_updates();
       result.warm_cut_rows = solver_->warm_rows_added();
+      result.lp_eta_fallbacks = solver_->eta_fallbacks();
     }
+    result.lp_dense_fallbacks = dense_fallbacks_;
     result.basis_restores = basis_restores_;
     result.cuts_at_depth = static_cast<int>(depth_cut_rows_);
     if (conflict_.has_value()) {
@@ -625,6 +636,18 @@ class Searcher {
       result.nogoods_learned = conflict_->stats().nogoods_learned;
       result.nogoods_deleted = conflict_->stats().nogoods_deleted;
       result.nogoods_imported = conflict_->stats().nogoods_imported;
+      if (shared == nullptr) {
+        // Export the transferable part of an anytime certificate: unit
+        // nogoods whose derivation never touched the objective cutoff are
+        // valid for this model unconditionally, so a resumed solve may
+        // import them as root bound tightenings.
+        for (const Nogood& nogood : conflict_->pool()) {
+          if (nogood.lits.size() != 1 || nogood.bound_based) continue;
+          const BoundLit& lit = nogood.lits.front();
+          result.unit_nogoods.push_back(
+              SeedLiteral{lit.var, lit.is_lower, lit.value});
+        }
+      }
     }
     if (have_incumbent) {
       result.objective = incumbent_objective;
@@ -787,6 +810,7 @@ class Searcher {
       solver_->set_iteration_limit(budget);
       lp::Solution solution = solver_->reoptimize();
       if (!solver_->numerical_trouble()) return solution;
+      ++dense_fallbacks_;
       common::log_warning(
           "branch-and-bound: warm solver hit numerical trouble; node "
           "re-solved through the dense oracle");
@@ -936,6 +960,7 @@ class Searcher {
   std::vector<BoundDelta> last_solved_path_;
   long basis_restores_ = 0;
   long depth_cut_rows_ = 0;
+  long dense_fallbacks_ = 0;  ///< warm nodes re-solved via the dense oracle
   std::vector<char> integer_;  ///< cached integrality mask
   std::vector<double> root_lower_, root_upper_;
   std::vector<double> cur_lower_, cur_upper_;  ///< this node's bounds
@@ -996,6 +1021,8 @@ Result solve_parallel_tree(const Model& model, const Options& options,
     result.backjumps += partial.backjumps;
     result.backjump_nodes_skipped += partial.backjump_nodes_skipped;
     result.subtrees_donated += partial.subtrees_donated;
+    result.lp_eta_fallbacks += partial.lp_eta_fallbacks;
+    result.lp_dense_fallbacks += partial.lp_dense_fallbacks;
   }
 
   const bool limits_hit = shared.limits.load(std::memory_order_relaxed);
@@ -1273,6 +1300,12 @@ Result solve(const Model& model, const Options& options) {
   result.threads_used = searched.threads_used;
   result.nogoods_imported = searched.nogoods_imported;
   result.subtrees_donated = searched.subtrees_donated;
+  result.lp_eta_fallbacks = searched.lp_eta_fallbacks;
+  result.lp_dense_fallbacks = searched.lp_dense_fallbacks;
+  // Unit nogoods live in the presolved variable space on purpose: a
+  // resumed solve of the same model presolves identically, so the indices
+  // line up when fed back through Options::seed_literals.
+  result.unit_nogoods = std::move(searched.unit_nogoods);
   if (pres.has_value()) result.presolve_stats = pres->stats;
   if (stage.has_value()) {
     result.probe_stats = stage->probe_stats;

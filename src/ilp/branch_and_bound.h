@@ -37,6 +37,19 @@ enum class ResultStatus {
   kUnknown,     ///< limits hit before any incumbent was found
 };
 
+/// A single-literal bound assertion with a globally valid refutation:
+/// "var on the is_lower side of value admits no feasible point". Mirrors
+/// conflict.h's BoundLit without pulling the conflict engine into this
+/// header. Exported from a truncated solve (Result::unit_nogoods) and fed
+/// back through Options::seed_literals, this is the transferable part of
+/// an anytime certificate — sound for the same model unconditionally
+/// because only model-implied (non-cutoff-based) units are exported.
+struct SeedLiteral {
+  int var = 0;
+  bool is_lower = false;
+  double value = 0.0;
+};
+
 /// Branch-variable selection rule.
 enum class Branching {
   /// Defer to the model emitter: core/ilp_models picks kInputOrder for the
@@ -172,6 +185,11 @@ struct Options {
   /// kFeasible/kUnknown, like a time limit) soon after the token trips.
   /// Default-constructed tokens never trip and cost nothing to poll.
   common::StopToken stop;
+  /// Resume hints: unit nogoods exported by an earlier truncated solve of
+  /// the same model (Result::unit_nogoods), imported into the conflict
+  /// engine before the search starts. Indices live in this model's
+  /// variable space; no effect unless conflict learning is on.
+  std::vector<SeedLiteral> seed_literals;
 };
 
 struct Result {
@@ -201,6 +219,14 @@ struct Result {
   int threads_used = 1;              ///< tree-search workers actually used
   long nogoods_imported = 0;         ///< nogoods adopted from other workers
   long subtrees_donated = 0;         ///< nodes handed to the shared queue
+  long lp_eta_fallbacks = 0;         ///< LU -> eta recovery-ladder demotions
+  long lp_dense_fallbacks = 0;       ///< warm nodes re-solved densely after
+                                     ///< numerical trouble (the last rung)
+  /// Globally valid single-literal nogoods learned by a serial solve —
+  /// the transferable part of an anytime certificate. Feed back through
+  /// Options::seed_literals to extend a truncated solve. Empty for
+  /// multi-threaded tree searches (worker pools are not merged).
+  std::vector<SeedLiteral> unit_nogoods;
 };
 
 /// The pre-PR-2 configuration: dense-tableau cold start per node, pure

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace fpva::lp {
@@ -461,7 +462,16 @@ void RevisedSimplex::btran(std::vector<double>& dense) const {
 
 bool RevisedSimplex::refactorize() {
   ++refactorizations_;
-  return lu() ? refactorize_lu() : refactorize_eta();
+  if (lu()) {
+    // Fail-point: a forced LU-instability event reports the refactorization
+    // as singular, exercising the numeric-recovery ladder end to end.
+    if (common::failpoint::evaluate("lp.lu_refactor") ==
+        common::failpoint::Action::kError) {
+      return false;
+    }
+    return refactorize_lu();
+  }
+  return refactorize_eta();
 }
 
 /// Gathers the basis columns into a CSC scratch and hands them to the
@@ -1594,6 +1604,17 @@ Solution RevisedSimplex::solve_cold() {
   if (!numerics_failed_) return result;
   // Dual crash broke down numerically: retry with the artificial-variable
   // two-phase primal, the same method as the dense oracle.
+  iterations_ = 0;
+  numerics_failed_ = false;
+  result = run_two_phase();
+  if (!numerics_failed_ || !lu()) return result;
+  // Second rung of the recovery ladder: two-phase failed *under the LU*,
+  // which points at the Forrest-Tomlin factorization itself. Downgrade
+  // this instance to the product-form eta file (sticky for its lifetime)
+  // and retry once; callers keep the dense tableau as the last rung.
+  options_.factorization = Factorization::kEta;
+  ++eta_fallbacks_;
+  basis_valid_ = false;
   iterations_ = 0;
   numerics_failed_ = false;
   return run_two_phase();

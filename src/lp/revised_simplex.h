@@ -98,6 +98,11 @@ class RevisedSimplex {
   /// Rows appended while a factorized basis was live.
   long warm_rows_added() const { return warm_rows_added_; }
 
+  /// Times the recovery ladder demoted this instance from Forrest-Tomlin
+  /// to the eta file after a numerically failed two-phase solve (0 or 1:
+  /// the demotion is sticky for the instance's lifetime).
+  long eta_fallbacks() const { return eta_fallbacks_; }
+
  private:
   enum class VarState : std::uint8_t { kBasic, kAtLower, kAtUpper };
 
@@ -224,6 +229,7 @@ class RevisedSimplex {
   long refactorizations_ = 0;
   long basis_updates_ = 0;
   long warm_rows_added_ = 0;
+  long eta_fallbacks_ = 0;
 
   // Scratch for refactorize_lu / add_row.
   std::vector<int> lu_col_rows_;

@@ -96,6 +96,9 @@ struct ShardOutcome {
   int detected = 0;
   /// Scenarios no vector detected, in trial order.
   std::vector<FaultScenario> undetected;
+  /// False when the shard was abandoned (stop token tripped mid-shard) or
+  /// never ran; such outcomes are discarded, never folded.
+  bool completed = false;
 };
 
 /// True when `scenario` could possibly change the readings of `vector`:
@@ -145,6 +148,8 @@ ShardOutcome evaluate_shard(const BatchSimulator& batch,
                             const CampaignOptions& options,
                             std::span<const LeakPair> leak_pairs,
                             int fault_count, int first_trial, int count) {
+  ShardOutcome outcome;
+  if (options.stop.stop_requested()) return outcome;
   std::vector<FaultScenario> pool;
   pool.reserve(static_cast<std::size_t>(count));
   for (int t = 0; t < count; ++t) {
@@ -166,6 +171,7 @@ ShardOutcome evaluate_shard(const BatchSimulator& batch,
   survivors.reserve(alive.size());
   for (const TestVector& vector : vectors) {
     if (alive.empty()) break;
+    if (options.stop.stop_requested()) return outcome;  // abandon, don't fold
     bool has_one = false;
     bool has_zero = false;
     for (const bool expected : vector.expected) {
@@ -214,13 +220,13 @@ ShardOutcome evaluate_shard(const BatchSimulator& batch,
     alive.swap(merged);
   }
 
-  ShardOutcome outcome;
   outcome.detected = count - static_cast<int>(alive.size());
   outcome.undetected.reserve(alive.size());
   for (const int index : alive) {
     outcome.undetected.push_back(
         std::move(pool[static_cast<std::size_t>(index)]));
   }
+  outcome.completed = true;
   return outcome;
 }
 
@@ -249,15 +255,19 @@ CampaignResult run_campaign(const Simulator& simulator,
   for (int k = options.min_faults; k <= options.max_faults; ++k) {
     CampaignRow row;
     row.fault_count = k;
-    row.trials = options.trials_per_count;
-    for (int first = 0; first < options.trials_per_count;
+    for (int first = 0;
+         first < options.trials_per_count && !result.interrupted;
          first += kShardTrials) {
       const int count =
           std::min(kShardTrials, options.trials_per_count - first);
-      fold_shard(row,
-                 evaluate_shard(batch, vectors, options, leak_pairs, k,
-                                first, count),
-                 options.max_undetected_kept);
+      ShardOutcome outcome =
+          evaluate_shard(batch, vectors, options, leak_pairs, k, first, count);
+      if (!outcome.completed) {
+        result.interrupted = true;
+        break;
+      }
+      row.trials += count;
+      fold_shard(row, std::move(outcome), options.max_undetected_kept);
     }
     result.rows.push_back(std::move(row));
   }
@@ -275,11 +285,16 @@ CampaignResult run_campaign_scalar(const Simulator& simulator,
   for (int k = options.min_faults; k <= options.max_faults; ++k) {
     CampaignRow row;
     row.fault_count = k;
-    row.trials = options.trials_per_count;
-    for (int trial = 0; trial < options.trials_per_count; ++trial) {
+    for (int trial = 0;
+         trial < options.trials_per_count && !result.interrupted; ++trial) {
+      if (options.stop.stop_requested()) {
+        result.interrupted = true;
+        break;
+      }
       common::Rng rng(campaign_trial_seed(options.seed, k, trial));
       std::vector<Fault> faults = draw_fault_set(
           rng, array, k, leak_pairs, options.stuck_at_1_probability);
+      ++row.trials;
       if (simulator.any_detects(vectors, faults)) {
         ++row.detected;
       } else if (row.undetected_samples.size() <
@@ -356,6 +371,10 @@ std::vector<CampaignResult> run_campaign_catalog(
   common::run_jobs(
       thread_count, jobs.size(), [&](int worker, std::size_t i) {
         const Job& job = jobs[i];
+        // A tripped token skips the whole shard (its outcome stays
+        // incomplete and is never folded); evaluate_shard also polls
+        // between vectors to wind down mid-shard.
+        if (entries[job.entry].options.stop.stop_requested()) return;
         WorkerCache& cache = caches[static_cast<std::size_t>(worker)];
         if (!cache.batch || cache.entry != job.entry) {
           cache.batch =
@@ -375,11 +394,16 @@ std::vector<CampaignResult> run_campaign_catalog(
     for (int k = options.min_faults; k <= options.max_faults; ++k) {
       CampaignRow row;
       row.fault_count = k;
-      row.trials = options.trials_per_count;
       for (int first = 0; first < options.trials_per_count;
            first += kShardTrials) {
-        fold_shard(row, std::move(outcomes[job_index++]),
-                   options.max_undetected_kept);
+        ShardOutcome& outcome = outcomes[job_index++];
+        if (!outcome.completed) {
+          results[e].interrupted = true;
+          continue;
+        }
+        row.trials += std::min(kShardTrials,
+                               options.trials_per_count - first);
+        fold_shard(row, std::move(outcome), options.max_undetected_kept);
       }
       results[e].rows.push_back(std::move(row));
     }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stop.h"
 #include "sim/control_topology.h"
 #include "sim/simulator.h"
 
@@ -35,11 +36,19 @@ struct CampaignOptions {
   std::vector<LeakPair> leak_pairs;
   double stuck_at_1_probability = 0.5;  ///< sa1 vs sa0 for stuck faults
   std::size_t max_undetected_kept = 20;
+  /// Cooperative cancellation (deadline or cancel): every runner polls the
+  /// token between shards and between vectors inside a shard. A tripped
+  /// token discards the in-flight shard and marks the result interrupted;
+  /// the folded rows then cover exactly the completed whole shards, so a
+  /// partial result is still bit-exact over the trials it reports.
+  common::StopToken stop;
 };
 
 /// Outcome for one fault count k.
 struct CampaignRow {
   int fault_count = 0;
+  /// Trials actually evaluated — trials_per_count unless the campaign was
+  /// interrupted, in which case only fully completed shards count.
   int trials = 0;
   int detected = 0;
   std::vector<std::vector<Fault>> undetected_samples;
@@ -51,6 +60,11 @@ struct CampaignRow {
 
 struct CampaignResult {
   std::vector<CampaignRow> rows;  ///< one per fault count
+  /// True when CampaignOptions::stop tripped before every trial ran; rows
+  /// then hold only the shards that completed (a prefix in the serial
+  /// runners, possibly gapped in the threaded ones), with zero-trial rows
+  /// for fault counts never reached.
+  bool interrupted = false;
 
   long total_trials() const;
   long total_detected() const;

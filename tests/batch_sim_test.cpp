@@ -3,7 +3,9 @@
 // with the scalar Simulator oracle on every array shape and fault mix.
 #include <gtest/gtest.h>
 
+#include "common/deadline.h"
 #include "common/rng.h"
+#include "common/stop.h"
 #include "grid/builder.h"
 #include "grid/presets.h"
 #include "sim/batch.h"
@@ -261,6 +263,93 @@ TEST(ParallelCampaignTest, DefaultThreadCountIsPositive) {
   const auto array = grid::full_array(3, 3);
   const ParallelCampaignRunner runner(array);
   EXPECT_GE(runner.thread_count(), 1);
+}
+
+TEST(CampaignStopTest, TrippedTokenInterruptsEveryRunner) {
+  const auto array = grid::table1_array(5);
+  const Simulator simulator(array);
+  TestVector vector;
+  vector.states =
+      ValveStates(static_cast<std::size_t>(array.valve_count()), true);
+  vector.expected = simulator.expected(vector.states);
+  const TestVector vectors[] = {vector};
+  CampaignOptions options;
+  options.trials_per_count = 200;
+  options.max_faults = 3;
+  options.stop =
+      common::StopToken{}.with_deadline(common::Deadline::after(0.0));
+
+  const auto check = [&](const CampaignResult& result, const char* name) {
+    EXPECT_TRUE(result.interrupted) << name;
+    // One row per fault count always; no trial ran, none is reported.
+    ASSERT_EQ(result.rows.size(), 3u) << name;
+    for (const CampaignRow& row : result.rows) {
+      EXPECT_EQ(row.trials, 0) << name;
+      EXPECT_EQ(row.detected, 0) << name;
+      EXPECT_TRUE(row.undetected_samples.empty()) << name;
+    }
+  };
+  check(run_campaign(simulator, vectors, options), "batched");
+  check(run_campaign_scalar(simulator, vectors, options), "scalar");
+  const ParallelCampaignRunner runner(array, 4);
+  check(runner.run(vectors, options), "parallel");
+}
+
+TEST(CampaignStopTest, UntrippedTokenChangesNothing) {
+  const auto array = grid::table1_array(5);
+  const Simulator simulator(array);
+  TestVector vector;
+  vector.states =
+      ValveStates(static_cast<std::size_t>(array.valve_count()), true);
+  vector.expected = simulator.expected(vector.states);
+  const TestVector vectors[] = {vector};
+  CampaignOptions options;
+  options.trials_per_count = 300;
+  options.max_faults = 3;
+  options.include_control_leaks = true;
+  const auto reference = run_campaign(simulator, vectors, options);
+  ASSERT_FALSE(reference.interrupted);
+
+  options.stop =
+      common::StopToken{}.with_deadline(common::Deadline::after(3600.0));
+  const auto guarded = run_campaign(simulator, vectors, options);
+  EXPECT_FALSE(guarded.interrupted);
+  ASSERT_EQ(guarded.rows.size(), reference.rows.size());
+  for (std::size_t i = 0; i < reference.rows.size(); ++i) {
+    EXPECT_EQ(guarded.rows[i].trials, reference.rows[i].trials);
+    EXPECT_EQ(guarded.rows[i].detected, reference.rows[i].detected);
+    EXPECT_EQ(guarded.rows[i].undetected_samples,
+              reference.rows[i].undetected_samples);
+  }
+}
+
+TEST(CampaignStopTest, MidCampaignCancelReportsOnlyWholeShards) {
+  // Trip the token from a StopSource while the campaign runs; whatever
+  // completes must stay internally consistent (counts over the reported
+  // trials only, interrupted flag set iff trials were lost).
+  const auto array = grid::table1_array(5);
+  const Simulator simulator(array);
+  TestVector vector;
+  vector.states =
+      ValveStates(static_cast<std::size_t>(array.valve_count()), true);
+  vector.expected = simulator.expected(vector.states);
+  const TestVector vectors[] = {vector};
+  CampaignOptions options;
+  options.trials_per_count = 20000;
+  options.max_faults = 5;
+  common::StopSource source;
+  options.stop = source.token();
+  source.request_stop();  // worst case: tripped before the first shard
+  const auto result = run_campaign(simulator, vectors, options);
+  ASSERT_EQ(result.rows.size(), 5u);
+  long reported = 0;
+  for (const CampaignRow& row : result.rows) {
+    EXPECT_LE(row.trials, options.trials_per_count);
+    EXPECT_LE(row.detected, row.trials);
+    reported += row.trials;
+  }
+  EXPECT_EQ(result.interrupted,
+            reported < 5L * options.trials_per_count);
 }
 
 TEST(StreamSeedTest, DistinctStreamsDecorrelate) {

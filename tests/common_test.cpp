@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <set>
 #include <vector>
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stop.h"
@@ -167,6 +169,45 @@ TEST(StopTokenTest, ChildTripsOnParentOrOwnStop) {
   EXPECT_FALSE(b.stop_requested());
   parent.request_stop();  // parent stop reaches every child
   EXPECT_TRUE(b.stop_requested());
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  const Deadline deadline;
+  EXPECT_FALSE(deadline.active());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_seconds(),
+            std::numeric_limits<double>::infinity());
+  // Composing an inactive deadline onto a token is free.
+  const StopToken token = StopToken{}.with_deadline(deadline);
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(DeadlineTest, ExpiredDeadlineTripsAToken) {
+  const Deadline deadline = Deadline::after(0.0);
+  EXPECT_TRUE(deadline.active());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_seconds(), 0.0);
+  const StopToken token = StopToken{}.with_deadline(deadline);
+  EXPECT_TRUE(token.stop_possible());
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(DeadlineTest, FutureDeadlineDoesNotTripYet) {
+  const Deadline deadline = Deadline::after(3600.0);
+  EXPECT_TRUE(deadline.active());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_seconds(), 0.0);
+  const StopToken token = StopToken{}.with_deadline(deadline);
+  EXPECT_TRUE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(DeadlineTest, ChildSourcesInheritParentDeadlines) {
+  const StopToken parent = StopToken{}.with_deadline(Deadline::after(0.0));
+  const StopSource child(parent);
+  EXPECT_TRUE(child.stop_requested());
+  EXPECT_TRUE(child.token().stop_requested());
 }
 
 TEST(ParallelTest, ResolveThreadCount) {
