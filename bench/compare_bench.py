@@ -11,6 +11,17 @@ Usage:
   bench/compare_bench.py BASELINE.json FRESH.json \
       [--threshold 0.25] [--counters nodes,pivots,budget] [--abs-slack 8]
 
+Audit mode:
+  bench/compare_bench.py BASELINE.json --list-gated \
+      [--counters ...] [--min-counters ...] [--exact-counters ...] \
+      [--equal-counters ...]
+
+`--list-gated` takes the same gate lists as a comparison run but inspects a
+single JSON file: it prints which benchmarks carry each gated counter and
+fails if a gated counter is emitted by NO benchmark in the file — the
+"gate names a counter nobody records" rot that otherwise only surfaces as
+a silently-passing gate.
+
 Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error.
 """
 
@@ -42,10 +53,46 @@ def load_benchmarks(path):
     return benchmarks
 
 
+def list_gated(path, gate_lists):
+    """Audit one benchmark JSON: report which benchmarks emit each gated
+    counter, and fail when a gate list names a counter nothing emits."""
+    benchmarks = load_benchmarks(path)
+    if not benchmarks:
+        print(f"compare_bench: {path} contains no benchmarks",
+              file=sys.stderr)
+        sys.exit(2)
+    unrecorded = []
+    for mode, counters in gate_lists:
+        for counter in counters:
+            carriers = sorted(name for name, entry in benchmarks.items()
+                              if counter in entry)
+            shown = ", ".join(carriers) if carriers else "NONE"
+            print(f"{counter:<12} [{mode:<5}] {len(carriers):>3} "
+                  f"benchmark(s): {shown}")
+            if not carriers:
+                unrecorded.append((counter, mode))
+    if unrecorded:
+        print(f"\ncompare_bench: {len(unrecorded)} gated counter(s) not "
+              f"recorded by any benchmark in {path}:", file=sys.stderr)
+        for counter, mode in unrecorded:
+            print(f"  '{counter}' ({mode} gate) — the gate can never fire; "
+                  "fix the gate list or re-emit the counter",
+                  file=sys.stderr)
+        sys.exit(2)
+    total = sum(len(counters) for _, counters in gate_lists)
+    print(f"\ncompare_bench: all {total} gated counter(s) are recorded in "
+          f"{path} ({len(benchmarks)} benchmarks)")
+    sys.exit(0)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
-    parser.add_argument("fresh")
+    parser.add_argument("fresh", nargs="?",
+                        help="fresh run to gate (omitted with --list-gated)")
+    parser.add_argument("--list-gated", action="store_true",
+                        help="audit mode: check that every gated counter is "
+                             "recorded somewhere in BASELINE.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative increase that counts as a regression")
     parser.add_argument("--counters", default=",".join(DEFAULT_COUNTERS),
@@ -78,6 +125,15 @@ def main():
                       if c.strip()]
     equal_counters = [c.strip() for c in args.equal_counters.split(",")
                       if c.strip()]
+
+    if args.list_gated:
+        list_gated(args.baseline, [("max", counters), ("min", min_counters),
+                                   ("exact", exact_counters),
+                                   ("equal", equal_counters)])
+    if args.fresh is None:
+        print("compare_bench: FRESH.json is required unless --list-gated",
+              file=sys.stderr)
+        sys.exit(2)
     baseline = load_benchmarks(args.baseline)
     fresh = load_benchmarks(args.fresh)
 

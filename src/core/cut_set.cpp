@@ -94,9 +94,9 @@ std::optional<std::string> validate_cut_set(const grid::ValveArray& array,
 sim::TestVector to_test_vector(const grid::ValveArray& array,
                                const sim::Simulator& simulator,
                                const CutSet& cut, std::string label) {
-  common::check(!validate_cut_set(array, cut).has_value(),
-                cat("to_test_vector: invalid cut-set: ",
-                    validate_cut_set(array, cut).value_or("")));
+  if (const auto problem = validate_cut_set(array, cut)) {
+    common::fail(cat("to_test_vector: invalid cut-set: ", *problem));
+  }
   sim::TestVector vector;
   vector.kind = sim::VectorKind::kCutSet;
   vector.label = std::move(label);

@@ -80,6 +80,9 @@ std::optional<std::string> validate_flow_path(const grid::ValveArray& array,
     return cat("path does not end at the sink cell ",
                to_string(array.port_cell(sink)));
   }
+  // Membership probe only — inserted into and tested, never iterated — so
+  // bucket order cannot reach solver decisions or any output ordering.
+  // fpva-lint: allow(unordered-iteration)
   std::unordered_set<Cell> seen;
   for (const Cell cell : path.cells) {
     if (!array.is_fluid(cell)) {
@@ -108,9 +111,9 @@ std::optional<std::string> validate_flow_path(const grid::ValveArray& array,
 sim::TestVector to_test_vector(const grid::ValveArray& array,
                                const sim::Simulator& simulator,
                                const FlowPath& path, std::string label) {
-  common::check(!validate_flow_path(array, path).has_value(),
-                cat("to_test_vector: invalid flow path: ",
-                    validate_flow_path(array, path).value_or("")));
+  if (const auto problem = validate_flow_path(array, path)) {
+    common::fail(cat("to_test_vector: invalid flow path: ", *problem));
+  }
   sim::TestVector vector;
   vector.kind = sim::VectorKind::kFlowPath;
   vector.label = std::move(label);

@@ -394,9 +394,10 @@ std::optional<IlpPathResult> solve_flow_path_model(
       path.cells.push_back(array.cell_at_index(node));
     }
     const auto problem = validate_flow_path(array, path);
-    check(!problem.has_value(),
-          common::cat("ILP path extraction produced an invalid path: ",
-                      problem.value_or("")));
+    if (problem.has_value()) {
+      common::fail(common::cat(
+          "ILP path extraction produced an invalid path: ", *problem));
+    }
     result.paths.push_back(std::move(path));
   }
   // The unpinned objective minimizes used chains, so the solve may use
@@ -1029,9 +1030,10 @@ std::optional<IlpCutResult> solve_cut_set_model(
       if (site.row >= 0) cut.sites.push_back(site);
     }
     const auto problem = validate_cut_set(array, cut);
-    check(!problem.has_value(),
-          common::cat("ILP cut extraction produced an invalid cut: ",
-                      problem.value_or("")));
+    if (problem.has_value()) {
+      common::fail(common::cat(
+          "ILP cut extraction produced an invalid cut: ", *problem));
+    }
     result.cuts.push_back(std::move(cut));
   }
   // See path_budget: report the number of cuts actually used.

@@ -12,6 +12,7 @@ namespace fpva::grid {
 
 using common::cat;
 using common::check;
+using common::fail;
 
 LayoutBuilder::LayoutBuilder(int rows, int cols) : rows_(rows), cols_(cols) {
   check(rows >= 1 && cols >= 1, "LayoutBuilder requires rows, cols >= 1");
@@ -46,11 +47,13 @@ int LayoutBuilder::site_index(Site site) const {
 }
 
 LayoutBuilder& LayoutBuilder::channel(Site site) {
-  check(internal_valve_parity(site),
-        cat("channel: not an internal valve-parity site ", to_string(site)));
+  if (!internal_valve_parity(site)) {
+    fail(cat("channel: not an internal valve-parity site ", to_string(site)));
+  }
   auto& kind = site_kinds_[static_cast<std::size_t>(site_index(site))];
-  check(kind == SiteKind::kValve,
-        cat("channel: site ", to_string(site), " holds no valve to replace"));
+  if (kind != SiteKind::kValve) {
+    fail(cat("channel: site ", to_string(site), " holds no valve to replace"));
+  }
   kind = SiteKind::kChannel;
   return *this;
 }
@@ -101,9 +104,10 @@ LayoutBuilder& LayoutBuilder::port(Site site, PortKind kind,
   check(has_valve_parity(site), "port: site must have valve parity");
   const bool boundary = site.row == 0 || site.row == 2 * rows_ ||
                         site.col == 0 || site.col == 2 * cols_;
-  check(boundary && site.row >= 0 && site.col >= 0 && site.row <= 2 * rows_ &&
-            site.col <= 2 * cols_,
-        cat("port: site ", to_string(site), " is not on the chip boundary"));
+  if (!(boundary && site.row >= 0 && site.col >= 0 && site.row <= 2 * rows_ &&
+        site.col <= 2 * cols_)) {
+    fail(cat("port: site ", to_string(site), " is not on the chip boundary"));
+  }
   ports_.push_back(Port{site, kind, std::move(name)});
   return *this;
 }
@@ -149,17 +153,21 @@ ValveArray LayoutBuilder::build() const {
   std::set<std::string> names;
   std::set<Site> port_sites;
   for (const Port& port : ports_) {
-    check(names.insert(port.name).second,
-          cat("build: duplicate port name '", port.name, '\''));
-    check(port_sites.insert(port.site).second,
-          cat("build: two ports share site ", to_string(port.site)));
+    if (!names.insert(port.name).second) {
+      fail(cat("build: duplicate port name '", port.name, '\''));
+    }
+    if (!port_sites.insert(port.site).second) {
+      fail(cat("build: two ports share site ", to_string(port.site)));
+    }
     const auto [first, second] = array.sides(port.site);
-    check(first.has_value() != second.has_value(),
-          cat("build: port ", port.name, " is not on the boundary"));
+    if (first.has_value() == second.has_value()) {
+      fail(cat("build: port ", port.name, " is not on the boundary"));
+    }
     const Cell inner = first.has_value() ? *first : *second;
-    check(array.is_fluid(inner),
-          cat("build: port ", port.name, " attaches to obstacle cell ",
-              to_string(inner)));
+    if (!array.is_fluid(inner)) {
+      fail(cat("build: port ", port.name, " attaches to obstacle cell ",
+               to_string(inner)));
+    }
   }
 
   // Reachability sanity pass: with every valve open, all fluid cells should

@@ -58,10 +58,11 @@ ValveArray table1_array(int n) {
   }
   builder.default_ports();
   ValveArray array = builder.build();
-  common::check(array.valve_count() == table1_valve_count(n),
-                common::cat("table1_array(", n, "): expected ",
-                            table1_valve_count(n), " valves, built ",
-                            array.valve_count()));
+  if (array.valve_count() != table1_valve_count(n)) {
+    common::fail(common::cat("table1_array(", n, "): expected ",
+                             table1_valve_count(n), " valves, built ",
+                             array.valve_count()));
+  }
   return array;
 }
 

@@ -77,8 +77,10 @@ ValveArray parse_ascii(const std::string& text) {
           const Cell cell{(r - 1) / 2, (c - 1) / 2};
           builder.obstacle_rect(cell, cell);
         } else {
-          check(glyph == '.', cat("parse_ascii: bad cell glyph '", glyph,
-                                  "' at ", to_string(site)));
+          if (glyph != '.') {
+            common::fail(cat("parse_ascii: bad cell glyph '", glyph, "' at ",
+                             to_string(site)));
+          }
         }
       } else if (has_valve_parity(site)) {
         switch (glyph) {
@@ -99,8 +101,10 @@ ValveArray parse_ascii(const std::string& text) {
                              "' at ", to_string(site)));
         }
       } else {
-        check(glyph == '+', cat("parse_ascii: bad post glyph '", glyph,
-                                "' at ", to_string(site)));
+        if (glyph != '+') {
+          common::fail(cat("parse_ascii: bad post glyph '", glyph, "' at ",
+                           to_string(site)));
+        }
       }
     }
   }

@@ -759,6 +759,9 @@ class Searcher {
                                 Result& result) {
     std::vector<CandidateCut> cuts;
     std::vector<lp::Term> terms;
+    // Two bounded separation rounds; the pivot count is aggregated for
+    // stats, not searched over. The node loop around this polls the token.
+    // fpva-lint: allow(missing-stop-poll)
     for (int round = 0; round < 2; ++round) {
       if (relaxation.status != lp::SolveStatus::kOptimal) break;
       if (depth_cut_rows_ >= kMaxDepthCutRows) break;
@@ -1006,6 +1009,8 @@ Result solve_parallel_tree(const Model& model, const Options& options,
 
   Result result;
   result.threads_used = workers;
+  // Post-search aggregation over the per-worker partial results (one entry
+  // per worker, all already terminated). fpva-lint: allow(missing-stop-poll)
   for (const Result& partial : partials) {
     result.nodes += partial.nodes;
     result.lp_pivots += partial.lp_pivots;

@@ -905,6 +905,10 @@ bool RevisedSimplex::primal_iterate(long budget, Solution& result) {
   std::vector<double>& alpha = work_;
   std::vector<int>& pattern = pattern_;
   if (devex()) reset_primal_devex();  // fresh reference framework per phase
+  // Pivot loop is bounded by the caller's per-solve iteration budget;
+  // cancellation is polled at node granularity by the branch-and-bound
+  // driver so truncated LPs replay bit-exactly on resume.
+  // fpva-lint: allow(missing-stop-poll)
   while (true) {
     if (iterations_ >= budget) {
       result.status = SolveStatus::kIterationLimit;
@@ -1083,6 +1087,9 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
   rho.assign(static_cast<std::size_t>(m_), 0.0);
   if (devex()) reset_dual_devex();  // fresh row framework per dual run
   refresh_reduced_costs();
+  // Bounded by the per-solve pivot budget; cancellation happens at node
+  // granularity in the driver (see primal_iterate for the rationale).
+  // fpva-lint: allow(missing-stop-poll)
   while (true) {
     if (iterations_ >= budget) {
       result.status = SolveStatus::kIterationLimit;

@@ -276,6 +276,8 @@ class SimplexSolver {
   bool iterate(Solution& result) {
     int consecutive_degenerate = 0;
     const int bland_threshold = 2 * (rows_ + total_vars_) + 20;
+    // Differential oracle: bounded by max_iterations, cancellation polled
+    // by the driver at node granularity. fpva-lint: allow(missing-stop-poll)
     while (true) {
       if (iterations_ >= options_.max_iterations) {
         result.status = SolveStatus::kIterationLimit;

@@ -1,0 +1,19 @@
+#include <map>
+#include <string>
+#include <vector>
+
+namespace demo {
+
+// Prose mention of std::random_device must not fire: comments are stripped
+// before any rule pattern runs, and so are string literal bodies.
+const char* kDoc = "never calls rand() or system_clock";
+
+int tally(const std::map<std::string, int>& scores) {
+  int total = 0;
+  for (const auto& [name, value] : scores) {
+    total += static_cast<int>(name.size()) + value;
+  }
+  return total;
+}
+
+}  // namespace demo

@@ -1,0 +1,12 @@
+#include <string>
+
+namespace demo {
+
+void check(bool condition, const std::string& message);
+std::string cat(const char* prefix, int value);
+
+void validate(int value) {
+  check(value >= 0, cat("negative value: ", value));
+}
+
+}  // namespace demo

@@ -1,0 +1,6 @@
+#ifndef DEMO_UTIL_H
+#define DEMO_UTIL_H
+
+int answer();
+
+#endif  // DEMO_UTIL_H

@@ -1,0 +1,17 @@
+struct Token {
+  bool stop_requested() const { return false; }
+};
+
+struct Stats {
+  long nodes = 0;
+};
+
+long search(Stats& stats, const Token& stop) {
+  long best = 0;
+  while (best < 100) {
+    if (stop.stop_requested()) break;
+    ++stats.nodes;
+    ++best;
+  }
+  return best;
+}

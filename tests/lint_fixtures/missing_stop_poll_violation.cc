@@ -1,0 +1,12 @@
+struct Stats {
+  long nodes = 0;
+};
+
+long search(Stats& stats) {
+  long best = 0;
+  while (best < 100) {
+    ++stats.nodes;
+    ++best;
+  }
+  return best;
+}

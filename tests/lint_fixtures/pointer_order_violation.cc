@@ -1,0 +1,9 @@
+#include <map>
+#include <set>
+
+struct Node {};
+
+int count(const std::map<Node*, int>& scores) {
+  std::set<const Node*> seen;
+  return static_cast<int>(scores.size() + seen.size());
+}

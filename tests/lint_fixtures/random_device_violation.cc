@@ -1,0 +1,6 @@
+#include <random>
+
+int entropy() {
+  std::random_device device;
+  return static_cast<int>(device());
+}

@@ -1,0 +1,6 @@
+#include <chrono>
+
+long stamp() {
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}

@@ -1,0 +1,11 @@
+#include <string>
+#include <unordered_set>
+
+bool has_any(const std::unordered_set<std::string>& names) {
+  // Order is irrelevant here: the loop returns on the first element.
+  // fpva-lint: allow(unordered-iteration)
+  for (const auto& name : names) {
+    if (!name.empty()) return true;
+  }
+  return false;
+}

@@ -1,0 +1,14 @@
+#include <string>
+#include <unordered_map>
+
+int sum(const std::unordered_map<std::string, int>& scores) {
+  int total = 0;
+  for (const auto& [name, value] : scores) {
+    total += value;
+  }
+  return total;
+}
+
+int first(const std::unordered_map<std::string, int>& scores) {
+  return scores.begin()->second;
+}

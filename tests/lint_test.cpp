@@ -1,0 +1,209 @@
+// fpva_lint self-tests: every rule pinned to exact (rule, file, line)
+// findings on fixture files, plus whitelist suppression and the
+// options-coverage cross-reference. The fixtures live in
+// tests/lint_fixtures/ with non-.cpp extensions so the test-registration
+// glob never mistakes them for test sources; each one is linted *as if* it
+// lived at a virtual repo path, because the path decides which rule sets
+// apply (determinism/cancellation only inside the solver directories).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fpva_lint/lint.h"
+
+namespace fpva::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(FPVA_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> lint_fixture(const std::string& virtual_path,
+                                  const std::string& fixture_name) {
+  return lint_file(virtual_path, read_fixture(fixture_name));
+}
+
+struct Expected {
+  std::string rule;
+  int line;
+};
+
+void expect_findings(const std::vector<Finding>& findings,
+                     const std::string& file,
+                     const std::vector<Expected>& expected) {
+  ASSERT_EQ(findings.size(), expected.size()) << format_findings(findings);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(findings[i].rule, expected[i].rule) << format_findings(findings);
+    EXPECT_EQ(findings[i].file, file);
+    EXPECT_EQ(findings[i].line, expected[i].line) << format_findings(findings);
+    EXPECT_FALSE(findings[i].message.empty());
+  }
+}
+
+TEST(LintTest, RandomDevice) {
+  const std::string path = "src/ilp/random_device_violation.cc";
+  expect_findings(lint_fixture(path, "random_device_violation.cc"), path,
+                  {{"random-device", 4}});
+}
+
+TEST(LintTest, RandAndSrandCalls) {
+  const std::string path = "src/lp/rand_violation.cc";
+  expect_findings(lint_fixture(path, "rand_violation.cc"), path,
+                  {{"rand-call", 4}, {"rand-call", 5}});
+}
+
+TEST(LintTest, SystemClock) {
+  const std::string path = "src/core/system_clock_violation.cc";
+  expect_findings(lint_fixture(path, "system_clock_violation.cc"), path,
+                  {{"system-clock", 4}});
+}
+
+TEST(LintTest, PointerOrderedContainers) {
+  const std::string path = "src/sim/pointer_order_violation.cc";
+  expect_findings(lint_fixture(path, "pointer_order_violation.cc"), path,
+                  {{"pointer-order", 6}, {"pointer-order", 7}});
+}
+
+TEST(LintTest, UnorderedIterationRangeForAndBegin) {
+  const std::string path = "src/ilp/unordered_iteration_violation.cc";
+  expect_findings(lint_fixture(path, "unordered_iteration_violation.cc"), path,
+                  {{"unordered-iteration", 6}, {"unordered-iteration", 13}});
+}
+
+TEST(LintTest, WhitelistCommentSuppressesNextLine) {
+  const std::string path = "src/ilp/unordered_iteration_allowed.cc";
+  expect_findings(lint_fixture(path, "unordered_iteration_allowed.cc"), path,
+                  {});
+}
+
+TEST(LintTest, MissingStopPoll) {
+  const std::string path = "src/ilp/missing_stop_poll_violation.cc";
+  expect_findings(lint_fixture(path, "missing_stop_poll_violation.cc"), path,
+                  {{"missing-stop-poll", 7}});
+}
+
+TEST(LintTest, StopPollSatisfiesCancellationRule) {
+  const std::string path = "src/ilp/missing_stop_poll_clean.cc";
+  expect_findings(lint_fixture(path, "missing_stop_poll_clean.cc"), path, {});
+}
+
+TEST(LintTest, EagerCheckMessage) {
+  // Hygiene rules apply outside the solver directories too.
+  const std::string path = "src/grid/eager_check_violation.cc";
+  expect_findings(lint_fixture(path, "eager_check_violation.cc"), path,
+                  {{"eager-check-message", 9}});
+}
+
+TEST(LintTest, IncludeGuardPragmaOnce) {
+  const std::string path = "src/common/include_guard_pragma.h";
+  expect_findings(lint_fixture(path, "include_guard_pragma.h"), path,
+                  {{"include-guard", 1}});
+}
+
+TEST(LintTest, IncludeGuardWrongPrefix) {
+  const std::string path = "src/common/include_guard_wrong_prefix.h";
+  expect_findings(lint_fixture(path, "include_guard_wrong_prefix.h"), path,
+                  {{"include-guard", 1}});
+}
+
+TEST(LintTest, IncludeGuardClean) {
+  const std::string path = "src/core/include_guard_clean.h";
+  expect_findings(lint_fixture(path, "include_guard_clean.h"), path, {});
+}
+
+TEST(LintTest, CleanSolverFileHasNoFindings) {
+  // Mentions of banned tokens inside comments and string literals must not
+  // fire: the scanner strips both before matching.
+  const std::string path = "src/ilp/clean.cc";
+  expect_findings(lint_fixture(path, "clean.cc"), path, {});
+}
+
+TEST(LintTest, DeterminismRulesOnlyApplyInSolverDirs) {
+  // The same system_clock fixture linted under tools/ raises nothing: the
+  // determinism contract is scoped to what the certified search depends on.
+  expect_findings(
+      lint_fixture("tools/system_clock_violation.cc",
+                   "system_clock_violation.cc"),
+      "tools/system_clock_violation.cc", {});
+}
+
+TEST(LintTest, InlineWhitelistSuppressesOwnLine) {
+  const std::string content =
+      "#include <chrono>\n"
+      "auto t0 = std::chrono::system_clock::now();  "
+      "// fpva-lint: allow(system-clock)\n";
+  EXPECT_TRUE(lint_file("src/ilp/inline.cc", content).empty());
+}
+
+TEST(LintTest, WhitelistIsRuleSpecific) {
+  // Allowing one rule must not blanket-suppress another on the same line.
+  const std::string content =
+      "// fpva-lint: allow(unordered-iteration)\n"
+      "auto t0 = std::chrono::system_clock::now();\n";
+  const std::vector<Finding> findings = lint_file("src/ilp/inline.cc", content);
+  ASSERT_EQ(findings.size(), 1u) << format_findings(findings);
+  EXPECT_EQ(findings[0].rule, "system-clock");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintTest, OptionsCoverageFlagsUntestedField) {
+  const std::string header =
+      "struct Options {\n"
+      "  bool presolve = true;\n"
+      "  int max_nodes = 10;\n"
+      "  // fpva-lint: allow(untested-option) diagnostic only\n"
+      "  int debug_level = 0;\n"
+      "};\n";
+  const std::vector<std::pair<std::string, std::string>> tests = {
+      {"tests/a_test.cpp", "options.presolve = false;"}};
+  const std::vector<Finding> findings =
+      check_options_coverage("src/ilp/options.h", header, tests);
+  ASSERT_EQ(findings.size(), 1u) << format_findings(findings);
+  EXPECT_EQ(findings[0].rule, "untested-option");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("max_nodes"), std::string::npos);
+}
+
+TEST(LintTest, OptionsCoverageCleanWhenAllFieldsReferenced) {
+  const std::string header =
+      "struct Options {\n"
+      "  bool presolve = true;\n"
+      "  int max_nodes = 10;\n"
+      "};\n";
+  const std::vector<std::pair<std::string, std::string>> tests = {
+      {"tests/a_test.cpp", "options.presolve = false;"},
+      {"tests/b_test.cpp", "options.max_nodes = 1;"}};
+  EXPECT_TRUE(
+      check_options_coverage("src/ilp/options.h", header, tests).empty());
+}
+
+TEST(LintTest, OptionsCoverageIgnoresMemberFunctions) {
+  const std::string header =
+      "struct Options {\n"
+      "  bool presolve = true;\n"
+      "  int effective_threads() const;\n"
+      "};\n";
+  const std::vector<std::pair<std::string, std::string>> tests = {
+      {"tests/a_test.cpp", "options.presolve = false;"}};
+  EXPECT_TRUE(
+      check_options_coverage("src/ilp/options.h", header, tests).empty());
+}
+
+TEST(LintTest, FormatFindings) {
+  const std::vector<Finding> findings = {
+      {"system-clock", "src/ilp/x.cc", 12, "wall clocks are not replayable"}};
+  EXPECT_EQ(format_findings(findings),
+            "src/ilp/x.cc:12: [system-clock] wall clocks are not replayable\n");
+}
+
+}  // namespace
+}  // namespace fpva::lint

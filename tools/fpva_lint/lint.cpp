@@ -1,0 +1,664 @@
+#include "fpva_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace fpva::lint {
+
+namespace {
+
+// ---------------------------------------------------------------- text model
+
+/// A file split into lines twice over: `raw` exactly as written (whitelist
+/// comments live here) and `code` with comment bodies and string/character
+/// literal contents blanked out, so rule patterns never fire on prose or on
+/// quoted examples. Both views keep line lengths identical, which lets the
+/// multi-line scanners map character offsets back to line numbers.
+struct Source {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Blanks comments and literal bodies with spaces, preserving positions.
+std::vector<std::string> strip_comments(const std::vector<std::string>& raw) {
+  std::vector<std::string> code;
+  code.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& line : raw) {
+    std::string out(line.size(), ' ');
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block_comment) {
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (in_string || in_char) {
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if ((in_string && c == '"') || (in_char && c == '\'')) {
+          out[i] = c;
+          in_string = in_char = false;
+        }
+        continue;
+      }
+      if (c == '/' && next == '/') break;  // rest of line is a comment
+      if (c == '/' && next == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        out[i] = c;
+        continue;
+      }
+      if (c == '\'') {
+        // Heuristic: a ' preceded by an identifier character is a digit
+        // separator (1'000'000), not a character literal.
+        const char prev = i > 0 ? line[i - 1] : '\0';
+        if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+          out[i] = c;
+          continue;
+        }
+        in_char = true;
+        out[i] = c;
+        continue;
+      }
+      out[i] = c;
+    }
+    code.push_back(std::move(out));
+  }
+  return code;
+}
+
+// ----------------------------------------------------------------- whitelist
+
+/// Per-line rule whitelist parsed from `// fpva-lint: allow(rule[, rule])`
+/// comments. A comment whitelists its own line and the line below it, so
+/// both inline and stand-alone-comment-above placement work.
+class Whitelist {
+ public:
+  explicit Whitelist(const std::vector<std::string>& raw_lines) {
+    static const std::regex kAllow(R"(fpva-lint:\s*allow\(([^)]*)\))");
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(raw_lines[i], match, kAllow)) continue;
+      std::stringstream rules(match[1].str());
+      std::string rule;
+      while (std::getline(rules, rule, ',')) {
+        const auto begin = rule.find_first_not_of(" \t");
+        const auto end = rule.find_last_not_of(" \t");
+        if (begin == std::string::npos) continue;
+        const std::string trimmed = rule.substr(begin, end - begin + 1);
+        allowed_[static_cast<int>(i) + 1].insert(trimmed);
+        allowed_[static_cast<int>(i) + 2].insert(trimmed);
+      }
+    }
+  }
+
+  bool allows(int line, const std::string& rule) const {
+    const auto it = allowed_.find(line);
+    return it != allowed_.end() && it->second.count(rule) > 0;
+  }
+
+ private:
+  std::map<int, std::set<std::string>> allowed_;
+};
+
+// ------------------------------------------------------------------- helpers
+
+bool starts_with_any(const std::string& path,
+                     const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const std::string& p) { return path.rfind(p, 0) == 0; });
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Joins the code view into one string with '\n' (offset -> line mapping is
+/// recovered by counting newlines, so offsets stay cheap to translate).
+std::string join(const std::vector<std::string>& lines) {
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+int line_of_offset(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(offset), '\n'));
+}
+
+/// Offset of the character matching the opener at `open` ('(' or '{'), or
+/// npos when the file ends first. Operates on the comment-stripped view, so
+/// literals cannot unbalance it.
+std::size_t match_bracket(const std::string& text, std::size_t open) {
+  const char opener = text[open];
+  const char closer = opener == '(' ? ')' : '}';
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == opener) ++depth;
+    if (text[i] == closer && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// Last identifier component of an expression like `result.nodes` or
+/// `row->trials` (the member actually being counted).
+std::string final_component(const std::string& chain) {
+  std::size_t pos = chain.rfind("->");
+  const std::size_t dot = chain.rfind('.');
+  if (pos == std::string::npos || (dot != std::string::npos && dot > pos)) {
+    pos = dot == std::string::npos ? std::string::npos : dot;
+    return pos == std::string::npos ? chain : chain.substr(pos + 1);
+  }
+  return chain.substr(pos + 2);
+}
+
+void add_finding(std::vector<Finding>& findings, const Whitelist& whitelist,
+                 const std::string& rule, const std::string& file, int line,
+                 std::string message) {
+  if (whitelist.allows(line, rule)) return;
+  findings.push_back({rule, file, line, std::move(message)});
+}
+
+// ---------------------------------------------------- determinism token rules
+
+struct TokenRule {
+  const char* rule;
+  const char* pattern;
+  const char* message;
+};
+
+// Single-pattern determinism bans. These target *decision inputs*: anything
+// here that reaches branching, pricing, or trial generation makes the
+// certified search irreproducible.
+const TokenRule kDeterminismRules[] = {
+    {"random-device", R"(std\s*::\s*random_device)",
+     "std::random_device draws ambient entropy; seed a common::Rng "
+     "(counter-based streams) instead"},
+    {"rand-call", R"(\bs?rand\s*\()",
+     "rand()/srand() use hidden global state; use common::Rng with an "
+     "explicit seed"},
+    {"system-clock", R"(\b(system_clock|high_resolution_clock)\b)",
+     "wall clocks are not replayable; use std::chrono::steady_clock "
+     "(common::Timer / common::Deadline) for durations"},
+    {"pointer-order", R"(std\s*::\s*hash\s*<[^>;]*\*)",
+     "hashing a pointer value depends on allocation order"},
+    {"pointer-order", R"(std\s*::\s*less\s*<[^>;]*\*)",
+     "ordering by pointer value depends on allocation order"},
+    {"pointer-order",
+     R"(\b(map|set|multimap|multiset)\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*)",
+     "an ordered container keyed by pointer iterates in allocation order"},
+    {"pointer-order", R"(reinterpret_cast\s*<\s*(std\s*::\s*)?u?intptr_t)",
+     "casting a pointer to an integer bakes allocation order into values"},
+};
+
+void scan_token_rules(const Source& source, const Whitelist& whitelist,
+                      const std::string& path,
+                      std::vector<Finding>& findings) {
+  for (const TokenRule& rule : kDeterminismRules) {
+    const std::regex pattern(rule.pattern);
+    for (std::size_t i = 0; i < source.code.size(); ++i) {
+      if (std::regex_search(source.code[i], pattern)) {
+        add_finding(findings, whitelist, rule.rule, path,
+                    static_cast<int>(i) + 1, rule.message);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- unordered iteration
+
+/// Declaring an unordered container is fine — *iterating* one is the banned
+/// operation, because libstdc++ bucket order is load-factor and insertion
+/// dependent. Pass 1 collects the names of unordered-typed variables (and
+/// `using` aliases of unordered types, plus variables declared through
+/// those aliases); pass 2 flags range-for statements and begin()/end()
+/// calls over any collected name.
+void scan_unordered_iteration(const Source& source, const Whitelist& whitelist,
+                              const std::string& path,
+                              std::vector<Finding>& findings) {
+  const std::string text = join(source.code);
+  std::set<std::string> names;
+  std::set<std::string> type_aliases;
+
+  static const std::regex kAlias(
+      R"(using\s+([A-Za-z_]\w*)\s*=[^;]*\bunordered_(map|set|multimap|multiset)\s*<)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kAlias);
+       it != std::sregex_iterator(); ++it) {
+    type_aliases.insert((*it)[1].str());
+  }
+
+  // Variable declarations: an unordered type (or alias) followed by angle
+  // brackets we match by hand (nested templates), then the declared name.
+  static const std::regex kDecl(R"(\bunordered_(map|set|multimap|multiset)\s*<)");
+  std::vector<std::size_t> type_starts;
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    type_starts.push_back(static_cast<std::size_t>(it->position()) +
+                          it->length() - 1);  // offset of '<'
+  }
+  for (const std::string& alias : type_aliases) {
+    const std::regex use(R"(\b)" + alias + R"(\b)");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), use);
+         it != std::sregex_iterator(); ++it) {
+      // Alias uses have no template argument list; point at the character
+      // after the alias so the name scan below starts there.
+      type_starts.push_back(static_cast<std::size_t>(it->position()) +
+                            it->length());
+    }
+  }
+
+  for (const std::size_t start : type_starts) {
+    std::size_t pos = start;
+    if (text[pos] == '<') {
+      int depth = 0;
+      for (; pos < text.size(); ++pos) {
+        if (text[pos] == '<') ++depth;
+        if (text[pos] == '>' && --depth == 0) break;
+      }
+      if (pos == std::string::npos || pos >= text.size()) continue;
+      ++pos;
+    }
+    while (pos < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '&' || text[pos] == '*')) {
+      ++pos;
+    }
+    std::size_t name_end = pos;
+    while (name_end < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[name_end])) ||
+            text[name_end] == '_')) {
+      ++name_end;
+    }
+    if (name_end == pos) continue;
+    std::size_t after = name_end;
+    while (after < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[after]))) {
+      ++after;
+    }
+    // `name(` is a function declaration returning the container — the
+    // container object itself gets collected at the call sites that bind
+    // it. Everything else (; = { , ) ) declares a variable or parameter.
+    if (after < text.size() && text[after] == '(') continue;
+    const std::string name = text.substr(pos, name_end - pos);
+    if (name == "const" || name == "auto") continue;
+    names.insert(name);
+  }
+  if (names.empty()) return;
+
+  std::string alternation;
+  for (const std::string& name : names) {
+    if (!alternation.empty()) alternation += '|';
+    alternation += name;
+  }
+
+  // Range-for over a tracked name: `for (` with no ';' before the matching
+  // ')' is a range-for; flag when the range expression mentions the name.
+  static const std::regex kFor(R"(\bfor\s*\()");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kFor);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position()) + it->length() - 1;
+    const std::size_t close = match_bracket(text, open);
+    if (close == std::string::npos) continue;
+    const std::string header = text.substr(open + 1, close - open - 1);
+    if (header.find(';') != std::string::npos) continue;  // classic for
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string range = header.substr(colon + 1);
+    const std::regex name_use(R"(\b()" + alternation + R"()\b)");
+    std::smatch match;
+    if (std::regex_search(range, match, name_use)) {
+      add_finding(
+          findings, whitelist, "unordered-iteration", path,
+          line_of_offset(text, static_cast<std::size_t>(it->position())),
+          "iterating unordered container '" + match[1].str() +
+              "': bucket order is not deterministic; use a sorted/indexed "
+              "container or collect-and-sort first");
+    }
+  }
+
+  const std::regex begin_call(R"(\b()" + alternation +
+                              R"()\s*\.\s*c?r?(begin|end)\s*\()");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), begin_call);
+       it != std::sregex_iterator(); ++it) {
+    add_finding(findings, whitelist, "unordered-iteration", path,
+                line_of_offset(text, static_cast<std::size_t>(it->position())),
+                "iterating unordered container '" + (*it)[1].str() +
+                    "' via begin()/end(): bucket order is not deterministic");
+  }
+}
+
+// ----------------------------------------------------------- stop-poll rule
+
+/// A loop that counts nodes, pivots, trials, or iterations is by definition
+/// a long-running search loop; if nothing in its header or body consults a
+/// StopToken/Deadline (or a flag derived from one), cancellation and
+/// deadline checkpointing silently stop working for that loop.
+void scan_stop_polls(const Source& source, const Whitelist& whitelist,
+                     const std::string& path, std::vector<Finding>& findings) {
+  const std::string text = join(source.code);
+  static const std::regex kLoop(R"(\b(for|while)\s*\()");
+  static const std::regex kCounterChain(
+      R"((?:\+\+\s*)?([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*(?:\+\+|\+=))");
+  static const std::regex kPreIncrement(
+      R"(\+\+\s*([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*))");
+  static const std::regex kCounterName(
+      R"(^(\w*_)?(node|pivot|trial|iteration)s?_?$)");
+  static const std::regex kPoll(
+      R"(stop_requested|should_stop|\bexpired\s*\(|[Dd]eadline|interrupted|cancel)");
+
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kLoop);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position()) + it->length() - 1;
+    const std::size_t close = match_bracket(text, open);
+    if (close == std::string::npos) continue;
+    const std::string header = text.substr(open + 1, close - open - 1);
+
+    std::size_t body_begin = close + 1;
+    while (body_begin < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[body_begin]))) {
+      ++body_begin;
+    }
+    if (body_begin >= text.size()) continue;
+    std::string body;
+    if (text[body_begin] == '{') {
+      const std::size_t body_end = match_bracket(text, body_begin);
+      if (body_end == std::string::npos) continue;
+      body = text.substr(body_begin, body_end - body_begin + 1);
+    } else {
+      const std::size_t semi = text.find(';', body_begin);
+      if (semi == std::string::npos) continue;
+      body = text.substr(body_begin, semi - body_begin + 1);
+    }
+
+    // Blank out nested for(...) headers before counting: `++node` as a
+    // nested loop's induction step is not a progress counter (each nested
+    // loop is analyzed on its own when the outer scan reaches it).
+    std::string counted_body = body;
+    for (auto nested = std::sregex_iterator(body.begin(), body.end(), kLoop);
+         nested != std::sregex_iterator(); ++nested) {
+      const std::size_t nested_open =
+          static_cast<std::size_t>(nested->position()) + nested->length() - 1;
+      const std::size_t nested_close = match_bracket(body, nested_open);
+      if (nested_close == std::string::npos) continue;
+      for (std::size_t k = nested_open; k <= nested_close; ++k) {
+        if (counted_body[k] != '\n') counted_body[k] = ' ';
+      }
+    }
+
+    std::set<std::string> counters;
+    for (auto inc = std::sregex_iterator(counted_body.begin(),
+                                         counted_body.end(), kCounterChain);
+         inc != std::sregex_iterator(); ++inc) {
+      const std::string component = final_component((*inc)[1].str());
+      if (std::regex_match(component, kCounterName)) {
+        counters.insert(component);
+      }
+    }
+    for (auto inc = std::sregex_iterator(counted_body.begin(),
+                                         counted_body.end(), kPreIncrement);
+         inc != std::sregex_iterator(); ++inc) {
+      const std::string component = final_component((*inc)[1].str());
+      if (std::regex_match(component, kCounterName)) {
+        counters.insert(component);
+      }
+    }
+    if (counters.empty()) continue;
+    if (std::regex_search(header, kPoll) || std::regex_search(body, kPoll)) {
+      continue;
+    }
+    std::string counted;
+    for (const std::string& counter : counters) {
+      if (!counted.empty()) counted += ", ";
+      counted += counter;
+    }
+    add_finding(findings, whitelist, "missing-stop-poll", path,
+                line_of_offset(text, static_cast<std::size_t>(it->position())),
+                "loop counts '" + counted +
+                    "' but never polls a StopToken/Deadline; long-running "
+                    "search loops must stay cancellable");
+  }
+}
+
+// -------------------------------------------------------------- hygiene rules
+
+void scan_eager_check_messages(const Source& source, const Whitelist& whitelist,
+                               const std::string& path,
+                               std::vector<Finding>& findings) {
+  const std::string text = join(source.code);
+  static const std::regex kCheck(R"(\b(check|CHECK)\s*\()");
+  static const std::regex kEager(
+      R"(\bcat\s*\(|\bto_string\s*\(|std\s*::\s*string\s*\()");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kCheck);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t start = static_cast<std::size_t>(it->position());
+    if (start > 0 && (text[start - 1] == '.' || text[start - 1] == '>' ||
+                      text[start - 1] == '_')) {
+      continue;  // member call or a different identifier suffix
+    }
+    const std::size_t open = start + it->length() - 1;
+    const std::size_t close = match_bracket(text, open);
+    if (close == std::string::npos) continue;
+    const std::string args = text.substr(open + 1, close - open - 1);
+    if (std::regex_search(args, kEager)) {
+      add_finding(findings, whitelist, "eager-check-message", path,
+                  line_of_offset(text, start),
+                  "check() message is formatted even when the check passes; "
+                  "use a literal, or guard it: if (!ok) fail(cat(...))");
+    }
+  }
+}
+
+void scan_include_guard(const Source& source, const Whitelist& whitelist,
+                        const std::string& path, const Config& config,
+                        std::vector<Finding>& findings) {
+  const std::regex guard_name("^" + config.guard_prefix + R"([A-Z0-9_]*_H_?$)");
+  static const std::regex kIfndef(R"(^\s*#\s*ifndef\s+([A-Za-z_]\w*))");
+  static const std::regex kDefine(R"(^\s*#\s*define\s+([A-Za-z_]\w*))");
+  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once)");
+  static const std::regex kDirective(R"(^\s*#)");
+
+  for (std::size_t i = 0; i < source.code.size(); ++i) {
+    const std::string& line = source.code[i];
+    if (!std::regex_search(line, kDirective)) continue;
+    const int line_number = static_cast<int>(i) + 1;
+    if (std::regex_search(line, kPragmaOnce)) {
+      add_finding(findings, whitelist, "include-guard", path, line_number,
+                  "#pragma once is not the project guard style; use "
+                  "#ifndef " + config.guard_prefix + "<PATH>_H");
+      return;
+    }
+    std::smatch match;
+    if (!std::regex_search(line, match, kIfndef)) {
+      add_finding(findings, whitelist, "include-guard", path, line_number,
+                  "first preprocessor directive is not an include guard; "
+                  "expected #ifndef " + config.guard_prefix + "<PATH>_H");
+      return;
+    }
+    const std::string macro = match[1].str();
+    if (!std::regex_match(macro, guard_name)) {
+      add_finding(findings, whitelist, "include-guard", path, line_number,
+                  "include guard '" + macro + "' does not match the " +
+                      config.guard_prefix + "<PATH>_H pattern");
+      return;
+    }
+    // The matching #define must be the next directive.
+    for (std::size_t j = i + 1; j < source.code.size(); ++j) {
+      if (!std::regex_search(source.code[j], kDirective)) continue;
+      std::smatch define;
+      if (!std::regex_search(source.code[j], define, kDefine) ||
+          define[1].str() != macro) {
+        add_finding(findings, whitelist, "include-guard", path,
+                    static_cast<int>(j) + 1,
+                    "include guard #ifndef " + macro +
+                        " is not followed by #define " + macro);
+      }
+      return;
+    }
+    return;
+  }
+  add_finding(findings, whitelist, "include-guard", path, 1,
+              "header has no include guard; expected #ifndef " +
+                  config.guard_prefix + "<PATH>_H");
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ lint_file
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& content,
+                               const Config& config) {
+  Source source;
+  source.raw = split_lines(content);
+  source.code = strip_comments(source.raw);
+  const Whitelist whitelist(source.raw);
+
+  std::vector<Finding> findings;
+  if (starts_with_any(path, config.solver_dirs)) {
+    scan_token_rules(source, whitelist, path, findings);
+    scan_unordered_iteration(source, whitelist, path, findings);
+    scan_stop_polls(source, whitelist, path, findings);
+  }
+  scan_eager_check_messages(source, whitelist, path, findings);
+  if (ends_with(path, ".h")) {
+    scan_include_guard(source, whitelist, path, config, findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+// ------------------------------------------------------------ options check
+
+std::vector<Finding> check_options_coverage(
+    const std::string& header_path, const std::string& header_content,
+    const std::vector<std::pair<std::string, std::string>>& test_files) {
+  Source source;
+  source.raw = split_lines(header_content);
+  source.code = strip_comments(source.raw);
+  const Whitelist whitelist(source.raw);
+  const std::string text = join(source.code);
+
+  std::vector<Finding> findings;
+  static const std::regex kStruct(R"(\bstruct\s+Options\s*\{)");
+  std::smatch struct_match;
+  if (!std::regex_search(text, struct_match, kStruct)) {
+    findings.push_back({"untested-option", header_path, 1,
+                        "no `struct Options` found in " + header_path});
+    return findings;
+  }
+  const std::size_t open =
+      static_cast<std::size_t>(struct_match.position()) +
+      struct_match.length() - 1;
+  const std::size_t close = match_bracket(text, open);
+  if (close == std::string::npos) {
+    findings.push_back({"untested-option", header_path,
+                        line_of_offset(text, open),
+                        "unbalanced braces in struct Options"});
+    return findings;
+  }
+
+  // Field declarations at depth 1: statements ending in `;` whose last
+  // identifier before the `;`/`=` is the field name.
+  static const std::regex kField(
+      R"(([A-Za-z_]\w*)\s*(=[^;]*)?;\s*$)");
+  struct FieldDecl {
+    std::string name;
+    int line;
+  };
+  std::vector<FieldDecl> fields;
+  int depth = 0;
+  std::string statement;
+  std::size_t statement_start = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const char c = text[i];
+    if (c == '{' || c == '(' || c == '<') ++depth;
+    if (c == '}' || c == ')' || c == '>') --depth;
+    if (c == ';' && depth == 0) {
+      const std::string full =
+          text.substr(statement_start, i - statement_start + 1);
+      std::smatch match;
+      if (std::regex_search(full, match, kField)) {
+        // Skip function declarations: a '(' before the name means the
+        // statement declared something callable, not a field.
+        const std::string before_name =
+            full.substr(0, static_cast<std::size_t>(match.position(1)));
+        if (before_name.find('(') == std::string::npos) {
+          fields.push_back(
+              {match[1].str(),
+               line_of_offset(text, statement_start +
+                                        static_cast<std::size_t>(
+                                            match.position(1)))});
+        }
+      }
+      statement_start = i + 1;
+    }
+  }
+
+  for (const FieldDecl& field : fields) {
+    const std::regex use(R"(\b)" + field.name + R"(\b)");
+    const bool referenced = std::any_of(
+        test_files.begin(), test_files.end(),
+        [&](const std::pair<std::string, std::string>& file) {
+          return std::regex_search(file.second, use);
+        });
+    if (referenced) continue;
+    if (whitelist.allows(field.line, "untested-option")) continue;
+    findings.push_back(
+        {"untested-option", header_path, field.line,
+         "Options::" + field.name +
+             " is not referenced by any test; every acceleration switch "
+             "needs a test that toggles it (or a fpva-lint allow "
+             "justification)"});
+  }
+  return findings;
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += finding.file + ":" + std::to_string(finding.line) + ": [" +
+           finding.rule + "] " + finding.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace fpva::lint

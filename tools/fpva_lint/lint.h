@@ -1,0 +1,86 @@
+// FPVA-specific static analysis: the determinism and cancellation contract
+// of the solver, enforced at token/regex-with-context level.
+//
+// The repo's whole correctness story — certified minimum test sets that
+// replay bit-identically across resumes, thread counts, and crash/kill
+// cycles — rests on invariants that runtime differential tests can only
+// *detect* being broken. This analyzer makes breaking them unmergeable:
+//
+//   determinism   unordered-iteration  iterating an unordered container
+//                                      (order feeds search decisions)
+//                 random-device        std::random_device (ambient entropy)
+//                 rand-call            rand()/srand() (global hidden state)
+//                 system-clock         system_clock/high_resolution_clock
+//                                      (wall time in solver decisions)
+//                 pointer-order        ordering/hashing by pointer value
+//                                      (allocation-order dependent)
+//   cancellation  missing-stop-poll    node/pivot/trial-counting loop that
+//                                      never polls a StopToken/Deadline
+//   switchability untested-option      ilp::Options field no test toggles
+//   hygiene       include-guard        header guard not FPVA_*_H
+//                 eager-check-message  check(cond, cat(...)) builds the
+//                                      message on the success path (the
+//                                      PR-2 hot-path regression class)
+//
+// Determinism and cancellation rules apply only inside the solver
+// directories (Config::solver_dirs); hygiene applies to every linted file.
+// A finding is suppressed by a per-line whitelist comment on the flagged
+// line or the line directly above it:
+//
+//   // fpva-lint: allow(unordered-iteration) membership-only probe
+//
+// This is deliberately not a compiler plugin: token-level rules over the
+// file text plus brace/paren matching give exact, fast, dependency-free
+// checks that run identically on every developer box and in CI. The
+// industry layer (clang-tidy, cppcheck) rides alongside in the CI lint job
+// for the general-purpose bug classes.
+#ifndef FPVA_TOOLS_FPVA_LINT_LINT_H
+#define FPVA_TOOLS_FPVA_LINT_LINT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fpva::lint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+  std::string rule;     ///< rule id, e.g. "unordered-iteration"
+  std::string file;     ///< repo-relative path as passed to lint_file
+  int line = 0;         ///< 1-based line number
+  std::string message;  ///< human-readable explanation
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+struct Config {
+  /// Repo-relative directory prefixes (with trailing '/') where the
+  /// determinism and cancellation rules apply. Everything the solver's
+  /// search order or certified output can depend on lives here.
+  std::vector<std::string> solver_dirs = {"src/ilp/", "src/lp/", "src/core/",
+                                          "src/sim/"};
+  /// Required include-guard macro prefix for headers.
+  std::string guard_prefix = "FPVA_";
+};
+
+/// Runs every per-file rule over `content` as-if it lived at the
+/// repo-relative `path` (the path decides which rule sets apply).
+/// Findings come back sorted by line, then rule.
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& content,
+                               const Config& config = Config());
+
+/// Switchability check: every field of `struct Options` in the given
+/// header must be referenced by name somewhere in the test corpus —
+/// an acceleration nobody can toggle in a test is an acceleration whose
+/// off-path silently rots. `test_files` is (path, content) pairs.
+std::vector<Finding> check_options_coverage(
+    const std::string& header_path, const std::string& header_content,
+    const std::vector<std::pair<std::string, std::string>>& test_files);
+
+/// "file:line: [rule] message" per finding, one per line.
+std::string format_findings(const std::vector<Finding>& findings);
+
+}  // namespace fpva::lint
+
+#endif  // FPVA_TOOLS_FPVA_LINT_LINT_H

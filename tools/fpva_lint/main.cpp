@@ -1,0 +1,238 @@
+// fpva_lint CLI: run the FPVA determinism/cancellation/hygiene rules over
+// the repository tree (or an explicit file list) and the Options
+// switchability check over the test corpus.
+//
+// Usage:
+//   fpva_lint [--repo-root DIR] [--compile-commands FILE]
+//             [--options-header REL.h] [--tests-dir REL]
+//             [--no-options-check] [FILE...]
+//
+// With no FILE arguments the tool scans every *.h/*.cpp under
+// <repo-root>/src and <repo-root>/tools. --compile-commands restricts the
+// .cpp list to the translation units the build actually compiles (headers
+// are still walked, since they appear in no compile command). Exit status:
+// 0 clean, 1 findings, 2 usage or I/O error.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fpva_lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using fpva::lint::Config;
+using fpva::lint::Finding;
+
+struct Args {
+  fs::path repo_root = ".";
+  fs::path compile_commands;
+  std::string options_header = "src/ilp/branch_and_bound.h";
+  std::string tests_dir = "tests";
+  bool options_check = true;
+  std::vector<std::string> files;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--repo-root DIR] [--compile-commands FILE]\n"
+               "       [--options-header REL.h] [--tests-dir REL]\n"
+               "       [--no-options-check] [FILE...]\n";
+  return 2;
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) return false;
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Repo-relative path with forward slashes, or empty when `path` does not
+/// live under the repo root.
+std::string repo_relative(const fs::path& repo_root, const fs::path& path) {
+  std::error_code ec;
+  const fs::path canonical = fs::weakly_canonical(path, ec);
+  if (ec) return {};
+  const fs::path relative = canonical.lexically_relative(repo_root);
+  const std::string text = relative.generic_string();
+  if (text.empty() || text == "." || text.rfind("..", 0) == 0) return {};
+  return text;
+}
+
+bool lintable(const std::string& relative) {
+  if (relative.rfind("src/", 0) != 0 && relative.rfind("tools/", 0) != 0) {
+    return false;
+  }
+  return relative.size() > 2 &&
+         (relative.ends_with(".h") || relative.ends_with(".cpp"));
+}
+
+/// Extracts the "file" entries from compile_commands.json. The format is
+/// stable enough (CMake writes one object per translation unit) that a
+/// line-level regex beats depending on a JSON library.
+std::vector<fs::path> compile_command_files(const fs::path& json_path) {
+  std::string content;
+  std::vector<fs::path> files;
+  if (!read_file(json_path, content)) return files;
+  static const std::regex kFile(R"re("file"\s*:\s*"([^"]+)")re");
+  for (auto it = std::sregex_iterator(content.begin(), content.end(), kFile);
+       it != std::sregex_iterator(); ++it) {
+    files.emplace_back((*it)[1].str());
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fpva_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--repo-root") {
+      args.repo_root = value("--repo-root");
+    } else if (arg == "--compile-commands") {
+      args.compile_commands = value("--compile-commands");
+    } else if (arg == "--options-header") {
+      args.options_header = value("--options-header");
+    } else if (arg == "--tests-dir") {
+      args.tests_dir = value("--tests-dir");
+    } else if (arg == "--no-options-check") {
+      args.options_check = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fpva_lint: unknown flag " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      args.files.push_back(arg);
+    }
+  }
+
+  std::error_code ec;
+  const fs::path repo_root = fs::weakly_canonical(args.repo_root, ec);
+  if (ec || !fs::is_directory(repo_root)) {
+    std::cerr << "fpva_lint: --repo-root " << args.repo_root
+              << " is not a directory\n";
+    return 2;
+  }
+
+  // Assemble the scan list: explicit files win; otherwise the tree walk
+  // (plus compile_commands.json when provided). std::set keeps the order
+  // deterministic regardless of directory iteration order.
+  std::set<std::string> relative_paths;
+  if (!args.files.empty()) {
+    for (const std::string& file : args.files) {
+      const std::string relative = repo_relative(repo_root, file);
+      if (relative.empty()) {
+        std::cerr << "fpva_lint: " << file << " is outside " << repo_root
+                  << "\n";
+        return 2;
+      }
+      relative_paths.insert(relative);
+    }
+  } else {
+    const bool cpp_from_compile_commands = !args.compile_commands.empty();
+    if (cpp_from_compile_commands) {
+      const auto listed = compile_command_files(args.compile_commands);
+      if (listed.empty()) {
+        std::cerr << "fpva_lint: no file entries in " << args.compile_commands
+                  << "\n";
+        return 2;
+      }
+      for (const fs::path& file : listed) {
+        const std::string relative = repo_relative(repo_root, file);
+        if (lintable(relative)) relative_paths.insert(relative);
+      }
+    }
+    for (const char* subdir : {"src", "tools"}) {
+      const fs::path base = repo_root / subdir;
+      if (!fs::is_directory(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string relative = repo_relative(repo_root, entry.path());
+        if (!lintable(relative)) continue;
+        if (cpp_from_compile_commands && relative.ends_with(".cpp")) continue;
+        relative_paths.insert(relative);
+      }
+    }
+  }
+  if (relative_paths.empty()) {
+    std::cerr << "fpva_lint: nothing to scan under " << repo_root << "\n";
+    return 2;
+  }
+
+  const Config config;
+  std::vector<Finding> findings;
+  for (const std::string& relative : relative_paths) {
+    std::string content;
+    if (!read_file(repo_root / relative, content)) {
+      std::cerr << "fpva_lint: cannot read " << (repo_root / relative) << "\n";
+      return 2;
+    }
+    const auto file_findings = fpva::lint::lint_file(relative, content, config);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  if (args.options_check && !args.options_header.empty()) {
+    std::string header_content;
+    if (!read_file(repo_root / args.options_header, header_content)) {
+      std::cerr << "fpva_lint: cannot read options header "
+                << (repo_root / args.options_header) << "\n";
+      return 2;
+    }
+    std::vector<std::pair<std::string, std::string>> test_files;
+    const fs::path tests = repo_root / args.tests_dir;
+    if (fs::is_directory(tests)) {
+      std::set<std::string> test_paths;
+      for (const auto& entry : fs::directory_iterator(tests)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".cpp") {
+          test_paths.insert(entry.path().string());
+        }
+      }
+      for (const std::string& path : test_paths) {
+        std::string content;
+        if (!read_file(path, content)) {
+          std::cerr << "fpva_lint: cannot read " << path << "\n";
+          return 2;
+        }
+        test_files.emplace_back(path, std::move(content));
+      }
+    }
+    if (test_files.empty()) {
+      std::cerr << "fpva_lint: no tests under " << tests
+                << " for the options coverage check\n";
+      return 2;
+    }
+    const auto coverage = fpva::lint::check_options_coverage(
+        args.options_header, header_content, test_files);
+    findings.insert(findings.end(), coverage.begin(), coverage.end());
+  }
+
+  std::cout << fpva::lint::format_findings(findings);
+  if (findings.empty()) {
+    std::cout << "fpva_lint: clean (" << relative_paths.size()
+              << " files scanned)\n";
+    return 0;
+  }
+  std::cout << "fpva_lint: " << findings.size() << " finding(s) across "
+            << relative_paths.size() << " scanned files\n";
+  return 1;
+}
