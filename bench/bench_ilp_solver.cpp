@@ -137,6 +137,8 @@ void run_flow_path(benchmark::State& state, const ilp::Options& base,
   long learned = 0;
   long backjumps = 0;
   long deleted = 0;
+  long lp_nogoods = 0;
+  long restarts = 0;
   for (auto _ : state) {
     const auto result = core::find_minimum_flow_paths(array, 1, 8, base);
     if (!result.has_value()) {
@@ -154,6 +156,8 @@ void run_flow_path(benchmark::State& state, const ilp::Options& base,
     learned = result->ilp.nogoods_learned;
     backjumps = result->ilp.backjumps;
     deleted = result->ilp.nogoods_deleted;
+    lp_nogoods = result->ilp.lp_nogoods_learned;
+    restarts = result->ilp.restarts;
     benchmark::DoNotOptimize(result->path_budget);
     if (crosscheck) {
       // The ILP optimum can never exceed the constructive engine's count.
@@ -177,6 +181,18 @@ void run_flow_path(benchmark::State& state, const ilp::Options& base,
   state.counters["learned"] = static_cast<double>(learned);
   state.counters["backjumps"] = static_cast<double>(backjumps);
   state.counters["deleted"] = static_cast<double>(deleted);
+  state.counters["lpnogoods"] = static_cast<double>(lp_nogoods);
+  state.counters["restarts"] = static_cast<double>(restarts);
+}
+
+/// LP-refutation learning plus Luby restarts on top of the full pipeline
+/// (the PR's tentpole). Shared by the *LpLearn variants below.
+ilp::Options lp_learn_options() {
+  ilp::Options options;
+  options.conflict_backjumping = true;
+  options.lp_conflict_learning = true;
+  options.restart_interval = 64;
+  return options;
 }
 
 void BM_FlowPathIlp(benchmark::State& state) {
@@ -208,6 +224,16 @@ BENCHMARK(BM_FlowPathIlpNoLearn)
     ->Arg(6)
     ->Unit(benchmark::kMillisecond);
 
+// The tentpole configuration: every LP refutation learns a nogood and the
+// search restarts on the Luby schedule, keeping the pool and activities.
+void BM_FlowPathIlpLpLearn(benchmark::State& state) {
+  run_flow_path(state, lp_learn_options(), /*crosscheck=*/false);
+}
+BENCHMARK(BM_FlowPathIlpLpLearn)
+    ->Arg(3)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
 // Full find_minimum_cut_sets pipeline to *proven* optimality: budget
 // escalation with infeasibility certificates, devex pricing, probing,
 // clique cuts, orbit symmetry rows and input-order chain branching.
@@ -228,6 +254,8 @@ void run_cut_set(benchmark::State& state, const ilp::Options& base) {
   long learned = 0;
   long backjumps = 0;
   long deleted = 0;
+  long lp_nogoods = 0;
+  long restarts = 0;
   for (auto _ : state) {
     const auto result = core::find_minimum_cut_sets(array, 1, 8, true, base);
     if (!result.has_value()) {
@@ -246,6 +274,8 @@ void run_cut_set(benchmark::State& state, const ilp::Options& base) {
     learned = result->ilp.nogoods_learned;
     backjumps = result->ilp.backjumps;
     deleted = result->ilp.nogoods_deleted;
+    lp_nogoods = result->ilp.lp_nogoods_learned;
+    restarts = result->ilp.restarts;
     benchmark::DoNotOptimize(result->cut_budget);
   }
   state.counters["nodes"] = static_cast<double>(nodes);
@@ -260,6 +290,8 @@ void run_cut_set(benchmark::State& state, const ilp::Options& base) {
   state.counters["learned"] = static_cast<double>(learned);
   state.counters["backjumps"] = static_cast<double>(backjumps);
   state.counters["deleted"] = static_cast<double>(deleted);
+  state.counters["lpnogoods"] = static_cast<double>(lp_nogoods);
+  state.counters["restarts"] = static_cast<double>(restarts);
 }
 
 void BM_CutSetIlp(benchmark::State& state) {
@@ -279,6 +311,16 @@ void BM_CutSetIlpNoLearn(benchmark::State& state) {
   run_cut_set(state, options);
 }
 BENCHMARK(BM_CutSetIlpNoLearn)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// See BM_FlowPathIlpLpLearn: LP-driven learning + restarts on the cut-set
+// escalation (the ISSUE-9 scoreboard at bench scale).
+void BM_CutSetIlpLpLearn(benchmark::State& state) {
+  run_cut_set(state, lp_learn_options());
+}
+BENCHMARK(BM_CutSetIlpLpLearn)
     ->Arg(3)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);

@@ -5,7 +5,9 @@ committed baseline and fail on counter regressions.
 Wall-clock times are too noisy on shared CI runners to gate on, but the
 solver counters (nodes, pivots, cuts, budget) are deterministic for a fixed
 binary, so they make a reliable merge gate: a >25% increase in any named
-counter of any benchmark present in both files fails the job.
+counter of any benchmark present in both files fails the job. For jobs on
+pinned hardware (the nightly slow-certify run), `--wallclock-threshold`
+additionally gates real_time; it stays off everywhere else.
 
 Usage:
   bench/compare_bench.py BASELINE.json FRESH.json \
@@ -116,6 +118,12 @@ def main():
     parser.add_argument("--abs-slack", type=float, default=8.0,
                         help="absolute headroom before the relative gate "
                              "applies (ignores 1-node -> 2-node jitter)")
+    parser.add_argument("--wallclock-threshold", type=float, default=None,
+                        help="opt-in wall-clock gate: relative real_time "
+                             "increase that fails the run. Off by default "
+                             "(CI merge gates stay counter-only; the "
+                             "nightly job, on pinned hardware, turns this "
+                             "on)")
     args = parser.parse_args()
 
     counters = [c.strip() for c in args.counters.split(",") if c.strip()]
@@ -218,6 +226,32 @@ def main():
             delta = "n/a" if base == 0 else f"{(new - base) / base:+.1%}"
             rows.append((name, counter, base, new, delta, status))
 
+    # Opt-in wall-clock gate: counters stay the merge gate, but the nightly
+    # job runs on pinned hardware where real_time is stable enough to catch
+    # the "counters flat, constant factor doubled" class of regression.
+    wallclock_regressions = []
+    if args.wallclock_threshold is not None:
+        for name in shared:
+            entry_base = baseline[name]
+            entry_fresh = fresh[name]
+            if "real_time" not in entry_base or "real_time" not in entry_fresh:
+                continue
+            if entry_base.get("time_unit") != entry_fresh.get("time_unit"):
+                print(f"note: {name} time_unit changed; wall-clock not gated")
+                continue
+            base = float(entry_base["real_time"])
+            new = float(entry_fresh["real_time"])
+            regressed = new > base * (1.0 + args.wallclock_threshold)
+            excluded = any(e in name for e in excludes)
+            status = "ok"
+            if regressed and excluded:
+                status = "excluded"
+            elif regressed:
+                status = "WALLCLOCK"
+                wallclock_regressions.append((name, base, new))
+            delta = "n/a" if base == 0 else f"{(new - base) / base:+.1%}"
+            rows.append((name, "realtime", base, new, delta, status))
+
     width = max((len(r[0]) for r in rows), default=20)
     print(f"{'benchmark':<{width}}  {'counter':<8} {'base':>12} "
           f"{'fresh':>12} {'delta':>8}  status")
@@ -254,9 +288,16 @@ def main():
         for name, counter, base, new in regressions:
             print(f"  {name} {counter}: {base:.0f} -> {new:.0f}",
                   file=sys.stderr)
+    if wallclock_regressions:
+        print(f"\ncompare_bench: {len(wallclock_regressions)} wall-clock "
+              f"regression(s) beyond {args.wallclock_threshold:.0%}:",
+              file=sys.stderr)
+        for name, base, new in wallclock_regressions:
+            print(f"  {name} real_time: {base:.0f} -> {new:.0f}",
+                  file=sys.stderr)
     if missing:
         sys.exit(2)
-    if regressions:
+    if regressions or wallclock_regressions:
         sys.exit(1)
     print(f"\ncompare_bench: no regressions across {len(shared)} shared "
           f"benchmarks ({', '.join(counters)})")

@@ -234,6 +234,12 @@ class Searcher {
       lp_options.pricing = options.devex_pricing ? lp::Pricing::kDevex
                                                  : lp::Pricing::kDantzig;
       lp_options.factorization = options.lp_factorization;
+      // Exact duals cost an extra BTRAN + pricing pass per optimal solve;
+      // only bound-based LP learning consumes them. Leaving the flag off
+      // otherwise keeps the default node LPs byte-identical to PR-8.
+      lp_options.want_duals = options.lp_conflict_learning &&
+                              options.conflict_learning &&
+                              options.node_propagation;
       solver_.emplace(model.lp(), lp_options);
       if (separator != nullptr && options.cut_depth > 0 &&
           options.warm_row_addition &&
@@ -257,6 +263,24 @@ class Searcher {
       root_upper_[static_cast<std::size_t>(j)] = model_.lp().variable(j).upper;
       integer_[static_cast<std::size_t>(j)] = model_.is_integer(j) ? 1 : 0;
     }
+    // Anytime-certificate resume, part 1: an integer seed literal is a
+    // globally valid refutation ("var on the is_lower side of value admits
+    // no feasible point"), so it tightens the root bounds directly —
+    // independent of conflict_learning. Routing seeds only through the
+    // conflict engine would silently drop the certificate on a resume
+    // with learning disabled.
+    for (const SeedLiteral& seed : options_.seed_literals) {
+      if (seed.var < 0 || seed.var >= n) continue;
+      const auto v = static_cast<std::size_t>(seed.var);
+      if (!integer_[v]) continue;
+      const double rounded = std::round(seed.value);
+      if (std::abs(seed.value - rounded) > 1e-6) continue;
+      if (seed.is_lower) {
+        root_upper_[v] = std::min(root_upper_[v], rounded - 1.0);
+      } else {
+        root_lower_[v] = std::max(root_lower_[v], rounded + 1.0);
+      }
+    }
     cur_lower_ = root_lower_;
     cur_upper_ = root_upper_;
     // Conflict-driven learning rides on the propagation machinery: the
@@ -275,6 +299,9 @@ class Searcher {
         Nogood unit;
         unit.lits.push_back(BoundLit{seed.var, seed.is_lower, seed.value});
         conflict_->import_nogood(unit);
+      }
+      if (options_.restart_interval > 0) {
+        restart_threshold_ = restart_conflict_budget(1);
       }
     }
   }
@@ -373,6 +400,28 @@ class Searcher {
           have_incumbent = true;
         }
       }
+      // Luby restarts (serial only): past the conflict budget of the
+      // current interval, drop the DFS stack and re-dive from the root.
+      // The nogood pool, activities, pseudocosts and incumbent survive,
+      // so the fresh dive is steered by everything the refutations
+      // taught. Sound for the dual bound: the re-pushed root re-covers
+      // every discarded pending region (a backjump to level 0).
+      if (shared == nullptr && restart_threshold_ > 0 &&
+          conflict_.has_value() &&
+          conflict_->stats().conflicts + conflict_->stats().lp_conflicts -
+                  restart_baseline_ >=
+              restart_threshold_) {
+        stack.clear();
+        basis_stack_.clear();
+        Node fresh;
+        fresh.lp_budget = options_.lp_iteration_limit;
+        stack.push_back(std::move(fresh));
+        ++result.restarts;
+        ++restart_count_;
+        restart_baseline_ =
+            conflict_->stats().conflicts + conflict_->stats().lp_conflicts;
+        restart_threshold_ = restart_conflict_budget(restart_count_ + 1);
+      }
       Node node = std::move(stack.back());
       stack.pop_back();
       ++result.nodes;
@@ -395,6 +444,11 @@ class Searcher {
       const bool propagate_here = options_.node_propagation &&
                                   propagator_ != nullptr &&
                                   !(node.path.empty() && root_propagated_);
+      // LP-refutation learning needs the conflict trail this node's
+      // explained propagation left behind (analyze_lp_refutation resolves
+      // over it), so it is armed only when that propagation actually ran.
+      const bool lp_learn = options_.lp_conflict_learning &&
+                            conflict_.has_value() && propagate_here;
       if (conflict_.has_value() && propagate_here) {
         // Explained propagation (conflict.h): decisions are re-applied on
         // the engine's trail, then rows, the objective-cutoff row and the
@@ -426,8 +480,8 @@ class Searcher {
                               : std::max(outcome.assertion_level, job_depth);
         if (!outcome.feasible) {
           ++result.nodes_pruned_by_propagation;
-          if (outcome.has_assertion && options_.conflict_backjumping &&
-              jump_level < node.depth) {
+          if (outcome.has_assertion &&
+              backjump_to(jump_level, node, &stack, &result)) {
             // Backjump: re-enter the search at the assertion level. The
             // re-pushed prefix node's region is a superset of the current
             // leaf and of every pending sibling deeper than the assertion
@@ -436,19 +490,6 @@ class Searcher {
             // bound with an *expandable* reason (pushing it as a decision
             // instead would block later resolutions through it and lets
             // the search ping-pong between the two phases of the UIP).
-            while (!stack.empty() &&
-                   static_cast<int>(stack.back().path.size()) >
-                       jump_level) {
-              stack.pop_back();
-              ++result.backjump_nodes_skipped;
-            }
-            ++result.backjumps;
-            Node jump;
-            jump.path.assign(node.path.begin(),
-                             node.path.begin() + jump_level);
-            jump.depth = jump_level;
-            jump.lp_budget = options_.lp_iteration_limit;
-            stack.push_back(std::move(jump));
           } else if (outcome.bound_based) {
             // The refuted region may still hold optimal-equal points: its
             // dual bound is the incumbent, not +infinity. (A backjump
@@ -475,6 +516,20 @@ class Searcher {
       result.lp_pivots += relaxation.iterations;
       if (use_basis_stack()) last_solved_path_ = node.path;
       if (relaxation.status == lp::SolveStatus::kIterationLimit) {
+        if (options_.stop.stop_requested()) {
+          // The pivot budget was cut short by the deadline itself, not by
+          // a hard instance: re-queueing with a 4x budget would re-enter
+          // the same node against the same expired deadline, burning the
+          // checkpoint window on zero progress. Abandon the node instead
+          // — the limits flag already forfeits the certificate, exactly
+          // like any other truncation — and count it distinctly so resume
+          // diagnostics can tell a deadline abandonment from a genuinely
+          // pivot-starved subtree.
+          ++result.lp_deadline_abandons;
+          limits_hit = true;
+          if (shared != nullptr) shared->hit_limits();
+          break;
+        }
         if (node.retries < options_.max_lp_retries) {
           // Re-queue with a larger pivot budget; the subtree — and with it
           // the optimality certificate — survives a transient limit.
@@ -500,6 +555,30 @@ class Searcher {
         relaxation = apply_depth_cuts(node, std::move(relaxation), result);
       }
       if (relaxation.status == lp::SolveStatus::kInfeasible) {
+        // An infeasible node LP used to prune silently; with LP learning
+        // on, its Farkas ray is aggregated into a bound clause over the
+        // node's local bounds, verified numerically, and analyzed through
+        // the same 1-UIP machinery as a propagation conflict.
+        if (lp_learn && !relaxation.farkas_ray.empty()) {
+          ConflictEngine::NodeOutcome lp_outcome;
+          if (try_learn_lp_conflict(relaxation.farkas_ray, false, 0.0,
+                                    result, &lp_outcome)) {
+            if (shared != nullptr && publish != nullptr &&
+                !publish->fresh.empty()) {
+              shared->publish(worker_id, &publish->fresh);
+            }
+            const int lp_jump =
+                shared == nullptr
+                    ? lp_outcome.assertion_level
+                    : std::max(lp_outcome.assertion_level, job_depth);
+            if (lp_outcome.has_assertion) {
+              backjump_to(lp_jump, node, &stack, &result);
+            }
+            // No exhausted-bound fold: the LP proved the region holds no
+            // real point at all, so its dual bound is +infinity whether
+            // or not the learned clause ended up cutoff-dependent.
+          }
+        }
         continue;
       }
       const double raw_bound = relaxation.objective;
@@ -507,6 +586,37 @@ class Searcher {
       const double bound = strengthen(raw_bound);
       if (bound >= prune_threshold(incumbent_objective)) {
         exhausted_bound = std::min(exhausted_bound, bound);
+        // Bound-based pruning learns too: the exact duals plus the
+        // objective-cutoff row (weight 1) aggregate to a clause excluding
+        // every improving point of the region. Requires the raw LP bound
+        // itself to clear the cutoff — integral-objective strengthening
+        // may prune nodes whose raw bound does not, and those carry no
+        // dual certificate of the pruning.
+        if (lp_learn && relaxation.status == lp::SolveStatus::kOptimal &&
+            !relaxation.row_duals.empty() && have_incumbent) {
+          const double cutoff = prune_threshold(incumbent_objective);
+          if (raw_bound > cutoff + 1e-6) {
+            lp_ray_scratch_.resize(relaxation.row_duals.size());
+            for (std::size_t i = 0; i < relaxation.row_duals.size(); ++i) {
+              lp_ray_scratch_[i] = -relaxation.row_duals[i];
+            }
+            ConflictEngine::NodeOutcome lp_outcome;
+            if (try_learn_lp_conflict(lp_ray_scratch_, true, cutoff, result,
+                                      &lp_outcome)) {
+              if (shared != nullptr && publish != nullptr &&
+                  !publish->fresh.empty()) {
+                shared->publish(worker_id, &publish->fresh);
+              }
+              const int lp_jump =
+                  shared == nullptr
+                      ? lp_outcome.assertion_level
+                      : std::max(lp_outcome.assertion_level, job_depth);
+              if (lp_outcome.has_assertion) {
+                backjump_to(lp_jump, node, &stack, &result);
+              }
+            }
+          }
+        }
         continue;
       }
       if (use_basis_stack() && relaxation.status == lp::SolveStatus::kOptimal) {
@@ -633,19 +743,37 @@ class Searcher {
     result.cuts_at_depth = static_cast<int>(depth_cut_rows_);
     if (conflict_.has_value()) {
       result.conflicts = conflict_->stats().conflicts;
+      result.lp_conflicts = conflict_->stats().lp_conflicts;
       result.nogoods_learned = conflict_->stats().nogoods_learned;
       result.nogoods_deleted = conflict_->stats().nogoods_deleted;
       result.nogoods_imported = conflict_->stats().nogoods_imported;
-      if (shared == nullptr) {
-        // Export the transferable part of an anytime certificate: unit
-        // nogoods whose derivation never touched the objective cutoff are
-        // valid for this model unconditionally, so a resumed solve may
-        // import them as root bound tightenings.
+    }
+    if (shared == nullptr) {
+      // Export the transferable part of an anytime certificate. The seeds
+      // the caller supplied come first: they stay globally valid whatever
+      // this run did, and must survive even a resume that ran with
+      // conflict learning off (they were applied as root tightenings, not
+      // pool entries). Then the unit nogoods whose derivation never
+      // touched the objective cutoff — valid for this model
+      // unconditionally, so a resumed solve may import them as root
+      // bound tightenings.
+      auto export_unit = [&result](const SeedLiteral& seed) {
+        for (const SeedLiteral& have : result.unit_nogoods) {
+          if (have.var == seed.var && have.is_lower == seed.is_lower &&
+              have.value == seed.value) {
+            return;
+          }
+        }
+        result.unit_nogoods.push_back(seed);
+      };
+      for (const SeedLiteral& seed : options_.seed_literals) {
+        export_unit(seed);
+      }
+      if (conflict_.has_value()) {
         for (const Nogood& nogood : conflict_->pool()) {
           if (nogood.lits.size() != 1 || nogood.bound_based) continue;
           const BoundLit& lit = nogood.lits.front();
-          result.unit_nogoods.push_back(
-              SeedLiteral{lit.var, lit.is_lower, lit.value});
+          export_unit(SeedLiteral{lit.var, lit.is_lower, lit.value});
         }
       }
     }
@@ -685,6 +813,150 @@ class Searcher {
       if (entry.first == worker_id_) continue;
       conflict_->import_nogood(entry.second);
     }
+  }
+
+  /// Discards every pending node deeper than `jump_level` and re-enters
+  /// the search at the first `jump_level` decisions of `node` (where the
+  /// freshly learned nogood is unit). Returns false — leaving the stack
+  /// untouched — when backjumping is disabled or the jump would not rise
+  /// above the current node.
+  bool backjump_to(int jump_level, const Node& node, std::vector<Node>* stack,
+                   Result* result) {
+    if (!options_.conflict_backjumping || jump_level >= node.depth) {
+      return false;
+    }
+    while (!stack->empty() &&
+           static_cast<int>(stack->back().path.size()) > jump_level) {
+      stack->pop_back();
+      ++result->backjump_nodes_skipped;
+    }
+    ++result->backjumps;
+    Node jump;
+    jump.path.assign(node.path.begin(), node.path.begin() + jump_level);
+    jump.depth = jump_level;
+    jump.lp_budget = options_.lp_iteration_limit;
+    stack->push_back(std::move(jump));
+    return true;
+  }
+
+  /// The i-th term of the Luby sequence (1,1,2,1,1,2,4,...), 1-indexed.
+  static long luby(long i) {
+    long k = 1;
+    while ((1L << k) - 1 < i) ++k;
+    while ((1L << k) - 1 != i) {
+      i -= (1L << (k - 1)) - 1;
+      k = 1;
+      while ((1L << k) - 1 < i) ++k;
+    }
+    return 1L << (k - 1);
+  }
+
+  /// Conflict budget of the k-th restart interval.
+  long restart_conflict_budget(long k) const {
+    const long unit = static_cast<long>(options_.restart_interval);
+    return options_.restart_luby ? unit * luby(k) : unit;
+  }
+
+  /// Builds, verifies and analyzes the bound clause an LP refutation
+  /// certifies. `solver_ray` carries weights over the rows of the LP the
+  /// node actually solved — the model rows first, any in-tree cut rows
+  /// after (lp::Solution::farkas_ray sign convention). With
+  /// `with_objective`, the aggregation additionally includes the virtual
+  /// objective row `c.x <= objective_cutoff` with weight 1 (bound-based
+  /// pruning from the exact duals). The clause is handed to the conflict
+  /// engine only when the certificate verifies numerically against the
+  /// node bounds; returns whether analysis ran (`*outcome` filled).
+  bool try_learn_lp_conflict(const std::vector<double>& solver_ray,
+                             bool with_objective, double objective_cutoff,
+                             Result& result,
+                             ConflictEngine::NodeOutcome* outcome) {
+    constexpr double kSignSlack = 1e-7;  // wrong-signed weights clipped to 0
+    constexpr double kCoefEps = 1e-11;   // aggregated coefficient ~ zero
+    constexpr double kMargin = 1e-6;     // required certificate violation
+    const lp::Model& lpm = model_.lp();
+    const int mc = lpm.constraint_count();
+    if (static_cast<int>(solver_ray.size()) < mc) return false;
+    double scale = 0.0;
+    for (const double w : solver_ray) {
+      if (!std::isfinite(w)) return false;
+      scale = std::max(scale, std::abs(w));
+    }
+    if (with_objective) scale = std::max(scale, 1.0);
+    if (scale <= 0.0) return false;
+    // A Farkas ray is scale-free, so it is normalized to max weight 1; a
+    // dual certificate is pinned by the objective row's weight of 1.
+    const double norm = with_objective ? 1.0 : scale;
+    const double slack = kSignSlack * (scale / norm);
+    // In-tree cut rows (indices >= mc) are valid for the integer model
+    // but cannot be re-derived by the explanation checker from the model
+    // rows; a certificate leaning on one is not turned into a clause.
+    for (std::size_t i = static_cast<std::size_t>(mc); i < solver_ray.size();
+         ++i) {
+      if (std::abs(solver_ray[i]) / norm > slack) return false;
+    }
+    std::vector<double> weights(static_cast<std::size_t>(mc), 0.0);
+    for (int i = 0; i < mc; ++i) {
+      double w = solver_ray[static_cast<std::size_t>(i)] / norm;
+      const lp::Sense sense = lpm.constraint(i).sense;
+      if (sense == lp::Sense::kLessEqual && w < 0.0) {
+        if (w < -slack) return false;
+        w = 0.0;
+      } else if (sense == lp::Sense::kGreaterEqual && w > 0.0) {
+        if (w > slack) return false;
+        w = 0.0;
+      }
+      weights[static_cast<std::size_t>(i)] = w;
+    }
+    // Aggregate the certificate into one valid inequality g.x <= g0.
+    const int n = model_.variable_count();
+    agg_.assign(static_cast<std::size_t>(n), 0.0);
+    double g0 = 0.0;
+    for (int i = 0; i < mc; ++i) {
+      const double w = weights[static_cast<std::size_t>(i)];
+      if (w == 0.0) continue;
+      const lp::Constraint& row = lpm.constraint(i);
+      for (const lp::Term& term : row.terms) {
+        agg_[static_cast<std::size_t>(term.variable)] += w * term.coefficient;
+      }
+      g0 += w * row.rhs;
+    }
+    if (with_objective) {
+      for (int j = 0; j < n; ++j) {
+        agg_[static_cast<std::size_t>(j)] += lpm.variable(j).objective;
+      }
+      g0 += objective_cutoff;
+    }
+    // The clause literals are the node bounds the min-activity of g
+    // stands on; the certificate holds only when that activity beats g0.
+    double activity = 0.0;
+    std::vector<BoundLit> lits;
+    for (int j = 0; j < n; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      const double gj = agg_[js];
+      if (gj == 0.0) continue;
+      if (std::abs(gj) <= kCoefEps * (scale / norm)) {
+        // Too small to carry a literal; its worst-case contribution over
+        // the *root* box (all a checker without this node's bounds can
+        // assume) still counts against the violation margin below.
+        activity += gj * (gj > 0.0 ? root_lower_[js] : root_upper_[js]);
+        continue;
+      }
+      const double at_bound = gj > 0.0 ? cur_lower_[js] : cur_upper_[js];
+      if (!std::isfinite(at_bound)) return false;
+      activity += gj * at_bound;
+      lits.push_back(BoundLit{j, gj > 0.0, at_bound});
+    }
+    if (lits.empty()) return false;
+    if (!(activity > g0 + kMargin * std::max(1.0, std::abs(g0)))) {
+      return false;
+    }
+    const long learned_before = conflict_->stats().nogoods_learned;
+    *outcome = conflict_->analyze_lp_refutation(
+        std::move(lits), with_objective, std::move(weights), with_objective,
+        cur_lower_, cur_upper_);
+    result.lp_nogoods_learned +=
+        conflict_->stats().nogoods_learned - learned_before;
+    return true;
   }
 
   /// One basis-stack checkpoint: the basis left behind by an ancestor
@@ -830,6 +1102,8 @@ class Searcher {
     lp_options.pricing = options_.devex_pricing ? lp::Pricing::kDevex
                                                 : lp::Pricing::kDantzig;
     lp_options.factorization = options_.lp_factorization;
+    lp_options.want_duals =
+        options_.lp_conflict_learning && conflict_.has_value();
     return lp::solve(*lp_copy_, lp_options);
   }
 
@@ -926,6 +1200,11 @@ class Searcher {
         const double up_gain = pseudocost(j, true) * (1.0 - frac);
         score = std::max(down_gain, 1e-6) * std::max(up_gain, 1e-6);
         weighted = model_.lp().variable(j).objective != 0.0;
+      } else if (rule == Branching::kActivity) {
+        // Highest conflict activity; the strict comparison below keeps
+        // the lowest index on ties, so an all-zero activity profile (no
+        // conflict yet, or learning off) degrades to input order.
+        score = conflict_.has_value() ? conflict_->variable_activity(j) : 0.0;
       } else {
         score = distance;  // most-fractional
       }
@@ -958,6 +1237,12 @@ class Searcher {
   /// node_propagation are both on.
   std::optional<ConflictEngine> conflict_;
   std::vector<ConflictEngine::Decision> decisions_;  ///< per-node scratch
+  long restart_threshold_ = 0;  ///< conflict budget of the open interval;
+                                ///< 0 = restarts off
+  long restart_baseline_ = 0;   ///< conflict count at the last restart
+  long restart_count_ = 0;      ///< restarts taken (Luby index)
+  std::vector<double> lp_ray_scratch_;  ///< negated duals, bound-based learning
+  std::vector<double> agg_;             ///< aggregated-certificate scratch
   CutSeparator* separator_ = nullptr;  ///< non-null => cut-and-branch on
   std::vector<SavedBasis> basis_stack_;
   std::vector<BoundDelta> last_solved_path_;
@@ -1020,6 +1305,10 @@ Result solve_parallel_tree(const Model& model, const Options& options,
     result.warm_cut_rows += partial.warm_cut_rows;
     result.basis_restores += partial.basis_restores;
     result.conflicts += partial.conflicts;
+    result.lp_conflicts += partial.lp_conflicts;
+    result.lp_nogoods_learned += partial.lp_nogoods_learned;
+    result.restarts += partial.restarts;
+    result.lp_deadline_abandons += partial.lp_deadline_abandons;
     result.nogoods_learned += partial.nogoods_learned;
     result.nogoods_deleted += partial.nogoods_deleted;
     result.nogoods_imported += partial.nogoods_imported;
@@ -1213,6 +1502,8 @@ Options legacy_solver_options() {
   options.cut_depth = 0;
   options.conflict_learning = false;
   options.conflict_backjumping = false;
+  options.lp_conflict_learning = false;
+  options.restart_interval = 0;
   return options;
 }
 
@@ -1298,6 +1589,10 @@ Result solve(const Model& model, const Options& options) {
   result.basis_restores = searched.basis_restores;
   result.cuts_at_depth = searched.cuts_at_depth;
   result.conflicts = searched.conflicts;
+  result.lp_conflicts = searched.lp_conflicts;
+  result.lp_nogoods_learned = searched.lp_nogoods_learned;
+  result.restarts = searched.restarts;
+  result.lp_deadline_abandons = searched.lp_deadline_abandons;
   result.nogoods_learned = searched.nogoods_learned;
   result.nogoods_deleted = searched.nogoods_deleted;
   result.backjumps = searched.backjumps;

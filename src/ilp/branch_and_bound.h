@@ -61,6 +61,13 @@ enum class Branching {
   kPseudocost,      ///< product rule over pseudocost estimates
   kMostFractional,  ///< the pre-PR selection rule
   kInputOrder,      ///< first fractional variable in index order
+  /// Fractional variable with the highest conflict activity (bumped for
+  /// every variable of every learned clause, decayed per conflict), ties
+  /// to the lowest index. Pairs with restarts: after a restart the
+  /// activity profile redirects the fresh dive at the variables the
+  /// refutations implicated. Requires conflict_learning; falls back to
+  /// kInputOrder semantics while no activity has accumulated.
+  kActivity,
 };
 
 struct Options {
@@ -163,6 +170,25 @@ struct Options {
   /// Learned-pool cap: past it, the least active half (LBD tiebreak) is
   /// deleted.
   int max_nogoods = 4000;
+  /// Learn from LP refutations too: an infeasible node LP's Farkas ray —
+  /// or, for a bound-pruned node, the exact duals plus the cutoff row —
+  /// is aggregated into one valid bound clause over the node's local
+  /// bounds, verified numerically, and run through the same 1-UIP
+  /// analysis as a propagation conflict. Requires conflict_learning (and
+  /// the serial/worker conflict path); off keeps the PR-8 search
+  /// bit-exactly, because duals are then never even computed.
+  bool lp_conflict_learning = false;
+  /// Luby-scheduled restarts: after restart_interval * Luby(k) conflicts
+  /// (propagation + LP) since the last restart, the serial search drops
+  /// its DFS stack and re-dives from the root, keeping the nogood pool,
+  /// activities, pseudocosts and incumbent. 0 disables (the default —
+  /// restarts change the tree shape and are opted into by the
+  /// refutation-heavy certify runs). Requires conflict_learning; ignored
+  /// by the multi-threaded tree search.
+  int restart_interval = 0;
+  /// Scale restart_interval by the Luby sequence (1,1,2,1,1,2,4,...);
+  /// false = fixed-interval restarts every restart_interval conflicts.
+  bool restart_luby = true;
   /// Test/diagnostic hook: sees every learned nogood at learning time
   /// (before any pool deletion). Not owned; may be null. With threads > 1
   /// the workers share the hook and calls are serialized by a mutex.
@@ -186,9 +212,12 @@ struct Options {
   /// Default-constructed tokens never trip and cost nothing to poll.
   common::StopToken stop;
   /// Resume hints: unit nogoods exported by an earlier truncated solve of
-  /// the same model (Result::unit_nogoods), imported into the conflict
-  /// engine before the search starts. Indices live in this model's
-  /// variable space; no effect unless conflict learning is on.
+  /// the same model (Result::unit_nogoods). Indices live in this model's
+  /// variable space. Integer seeds are applied as root bound tightenings
+  /// before the search starts — independent of conflict_learning, so a
+  /// resume with learning off cannot silently drop an anytime certificate
+  /// — and additionally imported into the conflict engine when learning
+  /// is on. A truncated run re-exports them through Result::unit_nogoods.
   std::vector<SeedLiteral> seed_literals;
 };
 
@@ -212,6 +241,12 @@ struct Result {
   long basis_restores = 0;           ///< basis-stack checkpoint restores
   int cuts_at_depth = 0;             ///< cut-and-branch rows added in-tree
   long conflicts = 0;                ///< nodes refuted by explained propagation
+  long lp_conflicts = 0;             ///< LP refutations analyzed into clauses
+  long lp_nogoods_learned = 0;       ///< learned clauses carrying an LP ray
+  long restarts = 0;                 ///< Luby restarts taken
+  long lp_deadline_abandons = 0;     ///< budget-truncated node LPs abandoned
+                                     ///< (not retried) because the stop/
+                                     ///< deadline token had already tripped
   long nogoods_learned = 0;          ///< 1-UIP nogoods added to the pool
   long nogoods_deleted = 0;          ///< nogoods evicted by pool reduction
   long backjumps = 0;                ///< assertion-level jumps taken

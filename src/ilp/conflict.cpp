@@ -44,6 +44,7 @@ ConflictEngine::ConflictEngine(const Model& model,
   }
   pos_lower_.assign(static_cast<std::size_t>(n_), -1);
   pos_upper_.assign(static_cast<std::size_t>(n_), -1);
+  var_activity_.assign(static_cast<std::size_t>(n_), 0.0);
   row_dirty_.assign(static_cast<std::size_t>(prop_.row_count()), 0);
   var_nogoods_.resize(static_cast<std::size_t>(n_));
 }
@@ -68,6 +69,8 @@ void ConflictEngine::reset_node_state() {
   conflict_lits_.clear();
   conflict_bound_based_ = false;
   conflict_nogood_ = -1;
+  conflict_lp_ray_.clear();
+  conflict_lp_objective_ = false;
   std::fill(row_dirty_.begin(), row_dirty_.end(), 0);
   dirty_rows_.clear();
   cutoff_dirty_ = std::isfinite(cutoff_) && !objective_terms_.empty();
@@ -495,7 +498,11 @@ void ConflictEngine::resolve_add(const BoundLit& lit) {
 }
 
 ConflictEngine::NodeOutcome ConflictEngine::analyze() {
-  ++stats_.conflicts;
+  if (lp_conflict_mode_) {
+    ++stats_.lp_conflicts;
+  } else {
+    ++stats_.conflicts;
+  }
   NodeOutcome out;
   out.feasible = false;
   bool bound_based = conflict_bound_based_;
@@ -563,6 +570,8 @@ ConflictEngine::NodeOutcome ConflictEngine::analyze() {
   Nogood nogood;
   nogood.bound_based = bound_based;
   if (bound_based) nogood.cutoff = cutoff_;
+  nogood.lp_ray = conflict_lp_ray_;
+  nogood.lp_objective = conflict_lp_objective_;
   std::vector<int> lit_levels;
   int uip_lit = -1;
   for (const int pos : marked_list_) {
@@ -658,6 +667,11 @@ void ConflictEngine::decay_activity() {
     for (Nogood& other : pool_) other.activity *= 1e-100;
     activity_inc_ *= 1e-100;
   }
+  var_activity_inc_ /= 0.95;
+  if (var_activity_inc_ > 1e100) {
+    for (double& a : var_activity_) a *= 1e-100;
+    var_activity_inc_ *= 1e-100;
+  }
 }
 
 void ConflictEngine::bump(int nogood_index) {
@@ -711,6 +725,9 @@ int ConflictEngine::find_duplicate(const Nogood& nogood) const {
 
 void ConflictEngine::learn(Nogood nogood) {
   if (observer_ != nullptr) observer_->on_learned(model_, nogood);
+  for (const BoundLit& lit : nogood.lits) {
+    var_activity_[static_cast<std::size_t>(lit.var)] += var_activity_inc_;
+  }
   nogood.activity = activity_inc_;
   sig_to_index_[signature(nogood)] = static_cast<int>(pool_.size());
   pool_.push_back(std::move(nogood));
@@ -796,6 +813,37 @@ ConflictEngine::NodeOutcome ConflictEngine::propagate_node(
   if (!apply_decisions(decisions) || !propagate_rows_and_pool()) {
     out = analyze();
   }
+  lower_ = nullptr;
+  upper_ = nullptr;
+  if (static_cast<int>(pool_.size()) > max_nogoods_) reduce_pool();
+  return out;
+}
+
+ConflictEngine::NodeOutcome ConflictEngine::analyze_lp_refutation(
+    std::vector<BoundLit> lits, bool bound_based,
+    std::vector<double> lp_ray, bool lp_objective,
+    std::vector<double>& lower, std::vector<double>& upper) {
+  common::check(lower.size() == static_cast<std::size_t>(n_) &&
+                    upper.size() == static_cast<std::size_t>(n_),
+                "ConflictEngine::analyze_lp_refutation: wrong arity");
+  common::check(!lp_objective || bound_based,
+                "analyze_lp_refutation: objective weight implies bound_based");
+  // Re-enter the trail the preceding propagate_node left behind: the LP's
+  // conflicting bound set resolves against those implications exactly like
+  // a propagation conflict found at the fixpoint would.
+  lower_ = &lower;
+  upper_ = &upper;
+  conflict_lits_ = std::move(lits);
+  conflict_bound_based_ = bound_based;
+  conflict_nogood_ = -1;
+  conflict_lp_ray_ = std::move(lp_ray);
+  conflict_lp_objective_ = lp_objective;
+  lp_conflict_mode_ = true;
+  NodeOutcome out = analyze();
+  lp_conflict_mode_ = false;
+  conflict_lp_ray_.clear();
+  conflict_lp_objective_ = false;
+  conflict_lits_.clear();
   lower_ = nullptr;
   upper_ = nullptr;
   if (static_cast<int>(pool_.size()) > max_nogoods_) reduce_pool();

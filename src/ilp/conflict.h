@@ -56,6 +56,16 @@ struct Nogood {
   bool bound_based = false;  ///< derivation used the objective-cutoff row
   /// Cutoff active at learning time; +inf for model-implied nogoods.
   double cutoff = std::numeric_limits<double>::infinity();
+  /// When the conflict came from an LP refutation: the dual/Farkas weights
+  /// over the *model* constraint rows whose aggregation refuted the node
+  /// (lp::Solution::farkas_ray sign convention). The explanation checker
+  /// re-derives the aggregated inequality from the model rows with these
+  /// weights; empty for propagation-sourced nogoods.
+  std::vector<double> lp_ray;
+  /// The LP aggregation included the objective-cutoff row with weight 1
+  /// (bound-based pruning: duals plus `c.x <= cutoff`). Implies
+  /// bound_based, and `cutoff` holds the rhs the objective row used.
+  bool lp_objective = false;
 };
 
 /// Hook for tests and diagnostics: sees every nogood the engine learns,
@@ -69,6 +79,7 @@ class ConflictObserver {
 
 struct ConflictStats {
   long conflicts = 0;         ///< nodes refuted by explained propagation
+  long lp_conflicts = 0;      ///< LP refutations analyzed into the trail
   long nogoods_learned = 0;   ///< nogoods added to the pool
   long nogoods_deleted = 0;   ///< nogoods evicted by pool reduction
   long nogood_propagations = 0;  ///< bounds tightened by pool unit steps
@@ -125,6 +136,29 @@ class ConflictEngine {
   NodeOutcome propagate_node(const std::vector<Decision>& decisions,
                              std::vector<double>& lower,
                              std::vector<double>& upper);
+
+  /// Analyzes an LP refutation of the node whose (feasible) propagate_node
+  /// call immediately preceded this one — the trail of that call is the
+  /// implication graph the analysis resolves over, and `lower`/`upper`
+  /// must be the same node-bound vectors that call tightened. `lits` is
+  /// the conflicting bound set of the aggregated LP inequality (each lit
+  /// holds under the node bounds, jointly infeasible), `lp_ray` the
+  /// aggregation weights over the model rows, `lp_objective` whether the
+  /// objective-cutoff row carried weight 1 (then `bound_based` must be
+  /// true). The caller has already verified the certificate numerically.
+  NodeOutcome analyze_lp_refutation(std::vector<BoundLit> lits,
+                                    bool bound_based,
+                                    std::vector<double> lp_ray,
+                                    bool lp_objective,
+                                    std::vector<double>& lower,
+                                    std::vector<double>& upper);
+
+  /// Conflict activity of a variable: bumped for every variable in every
+  /// learned clause, decayed per conflict (MiniSat scheme). Drives the
+  /// Branching::kActivity tier.
+  double variable_activity(int var) const {
+    return var_activity_[static_cast<std::size_t>(var)];
+  }
 
   const ConflictStats& stats() const { return stats_; }
   /// Live pool (post-deletion); tests inspect it, the search never does.
@@ -220,6 +254,11 @@ class ConflictEngine {
   std::vector<BoundLit> conflict_lits_;     ///< explanation of the conflict
   bool conflict_bound_based_ = false;
   int conflict_nogood_ = -1;  ///< pool index that fired, for activity bumps
+  /// Staged LP certificate of the pending conflict (analyze_lp_refutation
+  /// only); attached to the learned nogood, cleared with the node state.
+  std::vector<double> conflict_lp_ray_;
+  bool conflict_lp_objective_ = false;
+  bool lp_conflict_mode_ = false;  ///< current analyze() is LP-sourced
 
   // Worklists (rows + cutoff + nogoods), reset per node.
   std::vector<char> row_dirty_;
@@ -247,6 +286,12 @@ class ConflictEngine {
   /// every node instead (they act as globally valid bound tightenings).
   std::vector<int> root_unit_nogoods_;
   double activity_inc_ = 1.0;
+
+  /// Per-variable conflict activity (kActivity branching); decayed by the
+  /// same per-conflict schedule as the nogood activities but with its own
+  /// increment so the two rescale independently.
+  std::vector<double> var_activity_;
+  double var_activity_inc_ = 1.0;
 
   ConflictStats stats_;
 };

@@ -644,6 +644,19 @@ double RevisedSimplex::reduced_cost(int var,
   return cost_[static_cast<std::size_t>(var)] - column_dot(var, y);
 }
 
+/// Copies the BTRAN'd unit row of the violated basic into the solution's
+/// Farkas ray, oriented to the Solution::farkas_ray sign convention:
+/// `below` (basic under its lower bound) keeps +rho, an over-upper basic
+/// negates it.
+void RevisedSimplex::fill_farkas_ray(const std::vector<double>& rho,
+                                     bool below, Solution& result) const {
+  result.farkas_ray.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    result.farkas_ray[is] = below ? rho[is] : -rho[is];
+  }
+}
+
 /// Recomputes the dual reduced costs exactly. Called when the dual simplex
 /// starts and at every refactorization; between those points reduced_d_ is
 /// updated incrementally per pivot (one multiply per touched column instead
@@ -1184,7 +1197,12 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
       cand.push_back({ratio, a, j});
     }
     if (cand.empty()) {
-      // No column can repair the violated row: primal infeasible.
+      // No column can repair the violated row: primal infeasible. The
+      // BTRAN'd unit row is the Farkas ray — oriented so that w_i >= 0 on
+      // <= rows and w_i <= 0 on >= rows (see Solution::farkas_ray); when
+      // the basic is below its lower bound the row reads "activity must
+      // exceed what the bounds allow", i.e. +rho, else -rho.
+      fill_farkas_ray(rho, below, result);
       result.status = SolveStatus::kInfeasible;
       result.iterations = iterations_;
       return true;
@@ -1237,6 +1255,7 @@ bool RevisedSimplex::dual_iterate(long budget, Solution& result) {
       if (exhausted) {
         // Even flipping every admissible column cannot pull the row to its
         // bound: the dual ray certifies primal infeasibility.
+        fill_farkas_ray(rho, below, result);
         result.status = SolveStatus::kInfeasible;
         result.iterations = iterations_;
         return true;
@@ -1414,6 +1433,19 @@ Solution RevisedSimplex::finish_optimal() {
   fill_primal_point(result);
   result.iterations = iterations_;
   basis_valid_ = true;
+  if (options_.want_duals) {
+    // Both call sites reach here with cost_ holding the exact objective
+    // (phase 2 / the post-perturbation polish), so these duals price the
+    // true costs — the only state LP conflict learning may trust.
+    std::vector<double>& y = duals_;
+    compute_duals(y);
+    result.row_duals.assign(y.begin(), y.begin() + m_);
+    result.reduced_costs.resize(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      result.reduced_costs[static_cast<std::size_t>(j)] =
+          objective_[static_cast<std::size_t>(j)] - column_dot(j, y);
+    }
+  }
   return result;
 }
 
@@ -1445,6 +1477,18 @@ Solution RevisedSimplex::run_two_phase() {
       infeasibility += x_[static_cast<std::size_t>(j)];
     }
     if (infeasibility > options_.tolerance * 10) {
+      // Phase-1 optimum with residual infeasibility. The phase-1 duals y
+      // (cost_ still holds the artificial costs here) price every real
+      // column nonnegatively, so w = -y satisfies the farkas_ray sign
+      // convention and aggregates to an inequality violated by at least
+      // the residual infeasibility.
+      std::vector<double>& y = duals_;
+      compute_duals(y);
+      result.farkas_ray.assign(static_cast<std::size_t>(m_), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        const auto is = static_cast<std::size_t>(i);
+        result.farkas_ray[is] = -y[is];
+      }
       result.status = SolveStatus::kInfeasible;
       result.iterations = iterations_;
       return result;

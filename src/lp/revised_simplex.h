@@ -156,6 +156,11 @@ class RevisedSimplex {
   void compute_basic_values();
   void compute_duals(std::vector<double>& y) const;
   double reduced_cost(int var, const std::vector<double>& y) const;
+  /// Copies the BTRAN'd violated-row vector into result.farkas_ray with the
+  /// orientation the Solution sign convention requires (`below` = the
+  /// leaving basic sat under its lower bound).
+  void fill_farkas_ray(const std::vector<double>& rho, bool below,
+                       Solution& result) const;
   bool price(const std::vector<double>& y, bool bland, int* entering,
              double* violation) const;
   /// Fills `result` with the current (bound-clamped) structural point and

@@ -57,6 +57,10 @@ struct SolveOptions {
   /// Refactorize when the LU operator file grows past this multiple of
   /// the fresh-factor nonzeros.
   double refactor_fill_ratio = 3.0;
+  /// Fill Solution::row_duals / reduced_costs on optimal exits of the
+  /// revised engine. Costs an extra BTRAN plus a pricing pass per solve,
+  /// so it is off unless the caller consumes duals (LP conflict learning).
+  bool want_duals = false;
 };
 
 struct Solution {
@@ -64,6 +68,23 @@ struct Solution {
   double objective = 0.0;
   std::vector<double> values;  ///< structural variable values (on success)
   long iterations = 0;         ///< pivots performed
+  /// Exact row duals y (one per constraint) on kOptimal, revised engine
+  /// only and only when SolveOptions::want_duals is set; empty otherwise
+  /// (the dense tableau never fills them). Signs follow y^T A <= c
+  /// aggregation: y_i >= 0 on <= rows would NOT hold in general — these
+  /// are unrestricted equality-style duals of the bounded-variable system.
+  std::vector<double> row_duals;
+  /// Structural reduced costs d_j = c_j - y^T A_j, same availability as
+  /// row_duals.
+  std::vector<double> reduced_costs;
+  /// Farkas/dual-ray certificate of primal infeasibility: weights w (one
+  /// per constraint row) filled on kInfeasible exits of the revised
+  /// engine's dual simplex or phase 1. Sign convention: w_i >= 0 on <=
+  /// rows, w_i <= 0 on >= rows, free on = rows, so the aggregate
+  /// g = w^T A, g0 = w^T b is a valid inequality g.x <= g0 whose minimum
+  /// activity over the variable bounds exceeds g0. Callers must verify
+  /// that numerically before trusting the ray. Empty when unavailable.
+  std::vector<double> farkas_ray;
 };
 
 /// Solves `model` to optimality (minimization). Dispatches on

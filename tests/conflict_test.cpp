@@ -195,6 +195,44 @@ bool checker_refutes(const Model& model, const Nogood& nogood,
   }
 
   std::vector<CheckRow> rows = merged_rows(model);
+  if (!nogood.lp_ray.empty()) {
+    // LP-sourced clause: re-derive the aggregated inequality g.x <= g0 as
+    // a sense-correct combination of the model rows (nonnegative weights
+    // on <= rows, nonpositive on >= rows, free on = rows) — plus the
+    // objective row with weight 1 and the recorded cutoff as rhs when
+    // lp_objective — and let the fixpoint refute through it. A ray of the
+    // wrong length or with wrong-signed weights is not a valid
+    // combination, so the clause fails the check outright.
+    if (nogood.lp_ray.size() !=
+        static_cast<std::size_t>(model.constraint_count())) {
+      return false;
+    }
+    CheckRow aggregated;
+    aggregated.sense = lp::Sense::kLessEqual;
+    std::map<int, double> acc;
+    for (int i = 0; i < model.constraint_count(); ++i) {
+      const double w = nogood.lp_ray[static_cast<std::size_t>(i)];
+      const lp::Constraint& src = model.lp().constraint(i);
+      if (src.sense == lp::Sense::kLessEqual && w < -1e-9) return false;
+      if (src.sense == lp::Sense::kGreaterEqual && w > 1e-9) return false;
+      if (w == 0.0) continue;
+      for (const lp::Term& term : src.terms) {
+        acc[term.variable] += w * term.coefficient;
+      }
+      aggregated.rhs += w * src.rhs;
+    }
+    if (nogood.lp_objective) {
+      for (int j = 0; j < n; ++j) {
+        const double c = model.lp().variable(j).objective;
+        if (c != 0.0) acc[j] += c;
+      }
+      aggregated.rhs += nogood.cutoff;
+    }
+    for (const auto& [var, coefficient] : acc) {
+      if (coefficient != 0.0) aggregated.terms.push_back({var, coefficient});
+    }
+    rows.push_back(std::move(aggregated));
+  }
   if (nogood.bound_based) {
     // The ceil-strengthened objective cutoff the derivation relied on.
     CheckRow cutoff_row;
@@ -245,6 +283,12 @@ class CheckingObserver : public ConflictObserver {
     if (nogood.bound_based) {
       EXPECT_TRUE(std::isfinite(nogood.cutoff))
           << context_ << ": bound-based nogood without a cutoff";
+    }
+    if (nogood.lp_objective) {
+      EXPECT_TRUE(nogood.bound_based)
+          << context_ << ": lp_objective clause not marked bound-based";
+      EXPECT_FALSE(nogood.lp_ray.empty())
+          << context_ << ": lp_objective clause without a ray";
     }
     if (!checker_refutes(model, nogood, history_)) {
       ADD_FAILURE() << context_ << ": learned nogood #" << seen_
@@ -377,6 +421,50 @@ TEST(ConflictEngineTest, PoolDeletionKeepsMostActiveHalf) {
   EXPECT_LE(static_cast<int>(engine.pool().size()), 16);
 }
 
+// ------------------------------------------------------- LP-sourced clauses
+
+/// Odd-cycle instance whose s = 0 subtree is propagation-feasible but
+/// LP-infeasible: the pairwise rows x+y<=1, x+z<=1, y+z<=1 only admit
+/// x+y+z <= 1.5 fractionally, while the coverage row demands
+/// x+y+z >= 2 - 3s. Single-constraint propagation cannot reason across
+/// rows, so only the Farkas ray of the node LP can turn that refutation
+/// into a clause — which must pass the extended explanation checker and
+/// leave the optimum exactly where the learning-off search finds it.
+TEST(LpConflictTest, FarkasRefutationLearnsCheckedClause) {
+  Model model;
+  const int s = model.add_binary(2.0);
+  const int x = model.add_binary(-1.0);
+  const int y = model.add_binary(-1.0);
+  const int z = model.add_binary(-1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::kLessEqual, 1.0);
+  model.add_constraint({{x, 1.0}, {z, 1.0}}, lp::Sense::kLessEqual, 1.0);
+  model.add_constraint({{y, 1.0}, {z, 1.0}}, lp::Sense::kLessEqual, 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}, {z, 1.0}, {s, 3.0}},
+                       lp::Sense::kGreaterEqual, 2.0);
+
+  CheckingObserver observer("farkas odd cycle");
+  Options on;
+  on.presolve = false;  // keep the engine on the 4 rows written above
+  on.probing = false;
+  on.clique_cuts = false;
+  on.branching = Branching::kInputOrder;  // dive s = 0 first (s is var 0)
+  on.lp_conflict_learning = true;
+  on.conflict_observer = &observer;
+  Options off = on;
+  off.lp_conflict_learning = false;
+  off.conflict_learning = false;
+  off.conflict_observer = nullptr;
+
+  const Result with = solve(model, on);
+  const Result without = solve(model, off);
+  ASSERT_EQ(with.status, ResultStatus::kOptimal);
+  ASSERT_EQ(without.status, ResultStatus::kOptimal);
+  EXPECT_EQ(with.objective, without.objective);
+  EXPECT_GE(with.lp_conflicts, 1L);
+  EXPECT_GE(with.lp_nogoods_learned, 1L);
+  EXPECT_GT(observer.seen(), 0L);
+}
+
 // ------------------------------------------------------------ fuzz drivers
 
 Model random_mip(common::Rng& rng) {
@@ -400,6 +488,30 @@ Model random_mip(common::Rng& rng) {
   return model;
 }
 
+/// The all-off configuration (LP learning and restarts disabled) must not
+/// even compute duals: search counters stay bit-identical to a build that
+/// never had the feature. Cheap canary for the "off keeps the prior search
+/// bit-exactly" contract the bench gate enforces at scale.
+TEST(LpConflictTest, DisabledLpLearningLeavesCountersUntouched) {
+  common::Rng rng(424243);
+  const Model model = random_mip(rng);
+  Options base;
+  base.objective_is_integral = true;
+  Options off = base;
+  off.lp_conflict_learning = false;
+  off.restart_interval = 0;
+  const Result a = solve(model, base);
+  const Result b = solve(model, off);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.lp_pivots, b.lp_pivots);
+  EXPECT_EQ(a.conflicts, b.conflicts);
+  EXPECT_EQ(a.nogoods_learned, b.nogoods_learned);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.lp_conflicts, 0L);
+  EXPECT_EQ(a.lp_nogoods_learned, 0L);
+  EXPECT_EQ(a.restarts, 0L);
+}
+
 /// Random MIP: every nogood learned while solving must pass the checker,
 /// and learning must not change the optimum.
 void fuzz_mip(std::uint64_t seed) {
@@ -420,6 +532,22 @@ void fuzz_mip(std::uint64_t seed) {
     EXPECT_EQ(with.objective, without.objective) << "seed=" << seed;
     EXPECT_TRUE(model.is_feasible(with.values, 1e-6)) << "seed=" << seed;
   }
+  // LP-driven learning plus restarts: every LP-sourced nogood runs through
+  // the same checker (its lp_ray re-derivation included), and the optimum
+  // still matches the learning-off run.
+  CheckingObserver lp_observer("mip+lp seed=" + std::to_string(seed));
+  Options lp_learn = learn;
+  lp_learn.conflict_observer = &lp_observer;
+  lp_learn.lp_conflict_learning = true;
+  lp_learn.restart_interval = 4;
+  lp_learn.restart_luby = (seed % 3) != 0;
+  if ((seed % 5) == 0) lp_learn.branching = Branching::kActivity;
+  const Result lp = solve(model, lp_learn);
+  ASSERT_EQ(lp.status, without.status) << "seed=" << seed;
+  if (lp.status == ResultStatus::kOptimal) {
+    EXPECT_EQ(lp.objective, without.objective) << "seed=" << seed;
+    EXPECT_TRUE(model.is_feasible(lp.values, 1e-6)) << "seed=" << seed;
+  }
 }
 
 /// Random small chain/cut-set instance through the full paper pipeline.
@@ -434,6 +562,8 @@ void fuzz_chain_instance(std::uint64_t seed) {
   Options learn;
   learn.conflict_observer = &observer;
   learn.conflict_backjumping = rng.next_bool(0.5);
+  learn.lp_conflict_learning = rng.next_bool(0.5);
+  if (learn.lp_conflict_learning) learn.restart_interval = 8;
   Options off;
   off.conflict_learning = false;
   if (rng.next_bool(0.5)) {

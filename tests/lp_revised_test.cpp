@@ -228,6 +228,74 @@ TEST_P(WarmStartDifferentialTest, WarmEqualsColdOverBoundChanges) {
 INSTANTIATE_TEST_SUITE_P(RandomWalks, WarmStartDifferentialTest,
                          ::testing::Range(0, 80));
 
+class WarmRestoreDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// Snapshot/restore differential: along a random bound walk, checkpoints
+// taken at earlier steps are restored (bounds stay wherever the walk put
+// them — exactly the branch-and-bound backjump pattern) and the solver is
+// reoptimized from the restored basis. Every restore runs twice in a row,
+// so the second call exercises the identical-basis fast path; either way
+// the reoptimized result must match a cold dense crash of the same bounds.
+// Any pricing or devex state left stale by the fast path shows up here as
+// a wrong objective or status.
+TEST_P(WarmRestoreDifferentialTest, RestoredBasisEqualsColdCrash) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam() / 2) * 50021 + 9);
+  Model model = random_model(rng);
+  const int vars = model.variable_count();
+  RevisedSimplex solver(model, revised_options(pricing_of(GetParam())));
+
+  Model scratch = model;  // cold-crash oracle tracks the live bounds
+  std::vector<BasisSnapshot> snapshots;
+  for (int step = 0; step < 14; ++step) {
+    const int var = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(vars)));
+    const double orig_lo = model.variable(var).lower;
+    const double orig_hi = model.variable(var).upper;
+    double lo = orig_lo;
+    double hi = orig_hi;
+    if (!rng.next_bool(0.25)) {
+      const double width = orig_hi - orig_lo;
+      const double a = orig_lo + width * 0.25 * rng.next_below(4);
+      const double b = orig_lo + width * 0.25 * rng.next_below(4);
+      lo = std::min(a, b);
+      hi = std::max(a, b);
+    }
+    solver.set_bounds(var, lo, hi);
+    scratch.set_bounds(var, lo, hi);
+
+    const Solution warm = solver.reoptimize();
+    const Solution cold = solve(scratch, dense_options());
+    ASSERT_NE(warm.status, SolveStatus::kIterationLimit);
+    ASSERT_EQ(warm.status, cold.status) << "step " << step;
+    if (warm.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-5) << "step " << step;
+      EXPECT_LE(scratch.max_violation(warm.values), 1e-5);
+    }
+    if (solver.has_basis() && rng.next_bool(0.5)) {
+      snapshots.push_back(solver.snapshot_basis());
+    }
+    if (!snapshots.empty() && rng.next_bool(0.4)) {
+      const BasisSnapshot& snap = snapshots[static_cast<std::size_t>(
+          rng.next_below(snapshots.size()))];
+      if (!solver.restore_basis(snap)) continue;
+      // Immediately restoring the checkpoint that is now live must take
+      // the identical-basis fast path and leave the solver just as usable.
+      ASSERT_TRUE(solver.restore_basis(snap)) << "step " << step;
+      const Solution again = solver.reoptimize();
+      ASSERT_NE(again.status, SolveStatus::kIterationLimit);
+      ASSERT_EQ(again.status, cold.status) << "restore at step " << step;
+      if (again.status == SolveStatus::kOptimal) {
+        EXPECT_NEAR(again.objective, cold.objective, 1e-5)
+            << "restore at step " << step;
+        EXPECT_LE(scratch.max_violation(again.values), 1e-5);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRestores, WarmRestoreDifferentialTest,
+                         ::testing::Range(0, 60));
+
 // Regression for the perturbed-cost path: the dual reoptimize runs on
 // leaned (anti-degeneracy) costs, and the exact-cost primal polish may hit
 // the pivot budget. Whatever the truncation point, any reported objective

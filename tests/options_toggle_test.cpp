@@ -144,8 +144,11 @@ TEST(OptionsToggleTest, NogoodPoolCapOfOne) {
 
 TEST(OptionsToggleTest, SeedLiteralsPinProvablyZeroItem) {
   // Knapsack with an item heavier than the capacity: x4 = 0 in every
-  // feasible point, so the unit literal "x4 <= 0" is model-implied — the
-  // same class a truncated solve exports via Result::unit_nogoods.
+  // feasible point, so the refutation "x4 >= 1 admits no feasible point"
+  // is model-implied — exactly what a truncated solve of this model would
+  // export via Result::unit_nogoods. Presolve stays off so the seed index
+  // refers to the unreduced variable space and the tightening actually
+  // applies (instead of presolve eliminating the variable first).
   Model model;
   const double values[] = {10, 13, 7, 11};
   const double weights[] = {5, 6, 4, 5};
@@ -159,11 +162,44 @@ TEST(OptionsToggleTest, SeedLiteralsPinProvablyZeroItem) {
   model.add_constraint(std::move(weight_terms), lp::Sense::kLessEqual, 10.0);
 
   Options options = integral_options();
-  options.seed_literals = {{oversized, /*is_lower=*/false, 0.0}};
+  options.presolve = false;
+  options.seed_literals = {{oversized, /*is_lower=*/true, 1.0}};
   const Result seeded = solve(model, options);
   ASSERT_EQ(seeded.status, ResultStatus::kOptimal);
   EXPECT_NEAR(seeded.objective, -21.0, 1e-6);
   EXPECT_NEAR(seeded.values[static_cast<std::size_t>(oversized)], 0.0, 1e-6);
+}
+
+TEST(OptionsToggleTest, LpConflictLearningOn) {
+  // LP refutation learning: pruned-node Farkas/dual rays become nogoods.
+  Options options = integral_options();
+  options.lp_conflict_learning = true;
+  expect_knapsack_optimum(options);
+  expect_set_cover_optimum(options);
+}
+
+TEST(OptionsToggleTest, RestartScheduleSweep) {
+  // restart_interval > 0 arms restarts; restart_luby picks between the
+  // Luby sequence and a fixed conflict interval. An aggressive interval
+  // of 2 restarts constantly — the search must still certify the optimum.
+  for (const bool luby : {true, false}) {
+    Options options = integral_options();
+    options.lp_conflict_learning = true;
+    options.restart_interval = 2;
+    options.restart_luby = luby;
+    expect_knapsack_optimum(options);
+    expect_set_cover_optimum(options);
+  }
+}
+
+TEST(OptionsToggleTest, ActivityBranching) {
+  // Conflict-activity branching tier (pairs with restarts): falls back to
+  // input order until activities accumulate.
+  Options options = integral_options();
+  options.branching = Branching::kActivity;
+  options.lp_conflict_learning = true;
+  expect_knapsack_optimum(options);
+  expect_set_cover_optimum(options);
 }
 
 TEST(OptionsToggleTest, BudgetFloorRowsOff) {

@@ -22,6 +22,8 @@
 #include "core/cert_store.h"
 #include "core/ilp_models.h"
 #include "grid/presets.h"
+#include "ilp/branch_and_bound.h"
+#include "ilp/model.h"
 
 namespace fpva::core {
 namespace {
@@ -53,6 +55,55 @@ void expect_stages_equal(const std::vector<BudgetStage>& a,
     EXPECT_EQ(a[i].conflicts, b[i].conflicts) << "stage " << i;
     EXPECT_EQ(a[i].nogoods_learned, b[i].nogoods_learned) << "stage " << i;
     EXPECT_EQ(a[i].backjumps, b[i].backjumps) << "stage " << i;
+    EXPECT_EQ(a[i].restarts, b[i].restarts) << "stage " << i;
+    EXPECT_EQ(a[i].lp_nogoods, b[i].lp_nogoods) << "stage " << i;
+  }
+}
+
+// Seed literals are the transferable half of an anytime certificate. They
+// must act as root bound tightenings — not conflict-engine inventory — so
+// a resume that runs with conflict learning disabled still prunes what the
+// truncated attempt proved, and still re-exports the seeds for the attempt
+// after it. (Routing seeds only through the engine silently dropped both.)
+TEST(ResumeTest, SeedLiteralsApplyWithoutConflictLearning) {
+  // min -2x - y with x + y <= 1 over binaries: the unseeded optimum takes
+  // x. The seed asserts "x >= 1 admits no feasible point" (x <= 0), so a
+  // seeded solve must settle for y regardless of the learning switch.
+  ilp::Model model;
+  const int x = model.add_binary(-2.0);
+  const int y = model.add_binary(-1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::kLessEqual, 1.0);
+
+  ilp::Options base;
+  base.presolve = false;  // keep seed indices in the original space
+  base.probing = false;
+  base.clique_cuts = false;
+  base.objective_is_integral = true;
+  const ilp::Result unseeded = ilp::solve(model, base);
+  ASSERT_EQ(unseeded.status, ilp::ResultStatus::kOptimal);
+  EXPECT_EQ(unseeded.objective, -2.0);
+
+  const ilp::SeedLiteral seed{x, /*is_lower=*/true, 1.0};
+  for (const bool learning : {true, false}) {
+    ilp::Options seeded = base;
+    seeded.conflict_learning = learning;
+    seeded.seed_literals.push_back(seed);
+    const ilp::Result r = ilp::solve(model, seeded);
+    ASSERT_EQ(r.status, ilp::ResultStatus::kOptimal)
+        << "learning=" << learning;
+    // A dropped certificate would rediscover the unseeded -2.
+    EXPECT_EQ(r.objective, -1.0) << "learning=" << learning;
+    EXPECT_EQ(r.values[static_cast<std::size_t>(x)], 0.0)
+        << "learning=" << learning;
+    EXPECT_EQ(r.values[static_cast<std::size_t>(y)], 1.0)
+        << "learning=" << learning;
+    bool exported = false;
+    for (const ilp::SeedLiteral& u : r.unit_nogoods) {
+      exported = exported || (u.var == seed.var &&
+                              u.is_lower == seed.is_lower &&
+                              u.value == seed.value);
+    }
+    EXPECT_TRUE(exported) << "learning=" << learning;
   }
 }
 
