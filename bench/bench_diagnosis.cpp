@@ -1,0 +1,101 @@
+// Adaptive-diagnosis benchmark: static test ordering versus expected
+// information gain on the Table-I presets, recorded as BENCH_diagnosis.json
+// by bench/run_benchmarks.sh.
+//
+// The counters are deterministic for a fixed binary (counter-free greedy
+// over a bit-exact outcome table), so CI gates on them rather than on
+// wall-clock: `tests` is the summed tests-to-isolate over every single
+// stuck-fault truth — the quantity adaptive selection exists to shrink —
+// and `isolated` counts truths the session pinned to one hypothesis, which
+// must never drop. `ddhits`/`ddnodes` expose the decision-diagram cache
+// economy across the truth sweep.
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/generator.h"
+#include "grid/presets.h"
+#include "sim/coverage.h"
+#include "sim/diagnosis/adaptive.h"
+
+namespace {
+
+using namespace fpva;
+
+std::vector<sim::FaultScenario> stuck_universe(
+    const grid::ValveArray& array) {
+  std::vector<sim::FaultScenario> universe;
+  for (const sim::Fault& fault : sim::single_stuck_fault_universe(array)) {
+    universe.push_back({fault});
+  }
+  return universe;
+}
+
+struct SweepTotals {
+  long tests = 0;
+  long eliminated = 0;
+  long isolated = 0;
+  long ddhits = 0;
+  long ddnodes = 0;
+};
+
+/// One full diagnosis sweep: a fresh diagnoser sessions every single-fault
+/// truth in universe order (fresh so the DD-cache economy is identical on
+/// every iteration).
+SweepTotals sweep(const grid::ValveArray& array,
+                  const std::vector<sim::TestVector>& vectors,
+                  const sim::diagnosis::Options& options) {
+  sim::diagnosis::AdaptiveDiagnoser diagnoser(array, vectors,
+                                              stuck_universe(array), options);
+  SweepTotals totals;
+  for (const sim::FaultScenario& truth : diagnoser.universe()) {
+    const auto session = diagnoser.run(truth);
+    totals.tests += session.tests_applied();
+    totals.eliminated += session.eliminated;
+    totals.isolated += session.isolated() ? 1 : 0;
+    totals.ddhits += session.cache_hits;
+  }
+  totals.ddnodes = diagnoser.cache_nodes();
+  return totals;
+}
+
+void run_sweep_bench(benchmark::State& state,
+                     const sim::diagnosis::Options& options) {
+  const int n = static_cast<int>(state.range(0));
+  const grid::ValveArray array = grid::table1_array(n);
+  const auto set = core::generate_test_set(array);
+  SweepTotals totals;
+  for (auto _ : state) {
+    totals = sweep(array, set.vectors, options);
+    benchmark::DoNotOptimize(totals.tests);
+  }
+  state.counters["tests"] = static_cast<double>(totals.tests);
+  state.counters["eliminated"] = static_cast<double>(totals.eliminated);
+  state.counters["isolated"] = static_cast<double>(totals.isolated);
+  state.counters["ddhits"] = static_cast<double>(totals.ddhits);
+  state.counters["ddnodes"] = static_cast<double>(totals.ddnodes);
+}
+
+void BM_DiagnosisStaticOrder(benchmark::State& state) {
+  sim::diagnosis::Options options;
+  options.policy = sim::diagnosis::Policy::kStaticOrder;
+  options.use_dd_cache = false;
+  run_sweep_bench(state, options);
+}
+BENCHMARK(BM_DiagnosisStaticOrder)
+    ->Arg(5)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DiagnosisInfoGain(benchmark::State& state) {
+  sim::diagnosis::Options options;
+  options.policy = sim::diagnosis::Policy::kInfoGain;
+  run_sweep_bench(state, options);
+}
+BENCHMARK(BM_DiagnosisInfoGain)
+    ->Arg(5)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

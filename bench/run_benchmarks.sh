@@ -5,6 +5,7 @@
 #   BENCH_ilp.json       <- bench_ilp_solver   (LP/ILP solver substrate)
 #   BENCH_batch_sim.json <- bench_batch_sim_micro (campaign engines)
 #   BENCH_parallel.json  <- bench_parallel     (thread-scaling probes)
+#   BENCH_diagnosis.json <- bench_diagnosis    (adaptive vs static diagnosis)
 #
 # Usage:
 #   bench/run_benchmarks.sh                 # full run (default min time)
@@ -46,5 +47,6 @@ run_one() {
 run_one bench_ilp_solver BENCH_ilp.json
 run_one bench_batch_sim_micro BENCH_batch_sim.json
 run_one bench_parallel BENCH_parallel.json
+run_one bench_diagnosis BENCH_diagnosis.json
 
 exit "$failures"

@@ -23,7 +23,9 @@ constexpr auto kIdentityLanes = identity_lanes();
 BatchSimulator::BatchSimulator(const grid::ValveArray& array)
     : array_(&array), topology_(array) {
   open_lanes_.assign(static_cast<std::size_t>(array.valve_count()), 0);
+  degraded_lanes_.assign(static_cast<std::size_t>(array.valve_count()), 0);
   pressurized_.assign(static_cast<std::size_t>(topology_.cell_count()), 0);
+  full_flow_.assign(static_cast<std::size_t>(topology_.cell_count()), 0);
   frontier_.reserve(static_cast<std::size_t>(topology_.cell_count()));
   queued_.assign(static_cast<std::size_t>(topology_.cell_count()), 0);
 }
@@ -40,7 +42,13 @@ void BatchSimulator::resolve_open_lanes(const ValveStates& states,
                 "BatchSimulator: vector arity != valve count");
   common::check(lanes.size() <= kLanes,
                 "BatchSimulator: too many scenarios");
-  // Broadcast the commanded state into every lane.
+  // Broadcast the commanded state into every lane. degraded_lanes_ is
+  // cleared lazily so scenarios without degraded faults (the common case)
+  // never touch it.
+  if (degraded_dirty_) {
+    std::fill(degraded_lanes_.begin(), degraded_lanes_.end(), 0);
+    degraded_dirty_ = false;
+  }
   for (int v = 0; v < array_->valve_count(); ++v) {
     open_lanes_[static_cast<std::size_t>(v)] =
         states[static_cast<std::size_t>(v)] ? kAllLanes : 0;
@@ -76,10 +84,33 @@ void BatchSimulator::resolve_open_lanes(const ValveStates& states,
       common::check(valid(fault.valve), "BatchSimulator: sa1 on invalid valve");
       open_lanes_[static_cast<std::size_t>(fault.valve)] |= bit;
     }
+    for (const Fault& fault : scenario) {
+      if (fault.type != FaultType::kDegradedFlow) continue;
+      common::check(valid(fault.valve),
+                    "BatchSimulator: degraded-flow fault on invalid valve");
+      degraded_lanes_[static_cast<std::size_t>(fault.valve)] |= bit;
+      degraded_dirty_ = true;
+    }
+  }
+  // A degraded valve weakens flow only where it is effectively open; if no
+  // lane has one, flood() takes the original single-word path.
+  any_degraded_ = false;
+  if (degraded_dirty_) {
+    for (int v = 0; v < array_->valve_count(); ++v) {
+      if (degraded_lanes_[static_cast<std::size_t>(v)] &
+          open_lanes_[static_cast<std::size_t>(v)]) {
+        any_degraded_ = true;
+        break;
+      }
+    }
   }
 }
 
 void BatchSimulator::flood() const {
+  if (any_degraded_) {
+    flood_degraded();
+    return;
+  }
   std::fill(pressurized_.begin(), pressurized_.end(), 0);
   frontier_.clear();
   for (const int cell : topology_.source_cells()) {
@@ -105,6 +136,54 @@ void BatchSimulator::flood() const {
           word & gate & ~pressurized_[static_cast<std::size_t>(link.to)];
       if (delta) {
         pressurized_[static_cast<std::size_t>(link.to)] |= delta;
+        if (!queued_[static_cast<std::size_t>(link.to)]) {
+          queued_[static_cast<std::size_t>(link.to)] = 1;
+          frontier_.push_back(link.to);
+        }
+      }
+    }
+  }
+}
+
+void BatchSimulator::flood_degraded() const {
+  std::fill(pressurized_.begin(), pressurized_.end(), 0);
+  std::fill(full_flow_.begin(), full_flow_.end(), 0);
+  frontier_.clear();
+  for (const int cell : topology_.source_cells()) {
+    if (!queued_[static_cast<std::size_t>(cell)]) {
+      queued_[static_cast<std::size_t>(cell)] = 1;
+      frontier_.push_back(cell);
+    }
+    pressurized_[static_cast<std::size_t>(cell)] = kAllLanes;
+    full_flow_[static_cast<std::size_t>(cell)] = kAllLanes;
+  }
+  // Same fixed-point worklist as flood(), over two monotone words per cell.
+  // Invariant: pressurized_ (meter-visible, at most one degraded crossing)
+  // is a superset of full_flow_ (no crossing) in every lane.
+  for (std::size_t head = 0; head < frontier_.size(); ++head) {
+    const int cell = frontier_[head];
+    queued_[static_cast<std::size_t>(cell)] = 0;
+    const LaneMask visible = pressurized_[static_cast<std::size_t>(cell)];
+    const LaneMask full = full_flow_[static_cast<std::size_t>(cell)];
+    for (const FlowLink& link : topology_.links_of(cell)) {
+      LaneMask clean = kAllLanes;  // open and undegraded: level preserved
+      LaneMask demote = 0;         // open but degraded: full -> weak only
+      if (link.valve != grid::kInvalidValve) {
+        const LaneMask open =
+            open_lanes_[static_cast<std::size_t>(link.valve)];
+        const LaneMask degraded =
+            degraded_lanes_[static_cast<std::size_t>(link.valve)];
+        clean = open & ~degraded;
+        demote = open & degraded;
+      }
+      const LaneMask full_delta =
+          (full & clean) & ~full_flow_[static_cast<std::size_t>(link.to)];
+      const LaneMask visible_delta =
+          ((visible & clean) | (full & demote)) &
+          ~pressurized_[static_cast<std::size_t>(link.to)];
+      if (full_delta | visible_delta) {
+        full_flow_[static_cast<std::size_t>(link.to)] |= full_delta;
+        pressurized_[static_cast<std::size_t>(link.to)] |= visible_delta;
         if (!queued_[static_cast<std::size_t>(link.to)]) {
           queued_[static_cast<std::size_t>(link.to)] = 1;
           frontier_.push_back(link.to);

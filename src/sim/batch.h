@@ -8,8 +8,14 @@
 // word-wide AND/OR over the flow adjacency, the classic bit-parallel
 // pattern-simulation trick of electronic test.
 //
+// Lanes carry whole fault *sets*: any mix of stuck-at, control-leak and
+// degraded-flow faults per scenario. Degraded-flow scenarios flood two lane
+// words per cell (full pressure and weak = one-degraded-crossing pressure);
+// scenarios without them take the original single-word path unchanged.
+//
 // Semantics are bit-for-bit those of the scalar Simulator (which remains
-// the differential-testing oracle); see tests/batch_sim_test.cpp.
+// the differential-testing oracle); see tests/batch_sim_test.cpp and
+// tests/sim_fuzz_test.cpp.
 #ifndef FPVA_SIM_BATCH_H
 #define FPVA_SIM_BATCH_H
 
@@ -77,20 +83,31 @@ class BatchSimulator {
                             std::span<const FaultScenario> scenarios) const;
 
  private:
-  /// Resolves commanded `states` + per-lane faults into open_lanes_;
-  /// lane L carries pool[lanes[L]].
+  /// Resolves commanded `states` + per-lane faults into open_lanes_ and
+  /// degraded_lanes_; lane L carries pool[lanes[L]]. Sets any_degraded_.
   void resolve_open_lanes(const ValveStates& states,
                           std::span<const FaultScenario> pool,
                           std::span<const int> lanes) const;
 
   /// Word-wide flood fill: pressurized_ = fixed point of propagating
-  /// source lanes through open_lanes_-gated links.
+  /// source lanes through open_lanes_-gated links. Dispatches to
+  /// flood_degraded() when any lane carries a live degraded-flow fault.
   void flood() const;
+
+  /// Two-word flood: full_flow_ tracks lanes reaching a cell with no
+  /// degraded crossing, pressurized_ lanes reaching it with at most one
+  /// (the meter-visible set). Crossing an open degraded valve moves full
+  /// lanes into pressurized_-only; weak lanes die at a second crossing.
+  void flood_degraded() const;
 
   const grid::ValveArray* array_;
   FlowTopology topology_;
-  mutable std::vector<LaneMask> open_lanes_;   ///< per valve; scratch
+  mutable std::vector<LaneMask> open_lanes_;      ///< per valve; scratch
+  mutable std::vector<LaneMask> degraded_lanes_;  ///< per valve; scratch
+  mutable bool degraded_dirty_ = false;  ///< degraded_lanes_ needs clearing
+  mutable bool any_degraded_ = false;  ///< some open lane is degraded
   mutable std::vector<LaneMask> pressurized_;  ///< per cell; scratch
+  mutable std::vector<LaneMask> full_flow_;    ///< per cell; scratch
   mutable std::vector<int> frontier_;          ///< scratch worklist
   mutable std::vector<char> queued_;           ///< cell in frontier_? scratch
 };

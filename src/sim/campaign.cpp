@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/strings.h"
+#include "common/table.h"
 #include "sim/batch.h"
 
 namespace fpva::sim {
@@ -35,7 +37,8 @@ std::vector<Fault> draw_fault_set(common::Rng& rng,
                                   const grid::ValveArray& array,
                                   int fault_count,
                                   std::span<const LeakPair> leak_pairs,
-                                  double stuck_at_1_probability) {
+                                  double stuck_at_1_probability,
+                                  double degraded_probability) {
   // Draw faults on distinct valves. A leak fault occupies both of its
   // valves so that combinations stay physically consistent.
   std::vector<Fault> faults;
@@ -60,9 +63,15 @@ std::vector<Fault> draw_fault_set(common::Rng& rng,
           static_cast<std::uint64_t>(array.valve_count())));
       if (used[static_cast<std::size_t>(valve)]) continue;
       used[static_cast<std::size_t>(valve)] = 1;
-      faults.push_back(rng.next_bool(stuck_at_1_probability)
-                           ? stuck_at_1(valve)
-                           : stuck_at_0(valve));
+      // The short-circuit matters: with degraded_probability == 0 no draw
+      // is consumed, so default campaigns replay the historical streams.
+      if (degraded_probability > 0 && rng.next_bool(degraded_probability)) {
+        faults.push_back(degraded_flow(valve));
+      } else {
+        faults.push_back(rng.next_bool(stuck_at_1_probability)
+                             ? stuck_at_1(valve)
+                             : stuck_at_0(valve));
+      }
     }
   }
   return faults;
@@ -77,6 +86,9 @@ void validate_options(const grid::ValveArray& array,
       "run_campaign: bad fault-count range");
   common::check(array.valve_count() >= options.max_faults,
                 "run_campaign: more faults requested than valves exist");
+  common::check(options.degraded_probability >= 0.0 &&
+                    options.degraded_probability <= 1.0,
+                "run_campaign: degraded_probability outside [0, 1]");
 }
 
 std::vector<LeakPair> resolve_leak_pairs(const grid::ValveArray& array,
@@ -132,6 +144,14 @@ bool possibly_detectable(const TestVector& vector, bool has_one_expected,
         }
         break;
       }
+      case FaultType::kDegradedFlow:
+        // Weakening flow through a commanded-open valve only shrinks the
+        // meter-visible region (monotone decrease). On a commanded-closed
+        // valve it matters only if a stuck-at-1 in the same scenario opens
+        // the valve, and then the readings stay a superset of expected —
+        // covered by that fault's own `opens` contribution.
+        closes = closes || vector.states[valve];
+        break;
     }
   }
   return (closes && has_one_expected) || (opens && has_zero_expected);
@@ -157,7 +177,8 @@ ShardOutcome evaluate_shard(const BatchSimulator& batch,
         campaign_trial_seed(options.seed, fault_count, first_trial + t));
     pool.push_back(draw_fault_set(rng, batch.array(), fault_count,
                                   leak_pairs,
-                                  options.stuck_at_1_probability));
+                                  options.stuck_at_1_probability,
+                                  options.degraded_probability));
   }
 
   // alive holds pool indices of undetected trials, always in trial order.
@@ -255,6 +276,7 @@ CampaignResult run_campaign(const Simulator& simulator,
   for (int k = options.min_faults; k <= options.max_faults; ++k) {
     CampaignRow row;
     row.fault_count = k;
+    row.set_cardinality = k;
     for (int first = 0;
          first < options.trials_per_count && !result.interrupted;
          first += kShardTrials) {
@@ -285,6 +307,7 @@ CampaignResult run_campaign_scalar(const Simulator& simulator,
   for (int k = options.min_faults; k <= options.max_faults; ++k) {
     CampaignRow row;
     row.fault_count = k;
+    row.set_cardinality = k;
     for (int trial = 0;
          trial < options.trials_per_count && !result.interrupted; ++trial) {
       if (options.stop.stop_requested()) {
@@ -292,8 +315,10 @@ CampaignResult run_campaign_scalar(const Simulator& simulator,
         break;
       }
       common::Rng rng(campaign_trial_seed(options.seed, k, trial));
-      std::vector<Fault> faults = draw_fault_set(
-          rng, array, k, leak_pairs, options.stuck_at_1_probability);
+      std::vector<Fault> faults =
+          draw_fault_set(rng, array, k, leak_pairs,
+                         options.stuck_at_1_probability,
+                         options.degraded_probability);
       ++row.trials;
       if (simulator.any_detects(vectors, faults)) {
         ++row.detected;
@@ -394,6 +419,7 @@ std::vector<CampaignResult> run_campaign_catalog(
     for (int k = options.min_faults; k <= options.max_faults; ++k) {
       CampaignRow row;
       row.fault_count = k;
+      row.set_cardinality = k;
       for (int first = 0; first < options.trials_per_count;
            first += kShardTrials) {
         ShardOutcome& outcome = outcomes[job_index++];
@@ -409,6 +435,29 @@ std::vector<CampaignResult> run_campaign_catalog(
     }
   }
   return results;
+}
+
+std::string summarize(const CampaignResult& result) {
+  common::Table table({"scenario", "trials", "detected", "rate"});
+  std::string samples;
+  for (const CampaignRow& row : result.rows) {
+    const std::string label =
+        row.set_cardinality == 1
+            ? std::string("single fault")
+            : common::cat(row.set_cardinality, "-fault set");
+    table.add_row({label, common::cat(row.trials), common::cat(row.detected),
+                   common::cat(common::to_fixed(100.0 * row.detection_rate(),
+                                                2),
+                               '%')});
+    for (const auto& faults : row.undetected_samples) {
+      samples += common::cat("undetected ", label, ": ", to_string(faults),
+                             '\n');
+    }
+  }
+  std::string text = table.to_string();
+  if (!samples.empty()) text += samples;
+  if (result.interrupted) text += "campaign interrupted before completion\n";
+  return text;
 }
 
 }  // namespace fpva::sim

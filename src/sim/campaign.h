@@ -35,6 +35,11 @@ struct CampaignOptions {
   /// GeneratedTestSet::untestable_leaks).
   std::vector<LeakPair> leak_pairs;
   double stuck_at_1_probability = 0.5;  ///< sa1 vs sa0 for stuck faults
+  /// Probability that a single-valve draw becomes a degraded-flow fault
+  /// instead of a stuck-at fault. Zero (the default) draws no degraded
+  /// faults and consumes exactly the RNG stream of earlier releases, so
+  /// existing campaign results stay bit-identical.
+  double degraded_probability = 0.0;
   std::size_t max_undetected_kept = 20;
   /// Cooperative cancellation (deadline or cancel): every runner polls the
   /// token between shards and between vectors inside a shard. A tripped
@@ -47,6 +52,11 @@ struct CampaignOptions {
 /// Outcome for one fault count k.
 struct CampaignRow {
   int fault_count = 0;
+  /// Faults injected per trial in this row — the fault-set cardinality.
+  /// Equal to fault_count today, but reporting keys off this field so a
+  /// row of multi-fault sets is never summarized under a single-fault
+  /// heading.
+  int set_cardinality = 0;
   /// Trials actually evaluated — trials_per_count unless the campaign was
   /// interrupted, in which case only fully completed shards count.
   int trials = 0;
@@ -79,12 +89,14 @@ std::uint64_t campaign_trial_seed(std::uint64_t seed, int fault_count,
 
 /// Draws `fault_count` random faults on distinct valves (a leak fault
 /// occupies both of its valves so combinations stay physically consistent).
-/// `leak_pairs` empty disables leak draws.
+/// `leak_pairs` empty disables leak draws; `degraded_probability` > 0 turns
+/// that fraction of single-valve draws into degraded-flow faults.
 std::vector<Fault> draw_fault_set(common::Rng& rng,
                                   const grid::ValveArray& array,
                                   int fault_count,
                                   std::span<const LeakPair> leak_pairs,
-                                  double stuck_at_1_probability);
+                                  double stuck_at_1_probability,
+                                  double degraded_probability = 0.0);
 
 /// Runs the campaign through the bit-parallel BatchSimulator, 64 trials per
 /// grid pass. Results are bit-identical to run_campaign_scalar.
@@ -136,6 +148,12 @@ struct CatalogEntry {
 /// `thread_count` (0 means std::thread::hardware_concurrency()).
 std::vector<CampaignResult> run_campaign_catalog(
     std::span<const CatalogEntry> entries, int thread_count = 0);
+
+/// Renders the campaign as an aligned table, one row per fault count. Rows
+/// are labeled by CampaignRow::set_cardinality — "single fault" only when a
+/// row really injected one fault per trial, "k-fault set" otherwise — with
+/// undetected samples listed under the table.
+std::string summarize(const CampaignResult& result);
 
 }  // namespace fpva::sim
 

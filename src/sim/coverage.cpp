@@ -1,5 +1,8 @@
 #include "sim/coverage.h"
 
+#include <functional>
+
+#include "common/check.h"
 #include "sim/batch.h"
 #include "sim/control_topology.h"
 
@@ -81,6 +84,69 @@ PairCoverageReport two_fault_coverage(const Simulator& simulator,
       if (scenarios.size() == BatchSimulator::kLanes) flush();
     }
   }
+  flush();
+  return report;
+}
+
+SetCoverageReport fault_set_coverage(const Simulator& simulator,
+                                     std::span<const TestVector> vectors,
+                                     std::span<const Fault> universe,
+                                     int set_size,
+                                     std::size_t max_undetected_kept) {
+  common::check(set_size >= 1, "fault_set_coverage: set_size must be >= 1");
+  SetCoverageReport report;
+  report.set_size = set_size;
+  const grid::ValveArray& array = simulator.array();
+  const BatchSimulator batch(array);
+
+  std::vector<FaultScenario> scenarios;
+  const auto flush = [&] {
+    if (scenarios.empty()) return;
+    const auto detected = batch.any_detect_lanes(vectors, scenarios);
+    for (std::size_t lane = 0; lane < scenarios.size(); ++lane) {
+      if ((detected >> lane) & 1) {
+        ++report.detected_sets;
+      } else if (report.undetected.size() < max_undetected_kept) {
+        report.undetected.push_back(scenarios[lane]);
+      }
+    }
+    scenarios.clear();
+  };
+
+  // Depth-first subset enumeration in universe order; `used` rejects
+  // subsets whose valve footprints overlap (the same physical-consistency
+  // rule as draw_fault_set), so enumeration order — and with it every
+  // undetected-sample prefix — is deterministic.
+  std::vector<char> used(static_cast<std::size_t>(array.valve_count()), 0);
+  FaultScenario current;
+  current.reserve(static_cast<std::size_t>(set_size));
+  const std::function<void(std::size_t, int)> extend =
+      [&](std::size_t start, int remaining) {
+        if (remaining == 0) {
+          ++report.total_sets;
+          scenarios.push_back(current);
+          if (scenarios.size() == BatchSimulator::kLanes) flush();
+          return;
+        }
+        for (std::size_t i = start;
+             i + static_cast<std::size_t>(remaining) <= universe.size();
+             ++i) {
+          const Fault& fault = universe[i];
+          const bool leak = fault.type == FaultType::kControlLeak;
+          if (used[static_cast<std::size_t>(fault.valve)] ||
+              (leak && used[static_cast<std::size_t>(fault.partner)])) {
+            continue;
+          }
+          used[static_cast<std::size_t>(fault.valve)] = 1;
+          if (leak) used[static_cast<std::size_t>(fault.partner)] = 1;
+          current.push_back(fault);
+          extend(i + 1, remaining - 1);
+          current.pop_back();
+          used[static_cast<std::size_t>(fault.valve)] = 0;
+          if (leak) used[static_cast<std::size_t>(fault.partner)] = 0;
+        }
+      };
+  extend(0, set_size);
   flush();
   return report;
 }

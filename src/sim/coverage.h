@@ -63,6 +63,34 @@ PairCoverageReport two_fault_coverage(const Simulator& simulator,
                                       std::span<const Fault> universe,
                                       std::size_t max_undetected_kept = 100);
 
+/// Exhaustive fault-set coverage: every size-`set_size` subset of
+/// `universe` whose faults occupy pairwise-disjoint valves (a control leak
+/// occupies both of its partners) is injected as one scenario, batched 64
+/// subsets per grid pass. This is the enumeration counterpart of the
+/// randomized campaign draw and the brute-force oracle behind the masking
+/// cross-check tests. Combinatorial in |universe| — intended for small
+/// grids.
+struct SetCoverageReport {
+  int set_size = 0;
+  long total_sets = 0;
+  long detected_sets = 0;
+  std::vector<std::vector<Fault>> undetected;
+
+  double coverage() const {
+    return total_sets == 0
+               ? 1.0
+               : static_cast<double>(detected_sets) /
+                     static_cast<double>(total_sets);
+  }
+  bool complete() const { return detected_sets == total_sets; }
+};
+
+SetCoverageReport fault_set_coverage(const Simulator& simulator,
+                                     std::span<const TestVector> vectors,
+                                     std::span<const Fault> universe,
+                                     int set_size,
+                                     std::size_t max_undetected_kept = 100);
+
 }  // namespace fpva::sim
 
 #endif  // FPVA_SIM_COVERAGE_H

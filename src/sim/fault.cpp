@@ -16,6 +16,10 @@ Fault control_leak(grid::ValveId valve, grid::ValveId partner) {
   return Fault{FaultType::kControlLeak, valve, partner};
 }
 
+Fault degraded_flow(grid::ValveId valve) {
+  return Fault{FaultType::kDegradedFlow, valve, grid::kInvalidValve};
+}
+
 std::string to_string(const Fault& fault) {
   switch (fault.type) {
     case FaultType::kStuckAt0:
@@ -24,6 +28,8 @@ std::string to_string(const Fault& fault) {
       return common::cat("sa1@", fault.valve);
     case FaultType::kControlLeak:
       return common::cat("leak@", fault.valve, '~', fault.partner);
+    case FaultType::kDegradedFlow:
+      return common::cat("deg@", fault.valve);
   }
   return "?";
 }

@@ -3,7 +3,11 @@
 // A broken flow channel or broken control channel manifests as a valve that
 // can never open (stuck-at-0); a leaking flow channel as a valve that can
 // never close (stuck-at-1); a leaking control channel couples two valves so
-// that actuating either closes both.
+// that actuating either closes both. Beyond the paper's binary model, a
+// partially constricted site (debris, incomplete PDMS bonding) passes only
+// weakened flow when open: pressure survives one degraded crossing but not
+// two, so a single degraded valve is invisible to binary meters while a
+// pair in series reads as a blockage.
 #ifndef FPVA_SIM_FAULT_H
 #define FPVA_SIM_FAULT_H
 
@@ -15,9 +19,10 @@
 namespace fpva::sim {
 
 enum class FaultType : std::uint8_t {
-  kStuckAt0,     ///< valve cannot open (broken flow/control channel)
-  kStuckAt1,     ///< valve cannot close (leaking flow channel)
-  kControlLeak,  ///< actuating either of two valves closes both
+  kStuckAt0,      ///< valve cannot open (broken flow/control channel)
+  kStuckAt1,      ///< valve cannot close (leaking flow channel)
+  kControlLeak,   ///< actuating either of two valves closes both
+  kDegradedFlow,  ///< open valve passes only weakened (one-level) flow
 };
 
 /// One injected fault. `valve` identifies the faulty valve; `partner` is the
@@ -34,8 +39,9 @@ struct Fault {
 Fault stuck_at_0(grid::ValveId valve);
 Fault stuck_at_1(grid::ValveId valve);
 Fault control_leak(grid::ValveId valve, grid::ValveId partner);
+Fault degraded_flow(grid::ValveId valve);
 
-/// "sa0@12", "sa1@3", "leak@4~9" rendering for diagnostics.
+/// "sa0@12", "sa1@3", "leak@4~9", "deg@7" rendering for diagnostics.
 std::string to_string(const Fault& fault);
 std::string to_string(const std::vector<Fault>& faults);
 

@@ -27,6 +27,7 @@ Simulator::Simulator(const grid::ValveArray& array)
   pressurized_.assign(static_cast<std::size_t>(topology_.cell_count()), 0);
   frontier_.reserve(static_cast<std::size_t>(topology_.cell_count()));
   open_scratch_.assign(static_cast<std::size_t>(array.valve_count()), 0);
+  degraded_scratch_.assign(static_cast<std::size_t>(array.valve_count()), 0);
 }
 
 ValveStates Simulator::effective_states(const ValveStates& states,
@@ -71,7 +72,9 @@ std::vector<bool> Simulator::readings(const ValveStates& states,
                                       std::span<const Fault> faults) const {
   common::check(static_cast<int>(states.size()) == array_->valve_count(),
                 "Simulator: vector arity != valve count");
-  // Resolve effective openness into the flat scratch buffer.
+  // Resolve effective openness into the flat scratch buffer, and gather the
+  // degraded valves that can actually weaken anything (effectively open).
+  bool any_degraded = false;
   if (faults.empty()) {
     for (int v = 0; v < array_->valve_count(); ++v) {
       open_scratch_[static_cast<std::size_t>(v)] =
@@ -83,27 +86,80 @@ std::vector<bool> Simulator::readings(const ValveStates& states,
       open_scratch_[static_cast<std::size_t>(v)] =
           effective[static_cast<std::size_t>(v)] ? 1 : 0;
     }
+    for (const Fault& fault : faults) {
+      if (fault.type != FaultType::kDegradedFlow) continue;
+      common::check(fault.valve >= 0 && fault.valve < array_->valve_count(),
+                    "Simulator: degraded-flow fault on invalid valve");
+      if (!open_scratch_[static_cast<std::size_t>(fault.valve)]) continue;
+      if (!any_degraded) {
+        std::fill(degraded_scratch_.begin(), degraded_scratch_.end(), 0);
+        any_degraded = true;
+      }
+      degraded_scratch_[static_cast<std::size_t>(fault.valve)] = 1;
+    }
   }
 
-  // BFS flood from all source cells.
+  // BFS flood from all source cells. pressurized_ holds the pressure level:
+  // 0 dry, kWeak crossed one open degraded valve, kFull crossed none.
+  constexpr char kWeak = 1;
+  constexpr char kFull = 2;
   std::fill(pressurized_.begin(), pressurized_.end(), 0);
   frontier_.clear();
   for (const int cell : topology_.source_cells()) {
     if (!pressurized_[static_cast<std::size_t>(cell)]) {
-      pressurized_[static_cast<std::size_t>(cell)] = 1;
+      pressurized_[static_cast<std::size_t>(cell)] = kFull;
       frontier_.push_back(cell);
     }
   }
+  // Phase 1: full pressure through open, non-degraded sites.
   for (std::size_t head = 0; head < frontier_.size(); ++head) {
     const int cell = frontier_[head];
     for (const FlowLink& link : topology_.links_of(cell)) {
-      if (link.valve != grid::kInvalidValve &&
-          !open_scratch_[static_cast<std::size_t>(link.valve)]) {
-        continue;
+      if (link.valve != grid::kInvalidValve) {
+        if (!open_scratch_[static_cast<std::size_t>(link.valve)]) continue;
+        if (any_degraded &&
+            degraded_scratch_[static_cast<std::size_t>(link.valve)]) {
+          continue;
+        }
       }
       if (!pressurized_[static_cast<std::size_t>(link.to)]) {
-        pressurized_[static_cast<std::size_t>(link.to)] = 1;
+        pressurized_[static_cast<std::size_t>(link.to)] = kFull;
         frontier_.push_back(link.to);
+      }
+    }
+  }
+  if (any_degraded) {
+    // Phase 2a: one degraded crossing demotes full to weak. The frontier
+    // currently holds exactly the full cells; weak seeds append after them.
+    const std::size_t full_cells = frontier_.size();
+    for (std::size_t head = 0; head < full_cells; ++head) {
+      const int cell = frontier_[head];
+      for (const FlowLink& link : topology_.links_of(cell)) {
+        if (link.valve == grid::kInvalidValve ||
+            !open_scratch_[static_cast<std::size_t>(link.valve)] ||
+            !degraded_scratch_[static_cast<std::size_t>(link.valve)]) {
+          continue;
+        }
+        if (!pressurized_[static_cast<std::size_t>(link.to)]) {
+          pressurized_[static_cast<std::size_t>(link.to)] = kWeak;
+          frontier_.push_back(link.to);
+        }
+      }
+    }
+    // Phase 2b: weak pressure spreads through clean open sites only; a
+    // second degraded crossing would drop it below the meter threshold.
+    for (std::size_t head = full_cells; head < frontier_.size(); ++head) {
+      const int cell = frontier_[head];
+      for (const FlowLink& link : topology_.links_of(cell)) {
+        if (link.valve != grid::kInvalidValve &&
+            (!open_scratch_[static_cast<std::size_t>(link.valve)] ||
+             degraded_scratch_[static_cast<std::size_t>(link.valve)])) {
+          continue;
+        }
+        if (!pressurized_[static_cast<std::size_t>(link.to)]) {
+          pressurized_[static_cast<std::size_t>(link.to)] = kWeak;
+          frontier_.push_back(link.to);
+        }
       }
     }
   }

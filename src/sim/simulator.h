@@ -5,6 +5,12 @@
 // sites. This reproduces the observation model of the paper (and of Hu et
 // al., TCAD'14, its fault-model source): pressure meters at sink ports read
 // a binary pressure/no-pressure value.
+//
+// Degraded-flow faults refine reachability into two pressure levels. Every
+// open degraded valve on a path drops the level once (full -> weak ->
+// nothing); a meter reads pressurized when some path delivers full or weak
+// pressure, i.e. crosses at most one open degraded valve. With no degraded
+// fault in the scenario this collapses to plain reachability.
 #ifndef FPVA_SIM_SIMULATOR_H
 #define FPVA_SIM_SIMULATOR_H
 
@@ -33,7 +39,9 @@ class Simulator {
   /// from commanded `states`. Resolution order: control leaks first (either
   /// partner commanded closed closes both), then stuck-at-0 forces closed,
   /// then stuck-at-1 forces open (a flow-layer leak defeats any control
-  /// pressure).
+  /// pressure). Degraded-flow faults never change the open/closed state;
+  /// they weaken flow through the (effectively open) valve and are applied
+  /// by readings().
   ValveStates effective_states(const ValveStates& states,
                                std::span<const Fault> faults) const;
 
@@ -64,9 +72,10 @@ class Simulator {
  private:
   const grid::ValveArray* array_;
   FlowTopology topology_;
-  mutable std::vector<char> pressurized_;  // scratch
-  mutable std::vector<int> frontier_;      // scratch
-  mutable std::vector<char> open_scratch_; // scratch
+  mutable std::vector<char> pressurized_;      // scratch
+  mutable std::vector<int> frontier_;          // scratch
+  mutable std::vector<char> open_scratch_;     // scratch
+  mutable std::vector<char> degraded_scratch_; // scratch (per valve)
 };
 
 }  // namespace fpva::sim

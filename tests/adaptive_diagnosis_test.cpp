@@ -1,0 +1,256 @@
+// Tests for the adaptive (information-gain) diagnosis engine: equivalence
+// of the static path with sim::diagnose(), determinism across thread
+// counts and cache settings, and the actual adaptivity win (fewer tests to
+// isolation than the static order).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/generator.h"
+#include "grid/presets.h"
+#include "sim/diagnosis.h"
+#include "sim/diagnosis/adaptive.h"
+
+namespace fpva::sim::diagnosis {
+namespace {
+
+/// Single-fault hypothesis universe as one-element fault sets.
+std::vector<FaultScenario> single_fault_universe(
+    const grid::ValveArray& array) {
+  std::vector<FaultScenario> universe;
+  for (const Fault& fault : single_stuck_fault_universe(array)) {
+    universe.push_back({fault});
+  }
+  return universe;
+}
+
+/// Options reproducing sim::diagnose(): every vector in input order, no
+/// early stop, no cache.
+Options static_options() {
+  Options options;
+  options.policy = Policy::kStaticOrder;
+  options.use_dd_cache = false;
+  options.stop_when_isolated = false;
+  return options;
+}
+
+TEST(AdaptiveDiagnosisTest, StaticPathReproducesDiagnose) {
+  const auto array = grid::table1_array(5);
+  const auto set = core::generate_test_set(array);
+  const Simulator simulator(array);
+  const auto fault_universe = single_stuck_fault_universe(array);
+  AdaptiveDiagnoser diagnoser(array, set.vectors,
+                              single_fault_universe(array),
+                              static_options());
+  for (const Fault& truth : fault_universe) {
+    const auto observed =
+        response_signature(simulator, set.vectors, truth);
+    const auto expected =
+        diagnose(simulator, set.vectors, observed, fault_universe);
+    const auto session = diagnoser.run(FaultScenario{truth});
+    EXPECT_EQ(session.tests_applied(),
+              static_cast<int>(set.vectors.size()))
+        << to_string(truth);
+    EXPECT_EQ(session.fault_free_consistent,
+              expected.consistent_with_fault_free)
+        << to_string(truth);
+    std::vector<Fault> survivors;
+    for (const int h : session.surviving) {
+      ASSERT_EQ(diagnoser.universe()[static_cast<std::size_t>(h)].size(),
+                1u);
+      survivors.push_back(
+          diagnoser.universe()[static_cast<std::size_t>(h)][0]);
+    }
+    EXPECT_EQ(survivors, expected.candidates) << to_string(truth);
+  }
+}
+
+TEST(AdaptiveDiagnosisTest, FaultFreeChipStaysConsistent) {
+  const auto array = grid::full_array(4, 4);
+  const auto set = core::generate_test_set(array);
+  const Simulator simulator(array);
+  AdaptiveDiagnoser diagnoser(array, set.vectors,
+                              single_fault_universe(array), {});
+  const auto session = diagnoser.run(FaultScenario{});
+  EXPECT_TRUE(session.fault_free_consistent);
+  // The generated set detects every stuck fault, so info-gain testing must
+  // end with the healthy chip as the only live hypothesis.
+  EXPECT_TRUE(session.surviving.empty());
+  EXPECT_TRUE(session.isolated());
+}
+
+TEST(AdaptiveDiagnosisTest, TrueHypothesisAlwaysSurvives) {
+  const auto array = grid::table1_array(5);
+  const auto set = core::generate_test_set(array);
+  AdaptiveDiagnoser diagnoser(array, set.vectors,
+                              single_fault_universe(array), {});
+  for (std::size_t h = 0; h < diagnoser.universe().size(); ++h) {
+    const auto session = diagnoser.run(diagnoser.universe()[h]);
+    EXPECT_NE(std::find(session.surviving.begin(), session.surviving.end(),
+                        static_cast<int>(h)),
+              session.surviving.end())
+        << to_string(diagnoser.universe()[h]);
+    EXPECT_FALSE(session.fault_free_consistent)
+        << to_string(diagnoser.universe()[h]);
+  }
+}
+
+TEST(AdaptiveDiagnosisTest, LocalizesMultiFaultScenarios) {
+  // A two-fault universe the single-fault matcher cannot express: the true
+  // pair must survive its own session.
+  const auto array = grid::full_array(3, 3);
+  const auto set = core::generate_test_set(array);
+  const auto singles = single_stuck_fault_universe(array);
+  std::vector<FaultScenario> universe;
+  for (std::size_t i = 0; i < singles.size(); ++i) {
+    for (std::size_t j = i + 1; j < singles.size(); ++j) {
+      if (singles[i].valve == singles[j].valve) continue;
+      universe.push_back({singles[i], singles[j]});
+    }
+  }
+  AdaptiveDiagnoser diagnoser(array, set.vectors, universe, {});
+  for (std::size_t h = 0; h < universe.size(); h += 17) {
+    const auto session = diagnoser.run(universe[h]);
+    EXPECT_NE(std::find(session.surviving.begin(), session.surviving.end(),
+                        static_cast<int>(h)),
+              session.surviving.end())
+        << to_string(universe[h]);
+  }
+}
+
+TEST(AdaptiveDiagnosisTest, InfoGainNeedsFewerTestsThanStaticOrder) {
+  // The adaptivity win the bench gates: summed tests-to-isolate over every
+  // single-fault truth must strictly drop versus applying the program in
+  // input order with the same early stop.
+  const auto array = grid::table1_array(5);
+  const auto set = core::generate_test_set(array);
+  Options adaptive;
+  Options fixed;
+  fixed.policy = Policy::kStaticOrder;
+  AdaptiveDiagnoser smart(array, set.vectors, single_fault_universe(array),
+                          adaptive);
+  AdaptiveDiagnoser dumb(array, set.vectors, single_fault_universe(array),
+                         fixed);
+  long smart_tests = 0;
+  long dumb_tests = 0;
+  for (const FaultScenario& truth : smart.universe()) {
+    smart_tests += smart.run(truth).tests_applied();
+    dumb_tests += dumb.run(truth).tests_applied();
+  }
+  EXPECT_LT(smart_tests, dumb_tests);
+}
+
+TEST(AdaptiveDiagnosisTest, BitIdenticalAcrossThreadCounts) {
+  // Threads only parallelize the outcome-table precompute; sessions must
+  // be bit-identical for any worker count.
+  const auto array = grid::table1_array(5);
+  const auto set = core::generate_test_set(array);
+  const auto universe = single_fault_universe(array);
+  Options reference_options;
+  reference_options.threads = 1;
+  AdaptiveDiagnoser reference(array, set.vectors, universe,
+                              reference_options);
+  std::vector<SessionResult> expected;
+  for (const FaultScenario& truth : universe) {
+    expected.push_back(reference.run(truth));
+  }
+  for (const int threads : {2, 4, 8}) {
+    Options options;
+    options.threads = threads;
+    AdaptiveDiagnoser diagnoser(array, set.vectors, universe, options);
+    for (std::size_t h = 0; h < universe.size(); ++h) {
+      const auto session = diagnoser.run(universe[h]);
+      ASSERT_EQ(session.tests_applied(), expected[h].tests_applied())
+          << threads << " threads, hypothesis " << h;
+      for (int t = 0; t < session.tests_applied(); ++t) {
+        const auto& got = session.applied[static_cast<std::size_t>(t)];
+        const auto& want = expected[h].applied[static_cast<std::size_t>(t)];
+        ASSERT_EQ(got.vector_index, want.vector_index)
+            << threads << " threads, hypothesis " << h << ", test " << t;
+        ASSERT_EQ(got.outcome, want.outcome)
+            << threads << " threads, hypothesis " << h << ", test " << t;
+      }
+      ASSERT_EQ(session.surviving, expected[h].surviving)
+          << threads << " threads, hypothesis " << h;
+    }
+  }
+}
+
+TEST(AdaptiveDiagnosisTest, CacheOnAndOffChooseIdenticalTests) {
+  const auto array = grid::table1_array(5);
+  const auto set = core::generate_test_set(array);
+  const auto universe = single_fault_universe(array);
+  Options with_cache;
+  with_cache.use_dd_cache = true;
+  Options without_cache;
+  without_cache.use_dd_cache = false;
+  AdaptiveDiagnoser cached(array, set.vectors, universe, with_cache);
+  AdaptiveDiagnoser uncached(array, set.vectors, universe, without_cache);
+  for (const FaultScenario& truth : universe) {
+    const auto a = cached.run(truth);
+    const auto b = uncached.run(truth);
+    ASSERT_EQ(a.tests_applied(), b.tests_applied()) << to_string(truth);
+    for (int t = 0; t < a.tests_applied(); ++t) {
+      ASSERT_EQ(a.applied[static_cast<std::size_t>(t)].vector_index,
+                b.applied[static_cast<std::size_t>(t)].vector_index)
+          << to_string(truth) << " test " << t;
+    }
+    ASSERT_EQ(a.surviving, b.surviving) << to_string(truth);
+    EXPECT_EQ(b.cache_hits, 0) << to_string(truth);
+  }
+  // Every session starts at the same root state, so the cache replays the
+  // root decision for all sessions after the first.
+  EXPECT_GT(cached.cache_nodes(), 0);
+}
+
+TEST(AdaptiveDiagnosisTest, RepeatSessionsHitTheCache) {
+  const auto array = grid::full_array(4, 4);
+  const auto set = core::generate_test_set(array);
+  AdaptiveDiagnoser diagnoser(array, set.vectors,
+                              single_fault_universe(array), {});
+  const auto truth = diagnoser.universe()[3];
+  const auto first = diagnoser.run(truth);
+  const auto second = diagnoser.run(truth);
+  // The replay walks exactly the path the first session carved: every
+  // applied test comes back from the cache. (A terminal "nothing splits"
+  // state stores no test, so at most one miss can remain.)
+  EXPECT_EQ(second.cache_hits, second.tests_applied());
+  EXPECT_LE(second.cache_misses, 1);
+  ASSERT_EQ(second.tests_applied(), first.tests_applied());
+  for (int t = 0; t < first.tests_applied(); ++t) {
+    EXPECT_EQ(second.applied[static_cast<std::size_t>(t)].vector_index,
+              first.applied[static_cast<std::size_t>(t)].vector_index);
+    EXPECT_TRUE(second.applied[static_cast<std::size_t>(t)].from_cache);
+  }
+  EXPECT_EQ(second.surviving, first.surviving);
+}
+
+TEST(AdaptiveDiagnosisTest, MaxTestsCapsTheSession) {
+  const auto array = grid::table1_array(5);
+  const auto set = core::generate_test_set(array);
+  Options options;
+  options.max_tests = 2;
+  options.stop_when_isolated = false;
+  AdaptiveDiagnoser diagnoser(array, set.vectors,
+                              single_fault_universe(array), options);
+  const auto session = diagnoser.run(diagnoser.universe()[0]);
+  EXPECT_EQ(session.tests_applied(), 2);
+}
+
+TEST(AdaptiveDiagnosisTest, StopTokenInterruptsSession) {
+  const auto array = grid::table1_array(5);
+  const auto set = core::generate_test_set(array);
+  common::StopSource source;
+  source.request_stop();
+  Options options;
+  options.stop = source.token();
+  AdaptiveDiagnoser diagnoser(array, set.vectors,
+                              single_fault_universe(array), options);
+  const auto session = diagnoser.run(diagnoser.universe()[0]);
+  EXPECT_TRUE(session.interrupted);
+  EXPECT_EQ(session.tests_applied(), 0);
+}
+
+}  // namespace
+}  // namespace fpva::sim::diagnosis

@@ -84,6 +84,60 @@ TEST(BatchSimulatorTest, DifferentialReadingsAgainstScalarOracle) {
   }
 }
 
+TEST(BatchSimulatorTest, DifferentialWithDegradedFaults) {
+  // Same sweep with degraded-flow faults mixed in: the two-word flood of
+  // flood_degraded() must agree with the scalar weak/full-level BFS.
+  common::Rng rng(1717);
+  for (const grid::ValveArray& array : test_arrays()) {
+    const Simulator scalar(array);
+    const BatchSimulator batch(array);
+    const auto leak_pairs = control_leak_pairs(array);
+    for (int round = 0; round < 4; ++round) {
+      const ValveStates states = random_states(rng, array);
+      std::vector<FaultScenario> scenarios;
+      for (int lane = 0; lane < BatchSimulator::kLanes; ++lane) {
+        const int k = 1 + static_cast<int>(rng.next_below(5));
+        scenarios.push_back(draw_fault_set(
+            rng, array, std::min(k, array.valve_count() / 2), leak_pairs,
+            0.5, 0.5));
+      }
+      const auto words = batch.readings(states, scenarios);
+      for (std::size_t lane = 0; lane < scenarios.size(); ++lane) {
+        const auto expected = scalar.readings(states, scenarios[lane]);
+        for (std::size_t s = 0; s < words.size(); ++s) {
+          ASSERT_EQ(((words[s] >> lane) & 1) != 0, expected[s])
+              << "lane " << lane << " sink " << s << " faults "
+              << to_string(scenarios[lane]);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchSimulatorTest, MixedDegradedAndCleanLanesStayIndependent) {
+  // One degraded lane must not perturb its 63 neighbors: run a batch where
+  // only lane 17 carries degraded faults and compare every lane scalar-wise.
+  const auto array = grid::table1_array(5);
+  const Simulator scalar(array);
+  const BatchSimulator batch(array);
+  common::Rng rng(5150);
+  const ValveStates states = random_states(rng, array);
+  std::vector<FaultScenario> scenarios;
+  for (int lane = 0; lane < BatchSimulator::kLanes; ++lane) {
+    scenarios.push_back(
+        draw_fault_set(rng, array, 2, {}, 0.5,
+                       lane == 17 ? 1.0 : 0.0));
+  }
+  const auto words = batch.readings(states, scenarios);
+  for (std::size_t lane = 0; lane < scenarios.size(); ++lane) {
+    const auto expected = scalar.readings(states, scenarios[lane]);
+    for (std::size_t s = 0; s < words.size(); ++s) {
+      ASSERT_EQ(((words[s] >> lane) & 1) != 0, expected[s])
+          << "lane " << lane << " sink " << s;
+    }
+  }
+}
+
 TEST(BatchSimulatorTest, DetectLanesMatchesScalarDetects) {
   common::Rng rng(7);
   for (const grid::ValveArray& array : test_arrays()) {
@@ -145,6 +199,45 @@ TEST(CampaignEquivalenceTest, BatchedMatchesScalarOracle) {
       EXPECT_EQ(batched.rows[i].undetected_samples,
                 scalar.rows[i].undetected_samples);
     }
+  }
+}
+
+TEST(CampaignEquivalenceTest, DegradedCampaignBatchedMatchesScalar) {
+  const auto array = grid::table1_array(5);
+  const Simulator simulator(array);
+  TestVector vector;
+  vector.states =
+      ValveStates(static_cast<std::size_t>(array.valve_count()), true);
+  vector.expected = simulator.expected(vector.states);
+  const TestVector vectors[] = {vector};
+  CampaignOptions options;
+  options.trials_per_count = 300;
+  options.max_faults = 4;
+  options.include_control_leaks = true;
+  options.degraded_probability = 0.35;
+  const auto batched = run_campaign(simulator, vectors, options);
+  const auto scalar = run_campaign_scalar(simulator, vectors, options);
+  ASSERT_EQ(batched.rows.size(), scalar.rows.size());
+  for (std::size_t i = 0; i < batched.rows.size(); ++i) {
+    EXPECT_EQ(batched.rows[i].detected, scalar.rows[i].detected);
+    EXPECT_EQ(batched.rows[i].set_cardinality, scalar.rows[i].set_cardinality);
+    EXPECT_EQ(batched.rows[i].undetected_samples,
+              scalar.rows[i].undetected_samples);
+  }
+}
+
+TEST(CampaignEquivalenceTest, ZeroDegradedProbabilityPreservesRngStream) {
+  // degraded_probability = 0 must consume exactly the historical RNG
+  // stream: the drawn fault sets are identical with and without the option
+  // present in the draw call.
+  const auto array = grid::table1_array(5);
+  const auto leak_pairs = control_leak_pairs(array);
+  for (int trial = 0; trial < 50; ++trial) {
+    common::Rng a(campaign_trial_seed(99, 3, trial));
+    common::Rng b(campaign_trial_seed(99, 3, trial));
+    const auto legacy = draw_fault_set(a, array, 3, leak_pairs, 0.5);
+    const auto gated = draw_fault_set(b, array, 3, leak_pairs, 0.5, 0.0);
+    EXPECT_EQ(legacy, gated) << "trial " << trial;
   }
 }
 

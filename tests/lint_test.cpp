@@ -186,6 +186,30 @@ TEST(LintTest, OptionsCoverageCleanWhenAllFieldsReferenced) {
       check_options_coverage("src/ilp/options.h", header, tests).empty());
 }
 
+TEST(LintTest, OptionsCoverageAuditsNamedStructs) {
+  // Option structs not literally named `Options` (CampaignOptions) are
+  // audited under their own name; the default name must not match them.
+  const std::string header =
+      "struct CampaignOptions {\n"
+      "  int trials_per_count = 10000;\n"
+      "  double degraded_probability = 0.0;\n"
+      "};\n";
+  const std::vector<std::pair<std::string, std::string>> tests = {
+      {"tests/a_test.cpp", "options.trials_per_count = 5;"}};
+  const std::vector<Finding> findings = check_options_coverage(
+      "src/sim/campaign.h", header, tests, "CampaignOptions");
+  ASSERT_EQ(findings.size(), 1u) << format_findings(findings);
+  EXPECT_EQ(findings[0].rule, "untested-option");
+  EXPECT_NE(findings[0].message.find("CampaignOptions::degraded_probability"),
+            std::string::npos);
+  // The default struct name does not exist in this header at all.
+  const std::vector<Finding> missing =
+      check_options_coverage("src/sim/campaign.h", header, tests);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].message.find("no `struct Options`"),
+            std::string::npos);
+}
+
 TEST(LintTest, OptionsCoverageIgnoresMemberFunctions) {
   const std::string header =
       "struct Options {\n"

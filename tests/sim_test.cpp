@@ -91,6 +91,47 @@ TEST(SimulatorTest, FaultResolutionOrder) {
   EXPECT_TRUE(effective[1]);
 }
 
+TEST(SimulatorTest, SingleDegradedValveStaysMeterVisible) {
+  // One degraded crossing delivers weak pressure, which the binary meter
+  // still reads as pressurized — a lone degraded fault is undetectable.
+  const auto array = grid::full_array(1, 3);
+  const Simulator simulator(array);
+  const Fault one[] = {degraded_flow(1)};
+  EXPECT_TRUE(simulator.readings(all_open(array), one)[0]);
+  EXPECT_EQ(simulator.readings(all_open(array), one),
+            simulator.expected(all_open(array)));
+}
+
+TEST(SimulatorTest, TwoDegradedValvesInSeriesReadDry) {
+  const auto array = grid::full_array(1, 3);
+  const Simulator simulator(array);
+  const Fault both[] = {degraded_flow(0), degraded_flow(1)};
+  EXPECT_FALSE(simulator.readings(all_open(array), both)[0]);
+}
+
+TEST(SimulatorTest, DegradedOnClosedValveIsInert) {
+  const auto array = grid::full_array(1, 3);
+  const Simulator simulator(array);
+  // The valve never opens, so the constriction is unobservable — and it
+  // must not change the effective open/closed resolution either.
+  const Fault deg[] = {degraded_flow(0)};
+  const ValveStates states{false, true};
+  EXPECT_EQ(simulator.readings(states, deg), simulator.expected(states));
+  EXPECT_EQ(simulator.effective_states(states, deg), states);
+}
+
+TEST(SimulatorTest, DegradedCombinesWithStuckAt1) {
+  // A stuck-open valve that is also constricted leaks only weak pressure:
+  // one degraded crossing stays visible, a second kills the flow.
+  const auto array = grid::full_array(1, 3);
+  const Simulator simulator(array);
+  const Fault weak_leak[] = {stuck_at_1(0), stuck_at_1(1), degraded_flow(1)};
+  EXPECT_TRUE(simulator.readings(all_closed(array), weak_leak)[0]);
+  const Fault dead_leak[] = {stuck_at_1(0), degraded_flow(0), stuck_at_1(1),
+                             degraded_flow(1)};
+  EXPECT_FALSE(simulator.readings(all_closed(array), dead_leak)[0]);
+}
+
 TEST(SimulatorTest, ChannelsAlwaysConduct) {
   // 1x3 with the middle-left valve replaced by a channel.
   const auto array = grid::LayoutBuilder(1, 3)

@@ -570,7 +570,8 @@ std::vector<Finding> lint_file(const std::string& path,
 
 std::vector<Finding> check_options_coverage(
     const std::string& header_path, const std::string& header_content,
-    const std::vector<std::pair<std::string, std::string>>& test_files) {
+    const std::vector<std::pair<std::string, std::string>>& test_files,
+    const std::string& struct_name) {
   Source source;
   source.raw = split_lines(header_content);
   source.code = strip_comments(source.raw);
@@ -578,11 +579,12 @@ std::vector<Finding> check_options_coverage(
   const std::string text = join(source.code);
 
   std::vector<Finding> findings;
-  static const std::regex kStruct(R"(\bstruct\s+Options\s*\{)");
+  const std::regex struct_decl(R"(\bstruct\s+)" + struct_name + R"(\s*\{)");
   std::smatch struct_match;
-  if (!std::regex_search(text, struct_match, kStruct)) {
+  if (!std::regex_search(text, struct_match, struct_decl)) {
     findings.push_back({"untested-option", header_path, 1,
-                        "no `struct Options` found in " + header_path});
+                        "no `struct " + struct_name + "` found in " +
+                            header_path});
     return findings;
   }
   const std::size_t open =
@@ -592,7 +594,7 @@ std::vector<Finding> check_options_coverage(
   if (close == std::string::npos) {
     findings.push_back({"untested-option", header_path,
                         line_of_offset(text, open),
-                        "unbalanced braces in struct Options"});
+                        "unbalanced braces in struct " + struct_name});
     return findings;
   }
 
@@ -644,7 +646,7 @@ std::vector<Finding> check_options_coverage(
     if (whitelist.allows(field.line, "untested-option")) continue;
     findings.push_back(
         {"untested-option", header_path, field.line,
-         "Options::" + field.name +
+         struct_name + "::" + field.name +
              " is not referenced by any test; every acceleration switch "
              "needs a test that toggles it (or a fpva-lint allow "
              "justification)"});

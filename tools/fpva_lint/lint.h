@@ -70,13 +70,16 @@ std::vector<Finding> lint_file(const std::string& path,
                                const std::string& content,
                                const Config& config = Config());
 
-/// Switchability check: every field of `struct Options` in the given
+/// Switchability check: every field of `struct <struct_name>` in the given
 /// header must be referenced by name somewhere in the test corpus —
 /// an acceleration nobody can toggle in a test is an acceleration whose
-/// off-path silently rots. `test_files` is (path, content) pairs.
+/// off-path silently rots. `test_files` is (path, content) pairs. The
+/// default struct name matches ilp::Options and sim::diagnosis::Options;
+/// pass e.g. "CampaignOptions" for differently named option structs.
 std::vector<Finding> check_options_coverage(
     const std::string& header_path, const std::string& header_content,
-    const std::vector<std::pair<std::string, std::string>>& test_files);
+    const std::vector<std::pair<std::string, std::string>>& test_files,
+    const std::string& struct_name = "Options");
 
 /// "file:line: [rule] message" per finding, one per line.
 std::string format_findings(const std::vector<Finding>& findings);

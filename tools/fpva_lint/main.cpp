@@ -4,8 +4,13 @@
 //
 // Usage:
 //   fpva_lint [--repo-root DIR] [--compile-commands FILE]
-//             [--options-header REL.h] [--tests-dir REL]
+//             [--options-header REL.h[:Struct]]... [--tests-dir REL]
 //             [--no-options-check] [FILE...]
+//
+// --options-header is repeatable and accepts an optional ":StructName"
+// suffix for option structs not literally named `Options`. Explicit flags
+// replace the default list (the ilp solver, adaptive diagnosis, and
+// campaign option structs).
 //
 // With no FILE arguments the tool scans every *.h/*.cpp under
 // <repo-root>/src and <repo-root>/tools. --compile-commands restricts the
@@ -29,19 +34,45 @@ namespace fs = std::filesystem;
 using fpva::lint::Config;
 using fpva::lint::Finding;
 
+/// One options-coverage target: a header and the struct to audit in it.
+struct OptionsHeader {
+  std::string path;
+  std::string struct_name = "Options";
+};
+
 struct Args {
   fs::path repo_root = ".";
   fs::path compile_commands;
-  std::string options_header = "src/ilp/branch_and_bound.h";
+  /// Every options struct under the switchability contract. Explicit
+  /// --options-header flags replace this default list.
+  std::vector<OptionsHeader> options_headers = {
+      {"src/ilp/branch_and_bound.h", "Options"},
+      {"src/sim/diagnosis/adaptive.h", "Options"},
+      {"src/sim/campaign.h", "CampaignOptions"},
+  };
   std::string tests_dir = "tests";
   bool options_check = true;
   std::vector<std::string> files;
 };
 
+/// Parses "path" or "path:StructName" (the last ':' splits, so plain
+/// relative paths with no colon stay untouched).
+OptionsHeader parse_options_header(const std::string& spec) {
+  OptionsHeader header;
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    header.path = spec;
+  } else {
+    header.path = spec.substr(0, colon);
+    header.struct_name = spec.substr(colon + 1);
+  }
+  return header;
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--repo-root DIR] [--compile-commands FILE]\n"
-               "       [--options-header REL.h] [--tests-dir REL]\n"
+               "       [--options-header REL.h[:Struct]]... [--tests-dir REL]\n"
                "       [--no-options-check] [FILE...]\n";
   return 2;
 }
@@ -94,6 +125,7 @@ std::vector<fs::path> compile_command_files(const fs::path& json_path) {
 
 int main(int argc, char** argv) {
   Args args;
+  bool explicit_options_headers = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -108,7 +140,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--compile-commands") {
       args.compile_commands = value("--compile-commands");
     } else if (arg == "--options-header") {
-      args.options_header = value("--options-header");
+      if (!explicit_options_headers) {
+        args.options_headers.clear();
+        explicit_options_headers = true;
+      }
+      args.options_headers.push_back(
+          parse_options_header(value("--options-header")));
     } else if (arg == "--tests-dir") {
       args.tests_dir = value("--tests-dir");
     } else if (arg == "--no-options-check") {
@@ -190,13 +227,7 @@ int main(int argc, char** argv) {
                     file_findings.end());
   }
 
-  if (args.options_check && !args.options_header.empty()) {
-    std::string header_content;
-    if (!read_file(repo_root / args.options_header, header_content)) {
-      std::cerr << "fpva_lint: cannot read options header "
-                << (repo_root / args.options_header) << "\n";
-      return 2;
-    }
+  if (args.options_check && !args.options_headers.empty()) {
     std::vector<std::pair<std::string, std::string>> test_files;
     const fs::path tests = repo_root / args.tests_dir;
     if (fs::is_directory(tests)) {
@@ -221,9 +252,17 @@ int main(int argc, char** argv) {
                 << " for the options coverage check\n";
       return 2;
     }
-    const auto coverage = fpva::lint::check_options_coverage(
-        args.options_header, header_content, test_files);
-    findings.insert(findings.end(), coverage.begin(), coverage.end());
+    for (const OptionsHeader& header : args.options_headers) {
+      std::string header_content;
+      if (!read_file(repo_root / header.path, header_content)) {
+        std::cerr << "fpva_lint: cannot read options header "
+                  << (repo_root / header.path) << "\n";
+        return 2;
+      }
+      const auto coverage = fpva::lint::check_options_coverage(
+          header.path, header_content, test_files, header.struct_name);
+      findings.insert(findings.end(), coverage.begin(), coverage.end());
+    }
   }
 
   std::cout << fpva::lint::format_findings(findings);
